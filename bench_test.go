@@ -1,0 +1,320 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (Sec. VI) plus the ablations of DESIGN.md §4 and
+// micro-benchmarks of the hot kernels. Experiment benches run the
+// Quick preset so a full `go test -bench=.` finishes on a laptop; use
+// cmd/experiments -preset standard for the EXPERIMENTS.md numbers.
+package macroplace
+
+import (
+	"testing"
+
+	"macroplace/internal/agent"
+	"macroplace/internal/cluster"
+	"macroplace/internal/experiments"
+	"macroplace/internal/gen"
+	"macroplace/internal/gplace"
+	"macroplace/internal/grid"
+	"macroplace/internal/legalize"
+	"macroplace/internal/mcts"
+	"macroplace/internal/netlist"
+	"macroplace/internal/rl"
+	"macroplace/internal/rng"
+)
+
+func benchConfig() experiments.Config {
+	c := experiments.Quick()
+	c.Episodes = 20
+	c.Gamma = 8
+	c.IBM = []string{"ibm01"}
+	c.Cir = []string{"cir1"}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Paper experiments
+
+// BenchmarkFigure4RewardShaping regenerates the Fig. 4 reward-function
+// convergence study.
+func BenchmarkFigure4RewardShaping(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5AnytimeMCTS regenerates the Fig. 5 MCTS-vs-RL-stage
+// study.
+func BenchmarkFigure5AnytimeMCTS(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(cfg, []string{"ibm01"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the industrial comparison (SE /
+// DREAMPlace-like / ours).
+func BenchmarkTableII(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the ICCAD04 comparison (CT / MaskPlace
+// / RePlAce-like / ours).
+func BenchmarkTableIII(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the MCTS-runtime table.
+func BenchmarkTableIV(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIV(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (DESIGN.md §4)
+
+// BenchmarkAblationGrouping measures grouped vs per-macro episodes.
+func BenchmarkAblationGrouping(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGrouping(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRollout measures value-net vs rollout evaluation.
+func BenchmarkAblationRollout(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRollout(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPUCT sweeps the PUCT constant.
+func BenchmarkAblationPUCT(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPUCT(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOrder compares area-sorted vs shuffled order.
+func BenchmarkAblationOrder(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationOrder(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot kernels
+
+func benchDesign(b *testing.B, scale float64) *netlist.Design {
+	b.Helper()
+	d, err := gen.IBM("ibm01", scale, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkHPWL measures full-netlist wirelength evaluation.
+func BenchmarkHPWL(b *testing.B) {
+	d := benchDesign(b, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.HPWL()
+	}
+}
+
+// BenchmarkQuadraticSolve measures one full global placement.
+func BenchmarkQuadraticSolve(b *testing.B) {
+	d := benchDesign(b, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := d.Clone()
+		gplace.Place(work, gplace.Config{Mode: gplace.MoveAll, Iterations: 4})
+	}
+}
+
+// BenchmarkClusterMacros measures the Eq. (1)/(2) clustering stage.
+func BenchmarkClusterMacros(b *testing.B) {
+	d := benchDesign(b, 0.05)
+	gplace.InitialPlacement(d)
+	params := cluster.DefaultParams(d.Region.Area() / 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cluster.Build(d, params)
+	}
+}
+
+// BenchmarkPolicyForward measures one agent inference at the default
+// experiment tower size (ζ=16).
+func BenchmarkPolicyForward(b *testing.B) {
+	ag := agent.New(agent.Config{Zeta: 16, Channels: 16, ResBlocks: 2, MaxSteps: 64, Seed: 1})
+	r := rng.New(2)
+	sp := make([]float64, 256)
+	sa := make([]float64, 256)
+	for i := range sp {
+		sp[i] = r.Float64()
+		sa[i] = r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ag.Forward(sp, sa, i%32)
+	}
+}
+
+// BenchmarkPolicyForwardPaperSize measures inference at the exact
+// Table I shape (128 channels, 10 ResBlocks).
+func BenchmarkPolicyForwardPaperSize(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-sized tower")
+	}
+	ag := agent.New(agent.Paper(64, 1))
+	r := rng.New(3)
+	sp := make([]float64, 256)
+	sa := make([]float64, 256)
+	for i := range sp {
+		sp[i] = r.Float64()
+		sa[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ag.Forward(sp, sa, i%32)
+	}
+}
+
+// BenchmarkAgentBackward measures one training step (forward+backward).
+func BenchmarkAgentBackward(b *testing.B) {
+	ag := agent.New(agent.Config{Zeta: 16, Channels: 16, ResBlocks: 2, MaxSteps: 64, Seed: 4})
+	r := rng.New(5)
+	sp := make([]float64, 256)
+	sa := make([]float64, 256)
+	for i := range sp {
+		sp[i] = r.Float64()
+		sa[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ag.Forward(sp, sa, i%32)
+		ag.Backward(i%256, 0.5, 1, 0)
+	}
+}
+
+// BenchmarkMCTSExploration measures the per-exploration cost of the
+// search (selection + expansion + value evaluation + backprop).
+func BenchmarkMCTSExploration(b *testing.B) {
+	g := grid.New(benchDesign(b, 0.02).Region, 8)
+	shape := grid.Shape{GW: 1, GH: 1, Util: []float64{0.5}, W: g.CellW, H: g.CellH, Area: g.CellArea() / 2}
+	shapes := make([]grid.Shape, 12)
+	for i := range shapes {
+		shapes[i] = shape
+	}
+	env := grid.NewEnv(g, shapes, nil)
+	ag := agent.New(agent.Config{Zeta: 8, Channels: 8, ResBlocks: 1, MaxSteps: 16, Seed: 6})
+	wl := func(anchors []int) float64 {
+		var t float64
+		for _, a := range anchors {
+			gx, gy := g.Coords(a)
+			t += float64(gx + gy)
+		}
+		return t
+	}
+	scaler := rl.Calibrate(rl.Shaped, []float64{0, 50, 100}, 0.75)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := mcts.New(mcts.Config{Gamma: 8, Seed: int64(i)}, ag, wl, scaler)
+		_ = s.Run(env)
+	}
+	// Each Run is Gamma × steps explorations.
+	b.ReportMetric(float64(8*12), "explorations/op")
+}
+
+// BenchmarkLegalizeGrid measures sequence-pair legalization of a
+// block of overlapping macros.
+func BenchmarkLegalizeGrid(b *testing.B) {
+	r := rng.New(7)
+	mk := func() []legalize.Item {
+		items := make([]legalize.Item, 8)
+		for i := range items {
+			w, h := r.Range(2, 5), r.Range(2, 5)
+			x, y := r.Range(0, 20), r.Range(0, 20)
+			items[i] = legalize.Item{W: w, H: h, X: x, Y: y, TX: x + w/2, TY: y + h/2, Weight: 1}
+		}
+		return items
+	}
+	bounds := benchDesign(b, 0.02).Region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := mk()
+		legalize.RemoveOverlaps(items, bounds, 24)
+	}
+}
+
+// BenchmarkCoarseOracle measures the per-episode reward evaluation
+// (the dominant cost of RL training).
+func BenchmarkCoarseOracle(b *testing.B) {
+	d := benchDesign(b, 0.05)
+	p, err := newCorePlacer(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := p.Env.Clone()
+	r := rng.New(8)
+	anchors := rl.RandomEpisode(env, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.EvalAnchors(anchors)
+	}
+}
+
+// BenchmarkGenerateIBM measures benchmark synthesis.
+func BenchmarkGenerateIBM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.IBM("ibm01", 0.05, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newCorePlacer builds a preprocessed pipeline for oracle benches.
+func newCorePlacer(d *Design) (*Placer, error) {
+	p, err := NewPlacer(d, Options{
+		Zeta:  8,
+		Agent: AgentConfig{Zeta: 8, Channels: 8, ResBlocks: 1, Seed: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Preprocess(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,169 @@
+// Command experiments regenerates the paper's evaluation — every
+// figure and table of Sec. VI plus the ablations — on the synthetic
+// benchmark suites, and prints them in the paper's row/column layout.
+//
+// Usage:
+//
+//	experiments -run all -preset quick
+//	experiments -run fig4,tableIII -preset standard
+//	experiments -run tableII -scale 0.1 -episodes 200
+//
+// Absolute numbers differ from the paper (the substrate is a CPU
+// simulator, not the authors' testbed); the comparisons' shape — who
+// wins, by roughly what factor — is the reproduction target. See
+// EXPERIMENTS.md for recorded paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"macroplace/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated: fig4,fig5,tableII,tableIII,tableIV,ablations,alphasweep or all")
+		preset   = flag.String("preset", "quick", `"quick" or "standard"`)
+		scale    = flag.Float64("scale", 0, "override benchmark scale")
+		episodes = flag.Int("episodes", 0, "override RL episodes")
+		gamma    = flag.Int("gamma", 0, "override MCTS explorations per group")
+		zeta     = flag.Int("zeta", 0, "override grid resolution")
+		seed     = flag.Int64("seed", 0, "override seed")
+		ibm      = flag.String("ibm", "", "comma-separated ICCAD04 subset (default: preset's)")
+		cir      = flag.String("cir", "", "comma-separated industrial subset (default: preset's)")
+		verbose  = flag.Bool("v", false, "log per-benchmark progress to stderr")
+		csvdir   = flag.String("csvdir", "", "also write machine-readable CSV artifacts into this directory")
+		extended = flag.Bool("extended", false, "add the beyond-paper baselines (SA, SA-B*tree, MinCut) to Table II")
+	)
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *preset == "standard" {
+		cfg = experiments.Standard()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *episodes > 0 {
+		cfg.Episodes = *episodes
+	}
+	if *gamma > 0 {
+		cfg.Gamma = *gamma
+	}
+	if *zeta > 0 {
+		cfg.Zeta = *zeta
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *ibm != "" {
+		cfg.IBM = strings.Split(*ibm, ",")
+	}
+	if *cir != "" {
+		cfg.Cir = strings.Split(*cir, ",")
+	}
+	cfg.ExtendedBaselines = *extended
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+	out := os.Stdout
+
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	saveCSV := func(result any) {
+		if *csvdir == "" {
+			return
+		}
+		path, err := experiments.SaveCSV(*csvdir, result)
+		if err != nil {
+			fail("csv", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if all || want["fig4"] {
+		res, err := experiments.Figure4(cfg)
+		if err != nil {
+			fail("fig4", err)
+		}
+		saveCSV(res)
+		experiments.WriteFig4(out, res)
+		fmt.Fprintln(out)
+	}
+	if all || want["fig5"] {
+		res, err := experiments.Figure5(cfg, nil)
+		if err != nil {
+			fail("fig5", err)
+		}
+		saveCSV(res)
+		experiments.WriteFig5(out, res)
+		fmt.Fprintln(out)
+	}
+	if all || want["tableII"] {
+		tab, err := experiments.TableII(cfg)
+		if err != nil {
+			fail("tableII", err)
+		}
+		saveCSV(tab)
+		experiments.WriteTable(out, tab)
+		fmt.Fprintln(out)
+	}
+	if all || want["tableIII"] {
+		tab, err := experiments.TableIII(cfg)
+		if err != nil {
+			fail("tableIII", err)
+		}
+		saveCSV(tab)
+		experiments.WriteTable(out, tab)
+		fmt.Fprintln(out)
+	}
+	if all || want["tableIV"] {
+		rows, err := experiments.TableIV(cfg)
+		if err != nil {
+			fail("tableIV", err)
+		}
+		saveCSV(rows)
+		experiments.WriteTableIV(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["alphasweep"] {
+		res, err := experiments.AlphaSweep(cfg, nil)
+		if err != nil {
+			fail("alphasweep", err)
+		}
+		saveCSV(res)
+		experiments.WriteAlphaSweep(out, res)
+		fmt.Fprintln(out)
+	}
+	if all || want["ablations"] {
+		type ab struct {
+			name string
+			fn   func(experiments.Config) (*experiments.AblationResult, error)
+		}
+		for _, a := range []ab{
+			{"grouping", experiments.AblationGrouping},
+			{"rollout", experiments.AblationRollout},
+			{"puct", experiments.AblationPUCT},
+			{"order", experiments.AblationOrder},
+		} {
+			res, err := a.fn(cfg)
+			if err != nil {
+				fail("ablation "+a.name, err)
+			}
+			saveCSV(res)
+			experiments.WriteAblation(out, res)
+			fmt.Fprintln(out)
+		}
+	}
+}

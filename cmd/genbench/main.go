@@ -1,0 +1,88 @@
+// Command genbench synthesises benchmark circuits and writes them as
+// Bookshelf files. It can emit one named benchmark, a whole suite, or
+// a fully custom design.
+//
+// Usage:
+//
+//	genbench -bench ibm01 -scale 0.05 -out bench/
+//	genbench -suite ibm -scale 0.02 -out bench/
+//	genbench -macros 100 -cells 20000 -nets 25000 -name custom -out bench/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"macroplace"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "single benchmark name (ibm01..ibm18, cir1..cir6)")
+		suite  = flag.String("suite", "", `whole suite: "ibm" or "cir"`)
+		scale  = flag.Float64("scale", 0.05, "scale factor (1 = paper-sized)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "bench", "output directory")
+		name   = flag.String("name", "custom", "custom design name")
+		macros = flag.Int("macros", 0, "custom: movable macros")
+		prep   = flag.Int("preplaced", 0, "custom: pre-placed macros")
+		pads   = flag.Int("pads", 0, "custom: I/O pads")
+		cells  = flag.Int("cells", 0, "custom: standard cells")
+		nets   = flag.Int("nets", 0, "custom: nets")
+	)
+	flag.Parse()
+
+	var names []string
+	switch {
+	case *bench != "":
+		names = []string{*bench}
+	case *suite == "ibm":
+		names = macroplace.IBMNames()
+	case *suite == "cir":
+		names = macroplace.CirNames()
+	case *macros > 0:
+		d := macroplace.Generate(macroplace.BenchmarkSpec{
+			Name:            *name,
+			MovableMacros:   *macros,
+			PreplacedMacros: *prep,
+			Pads:            *pads,
+			Cells:           *cells,
+			Nets:            *nets,
+			Seed:            *seed,
+		})
+		write(d, *out)
+		return
+	default:
+		fmt.Fprintln(os.Stderr, "genbench: need -bench, -suite, or -macros; see -h")
+		os.Exit(2)
+	}
+
+	for _, n := range names {
+		var (
+			d   *macroplace.Design
+			err error
+		)
+		if strings.HasPrefix(n, "ibm") {
+			d, err = macroplace.GenerateIBM(n, *scale, *seed)
+		} else {
+			d, err = macroplace.GenerateCir(n, *scale, *seed)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genbench:", err)
+			os.Exit(1)
+		}
+		write(d, *out)
+	}
+}
+
+func write(d *macroplace.Design, dir string) {
+	if err := macroplace.WriteBookshelf(d, dir, d.Name); err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+	s := d.Stats()
+	fmt.Printf("%s: wrote %s/%s.* (%d macros, %d cells, %d nets)\n",
+		d.Name, dir, d.Name, s.MovableMacros+s.PreplacedMacro, s.Cells, s.Nets)
+}

@@ -1,0 +1,136 @@
+// Command mctsplace runs the full MCTS-guided-by-pretrained-RL macro
+// placement flow on a benchmark — either a Bookshelf .aux file or a
+// named synthetic benchmark — and reports per-stage statistics and the
+// final HPWL. With -out it writes the placed design back as Bookshelf
+// files.
+//
+// Usage:
+//
+//	mctsplace -bench ibm01 -scale 0.05 -episodes 120 -gamma 24
+//	mctsplace -aux path/to/ibm01.aux -out placed/ -episodes 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"macroplace"
+)
+
+func main() {
+	var (
+		aux       = flag.String("aux", "", "Bookshelf .aux file to place")
+		bench     = flag.String("bench", "", "synthetic benchmark name (ibm01..ibm18, cir1..cir6)")
+		scale     = flag.Float64("scale", 0.05, "synthetic benchmark scale (1 = paper-sized)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		zeta      = flag.Int("zeta", 16, "grid resolution ζ")
+		episodes  = flag.Int("episodes", 120, "RL pre-training episodes")
+		gamma     = flag.Int("gamma", 24, "MCTS explorations per macro group")
+		channels  = flag.Int("channels", 16, "agent tower width (paper: 128)")
+		resblocks = flag.Int("resblocks", 2, "agent tower depth (paper: 10)")
+		out       = flag.String("out", "", "directory to write the placed design as Bookshelf files")
+		svg       = flag.String("svg", "", "file to render the final placement as SVG")
+		saveAgent = flag.String("saveagent", "", "file to checkpoint the pre-trained agent to")
+		loadAgent = flag.String("loadagent", "", "agent checkpoint to load (skips RL pre-training)")
+	)
+	flag.Parse()
+
+	d, err := loadDesign(*aux, *bench, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctsplace:", err)
+		os.Exit(1)
+	}
+	stats := d.Stats()
+	fmt.Printf("design %s: %d movable macros, %d pre-placed, %d pads, %d cells, %d nets\n",
+		d.Name, stats.MovableMacros, stats.PreplacedMacro, stats.Pads, stats.Cells, stats.Nets)
+
+	opts := macroplace.DefaultOptions()
+	opts.Zeta = *zeta
+	opts.Seed = *seed
+	opts.RL.Episodes = *episodes
+	opts.MCTS.Gamma = *gamma
+	opts.Agent = macroplace.AgentConfig{Zeta: *zeta, Channels: *channels, ResBlocks: *resblocks, Seed: *seed + 100}
+
+	p, err := macroplace.NewPlacer(d, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctsplace:", err)
+		os.Exit(1)
+	}
+	var res *macroplace.Result
+	if *loadAgent != "" {
+		// Pre-trained agent: skip RL, search directly.
+		if err := p.Preprocess(); err != nil {
+			fmt.Fprintln(os.Stderr, "mctsplace:", err)
+			os.Exit(1)
+		}
+		ag, err := macroplace.LoadAgent(*loadAgent)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mctsplace:", err)
+			os.Exit(1)
+		}
+		p.Agent.CopyWeightsFrom(ag)
+		search := p.RunMCTS()
+		final, err := p.Finalize(search.Anchors)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mctsplace:", err)
+			os.Exit(1)
+		}
+		res = &macroplace.Result{Final: final, RLFinal: final, Search: search, Times: p.Times()}
+	} else {
+		res, err = p.Place()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mctsplace:", err)
+			os.Exit(1)
+		}
+	}
+	if *saveAgent != "" {
+		if err := p.Agent.SaveFile(*saveAgent); err != nil {
+			fmt.Fprintln(os.Stderr, "mctsplace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved agent checkpoint to %s\n", *saveAgent)
+	}
+
+	fmt.Printf("RL-only HPWL:   %.6g\n", res.RLFinal.HPWL)
+	fmt.Printf("MCTS HPWL:      %.6g\n", res.Final.HPWL)
+	fmt.Printf("macro overlap:  %.6g\n", res.Final.MacroOverlap)
+	fmt.Printf("explorations:   %d (terminal placements: %d)\n",
+		res.Search.Explorations, res.Search.TerminalEvals)
+	fmt.Printf("stage times:    preprocess=%s pretrain=%s mcts=%s finalize=%s\n",
+		res.Times.Preprocess.Round(1e6), res.Times.Pretrain.Round(1e6),
+		res.Times.MCTS.Round(1e6), res.Times.Finalize.Round(1e6))
+
+	fmt.Printf("quality:        %s\n", macroplace.MeasureQuality(p.Work))
+
+	if *out != "" {
+		if err := macroplace.WriteBookshelf(p.Work, *out, d.Name); err != nil {
+			fmt.Fprintln(os.Stderr, "mctsplace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s/%s.{nodes,nets,pl,scl,aux}\n", *out, d.Name)
+	}
+	if *svg != "" {
+		if err := macroplace.SaveSVG(*svg, p.Work, macroplace.SVGOptions{ShowGrid: true, Zeta: *zeta}); err != nil {
+			fmt.Fprintln(os.Stderr, "mctsplace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+}
+
+func loadDesign(aux, bench string, scale float64, seed int64) (*macroplace.Design, error) {
+	switch {
+	case aux != "":
+		return macroplace.ReadBookshelf(aux)
+	case strings.HasPrefix(bench, "ibm"):
+		return macroplace.GenerateIBM(bench, scale, seed)
+	case strings.HasPrefix(bench, "cir"):
+		return macroplace.GenerateCir(bench, scale, seed)
+	case bench == "":
+		return nil, fmt.Errorf("one of -aux or -bench is required")
+	default:
+		return nil, fmt.Errorf("unknown benchmark %q (want ibm01..ibm18 or cir1..cir6)", bench)
+	}
+}

@@ -1,0 +1,79 @@
+// Bookshelf pipeline: the file-based workflow a downstream user would
+// run on real ICCAD04 data — synthesise (or obtain) a benchmark, write
+// it to disk in Bookshelf format, read it back, place it, and emit the
+// placed design plus an SVG rendering and a quality report.
+//
+// Run with:
+//
+//	go run ./examples/bookshelf_pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"macroplace"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "macroplace-bookshelf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("working directory:", dir)
+
+	// 1. Synthesise a benchmark and write it as Bookshelf files —
+	//    with real ICCAD04 data you would skip this step and point at
+	//    the distributed .aux file instead.
+	original, err := macroplace.GenerateIBM("ibm02", 0.02, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := macroplace.WriteBookshelf(original, dir, "ibm02"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote ibm02.{nodes,nets,pl,scl,aux}")
+
+	// 2. Read it back the way any Bookshelf consumer would.
+	design, err := macroplace.ReadBookshelf(filepath.Join(dir, "ibm02.aux"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := design.Stats()
+	fmt.Printf("parsed: %d macros, %d cells, %d nets\n",
+		stats.MovableMacros, stats.Cells, stats.Nets)
+
+	// 3. Place with the full flow (cells row-legalized at the end).
+	opts := macroplace.DefaultOptions()
+	opts.Zeta = 8
+	opts.Agent = macroplace.AgentConfig{Zeta: 8, Channels: 8, ResBlocks: 1, Seed: 4}
+	opts.RL.Episodes = 40
+	opts.MCTS.Gamma = 16
+	opts.LegalizeCells = true
+
+	placer, err := macroplace.NewPlacer(design, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := placer.Place()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed: HPWL=%.4g (row-legalized %.4g, %d cells unplaced)\n",
+		result.Final.HPWL, result.Final.LegalHPWL, result.Final.CellsFailed)
+
+	// 4. Emit the placed design, an SVG, and the quality report.
+	if err := macroplace.WriteBookshelf(placer.Work, dir, "ibm02_placed"); err != nil {
+		log.Fatal(err)
+	}
+	svg := filepath.Join(dir, "ibm02_placed.svg")
+	if err := macroplace.SaveSVG(svg, placer.Work, macroplace.SVGOptions{
+		ShowGrid: true, ShowCells: true, Congestion: true, Zeta: 8,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote ibm02_placed.* and", svg)
+	fmt.Println("quality:", macroplace.MeasureQuality(placer.Work))
+}

@@ -1,0 +1,68 @@
+// Congestion-aware placement: the routability extension of the flow.
+// The same benchmark is placed twice — once with the paper's pure
+// wirelength objective, once with RUDY congestion blended into the
+// allocation cost — and the resulting quality reports are compared.
+// The pre-trained agent from the first run is checkpointed to disk and
+// could be reloaded to skip pre-training on later runs.
+//
+// Run with:
+//
+//	go run ./examples/congestion_aware
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"macroplace"
+)
+
+func main() {
+	run := func(congestionWeight float64) (macroplace.QualityReport, *macroplace.Placer) {
+		design, err := macroplace.GenerateIBM("ibm03", 0.02, 17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := macroplace.DefaultOptions()
+		opts.Zeta = 8
+		opts.Agent = macroplace.AgentConfig{Zeta: 8, Channels: 8, ResBlocks: 1, Seed: 3}
+		opts.RL.Episodes = 50
+		opts.MCTS.Gamma = 16
+		opts.CongestionWeight = congestionWeight
+
+		placer, err := macroplace.NewPlacer(design, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := placer.Place(); err != nil {
+			log.Fatal(err)
+		}
+		return macroplace.MeasureQuality(placer.Work), placer
+	}
+
+	fmt.Println("placing with the paper's pure-wirelength objective ...")
+	base, placer := run(0)
+	fmt.Println("placing with congestion-aware cost (weight 2.0) ...")
+	aware, _ := run(2.0)
+
+	fmt.Printf("\n%-24s %14s %14s\n", "metric", "WL-only", "congestion-aware")
+	fmt.Printf("%-24s %14.4g %14.4g\n", "HPWL", base.HPWL, aware.HPWL)
+	fmt.Printf("%-24s %14.4g %14.4g\n", "peak congestion", base.PeakCongestion, aware.PeakCongestion)
+	fmt.Printf("%-24s %14.4g %14.4g\n", "mean congestion", base.MeanCongestion, aware.MeanCongestion)
+	fmt.Printf("%-24s %14.4g %14.4g\n", "macro overlap", base.MacroOverlap, aware.MacroOverlap)
+
+	// Checkpoint the pre-trained agent for later searches.
+	dir, err := os.MkdirTemp("", "macroplace-agent")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "agent.ckpt")
+	if err := placer.Agent.SaveFile(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(ckpt)
+	fmt.Printf("\nsaved pre-trained agent to %s (%d bytes)\n", ckpt, fi.Size())
+	fmt.Println("reload with macroplace.LoadAgent to search without re-training.")
+}

@@ -1,0 +1,3 @@
+module macroplace
+
+go 1.22

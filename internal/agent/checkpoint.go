@@ -1,0 +1,118 @@
+package agent
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpointMagic identifies agent checkpoint files.
+const checkpointMagic = "MPAGENT1"
+
+// Save serialises the agent's configuration and weights (including
+// BatchNorm running statistics) so a pre-trained agent can be reused
+// across runs — the paper's workflow pre-trains once and searches
+// many times.
+func (a *Agent) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return fmt.Errorf("agent: %w", err)
+	}
+	cfg := []int64{int64(a.Cfg.Zeta), int64(a.Cfg.Channels), int64(a.Cfg.ResBlocks), int64(a.Cfg.MaxSteps), a.Cfg.Seed}
+	for _, v := range cfg {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("agent: %w", err)
+		}
+	}
+	writeSlice := func(s []float32) error {
+		if err := binary.Write(bw, binary.LittleEndian, int64(len(s))); err != nil {
+			return err
+		}
+		return binary.Write(bw, binary.LittleEndian, s)
+	}
+	for _, p := range a.params {
+		if err := writeSlice(p.W); err != nil {
+			return fmt.Errorf("agent: %s: %w", p.Name, err)
+		}
+	}
+	for _, bn := range a.batchNorms() {
+		if err := writeSlice(bn.RunMean); err != nil {
+			return fmt.Errorf("agent: %w", err)
+		}
+		if err := writeSlice(bn.RunVar); err != nil {
+			return fmt.Errorf("agent: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a checkpoint written by Save and returns a fresh agent.
+func Load(r io.Reader) (*Agent, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("agent: not an agent checkpoint (magic %q)", magic)
+	}
+	var cfg [5]int64
+	for i := range cfg {
+		if err := binary.Read(br, binary.LittleEndian, &cfg[i]); err != nil {
+			return nil, fmt.Errorf("agent: %w", err)
+		}
+	}
+	a := New(Config{
+		Zeta: int(cfg[0]), Channels: int(cfg[1]), ResBlocks: int(cfg[2]),
+		MaxSteps: int(cfg[3]), Seed: cfg[4],
+	})
+	readInto := func(dst []float32, what string) error {
+		var n int64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return fmt.Errorf("agent: %s: %w", what, err)
+		}
+		if int(n) != len(dst) {
+			return fmt.Errorf("agent: %s has %d values, want %d (architecture mismatch)", what, n, len(dst))
+		}
+		return binary.Read(br, binary.LittleEndian, dst)
+	}
+	for _, p := range a.params {
+		if err := readInto(p.W, p.Name); err != nil {
+			return nil, err
+		}
+	}
+	for i, bn := range a.batchNorms() {
+		if err := readInto(bn.RunMean, fmt.Sprintf("bn%d.mean", i)); err != nil {
+			return nil, err
+		}
+		if err := readInto(bn.RunVar, fmt.Sprintf("bn%d.var", i)); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// SaveFile writes a checkpoint to path.
+func (a *Agent) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("agent: %w", err)
+	}
+	if err := a.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*Agent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,176 @@
+// Package baseline implements the comparison placers of the paper's
+// evaluation (Tables II and III):
+//
+//   - SE — a simulated-evolution macro placer in the style of
+//     [24]/[26] (Table II's "SE-based Macro Placer");
+//   - DreamPlaceLike — mixed-size analytical placement where macros
+//     are just large movable cells (Table II's DREAMPlace column);
+//   - RePlAceLike — the analytical flow plus a density-vs-wirelength
+//     force refinement of macro positions (Table III's RePlAce);
+//   - CT — a pure-RL per-macro placer, no grouping and no MCTS
+//     (Table III's circuit-training row);
+//   - MaskPlace — a per-macro placer driven by the wiremask
+//     incremental-HPWL estimate (Table III's MaskPlace row).
+//
+// Every baseline ends with the same finishing pass — macro overlap
+// removal and a full-netlist analytical cell placement — so Table
+// comparisons measure the macro-placement policy, not the finishing
+// machinery. The real tools are unavailable (GPU binaries, proprietary
+// code); DESIGN.md records how each substitute preserves the trait the
+// paper contrasts against.
+package baseline
+
+import (
+	"sort"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/gplace"
+	"macroplace/internal/netlist"
+)
+
+// Result is a completed baseline run.
+type Result struct {
+	// HPWL is the final full-netlist half-perimeter wirelength.
+	HPWL float64
+	// MacroOverlap is the residual macro-macro overlap area.
+	MacroOverlap float64
+}
+
+// Finish legalizes macros (pairwise shove) and runs the final cell
+// placement, returning the evaluated result. It mutates d.
+func Finish(d *netlist.Design) Result {
+	shoveMacros(d, 200)
+	gplace.Place(d, gplace.Config{Mode: gplace.MoveCells, Iterations: 6})
+	return Result{HPWL: d.HPWL(), MacroOverlap: macroOverlap(d)}
+}
+
+// shoveMacros separates overlapping macros with the minimum-
+// penetration push, treating fixed macros as obstacles.
+func shoveMacros(d *netlist.Design, maxIters int) {
+	var movable, fixed []int
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind != netlist.Macro {
+			continue
+		}
+		if d.Nodes[i].Fixed {
+			fixed = append(fixed, i)
+		} else {
+			movable = append(movable, i)
+		}
+	}
+	all := append(append([]int(nil), movable...), fixed...)
+	nMov := len(movable)
+	for iter := 0; iter < maxIters; iter++ {
+		found := false
+		for a := 0; a < len(all); a++ {
+			for b := a + 1; b < len(all); b++ {
+				if a >= nMov && b >= nMov {
+					continue
+				}
+				na, nb := &d.Nodes[all[a]], &d.Nodes[all[b]]
+				is, ok := na.Rect().Intersect(nb.Rect())
+				if !ok {
+					continue
+				}
+				found = true
+				moveA, moveB := a < nMov, b < nMov
+				dx, dy := is.W(), is.H()
+				push := func(n *netlist.Node, px, py float64) {
+					r := n.Rect().Translate(px, py).ClampInto(d.Region)
+					n.X, n.Y = r.Lx, r.Ly
+				}
+				if dx <= dy {
+					dir := 1.0
+					if na.Center().X > nb.Center().X {
+						dir = -1
+					}
+					switch {
+					case moveA && moveB:
+						push(na, -dir*dx/2, 0)
+						push(nb, dir*dx/2, 0)
+					case moveA:
+						push(na, -dir*dx, 0)
+					default:
+						push(nb, dir*dx, 0)
+					}
+				} else {
+					dir := 1.0
+					if na.Center().Y > nb.Center().Y {
+						dir = -1
+					}
+					switch {
+					case moveA && moveB:
+						push(na, 0, -dir*dy/2)
+						push(nb, 0, dir*dy/2)
+					case moveA:
+						push(na, 0, -dir*dy)
+					default:
+						push(nb, 0, dir*dy)
+					}
+				}
+			}
+		}
+		if !found {
+			return
+		}
+	}
+}
+
+func macroOverlap(d *netlist.Design) float64 {
+	macros := d.MacroIndices()
+	var total float64
+	for i := 0; i < len(macros); i++ {
+		for j := i + 1; j < len(macros); j++ {
+			total += d.Nodes[macros[i]].Rect().OverlapArea(d.Nodes[macros[j]].Rect())
+		}
+	}
+	return total
+}
+
+// macroNetHPWL returns the summed HPWL of the nets incident to node m,
+// using current positions.
+func macroNetHPWL(d *netlist.Design, nodeNets [][]int, m int) float64 {
+	var total float64
+	for _, ni := range nodeNets[m] {
+		total += d.Nets[ni].EffWeight() * d.NetHPWL(ni)
+	}
+	return total
+}
+
+// macrosByAreaDesc returns movable macro indices sorted by
+// non-increasing area (deterministic tie-break by index).
+func macrosByAreaDesc(d *netlist.Design) []int {
+	ms := d.MovableMacroIndices()
+	sort.Slice(ms, func(i, j int) bool {
+		ai, aj := d.Nodes[ms[i]].Area(), d.Nodes[ms[j]].Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return ms[i] < ms[j]
+	})
+	return ms
+}
+
+// DreamPlaceLike is the analytical mixed-size baseline: one global
+// placement treating macros as movable, followed by the common finish.
+// It mirrors how the paper invokes DREAMPlace on Table II — no
+// hierarchy awareness, wirelength-driven only.
+func DreamPlaceLike(d *netlist.Design) Result {
+	gplace.Place(d, gplace.Config{Mode: gplace.MoveAll, Iterations: 10})
+	return Finish(d)
+}
+
+// candidateGrid enumerates k×k candidate centers inside region for a
+// node of size w×h.
+func candidateGrid(region geom.Rect, w, h float64, k int) []geom.Point {
+	var out []geom.Point
+	for iy := 0; iy < k; iy++ {
+		for ix := 0; ix < k; ix++ {
+			cx := region.Lx + (float64(ix)+0.5)*region.W()/float64(k)
+			cy := region.Ly + (float64(iy)+0.5)*region.H()/float64(k)
+			r := geom.NewRect(cx-w/2, cy-h/2, w, h).ClampInto(region)
+			out = append(out, r.Center())
+		}
+	}
+	return out
+}

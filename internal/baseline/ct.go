@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"macroplace/internal/agent"
+	"macroplace/internal/cluster"
+	"macroplace/internal/geom"
+	"macroplace/internal/gplace"
+	"macroplace/internal/grid"
+	"macroplace/internal/netlist"
+	"macroplace/internal/rl"
+)
+
+// CTConfig tunes the circuit-training-like baseline.
+type CTConfig struct {
+	// Zeta is the action-grid resolution (default 16).
+	Zeta int
+	// Episodes is the RL training budget (default 150).
+	Episodes int
+	// Agent optionally overrides the network shape.
+	Agent agent.Config
+	Seed  int64
+}
+
+func (c CTConfig) normalize() CTConfig {
+	if c.Zeta <= 0 {
+		c.Zeta = 16
+	}
+	if c.Episodes <= 0 {
+		c.Episodes = 150
+	}
+	return c
+}
+
+// macroEnv builds a per-macro allocation environment: every movable
+// macro is its own singleton "group", ordered by non-increasing area.
+// It returns the env and the macro order.
+func macroEnv(d *netlist.Design, zeta int) (*grid.Env, []int) {
+	g := grid.New(d.Region, zeta)
+	macros := macrosByAreaDesc(d)
+	shapes := make([]grid.Shape, len(macros))
+	for i, m := range macros {
+		n := &d.Nodes[m]
+		grp := cluster.Group{
+			Members: []int{m},
+			Area:    n.Area(),
+			MaxW:    n.W, MaxH: n.H,
+			CX: n.X + n.W/2, CY: n.Y + n.H/2,
+		}
+		shapes[i] = grid.ShapeOf(g, &grp)
+	}
+	var fixedRects []geom.Rect
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Kind == netlist.Macro && n.Fixed {
+			fixedRects = append(fixedRects, n.Rect())
+		}
+	}
+	return grid.NewEnv(g, shapes, grid.BaseUtilFromFixed(g, fixedRects)), macros
+}
+
+// macroIncidentWL builds a fast wirelength oracle over the nets that
+// touch at least one movable macro: cells stay at their current
+// (global-placement) positions; the anchors decide macro rectangles.
+func macroIncidentWL(d *netlist.Design, env *grid.Env, macros []int) rl.WirelengthFunc {
+	// Nets touching any movable macro.
+	isMacro := make(map[int]int, len(macros)) // node -> order index
+	for i, m := range macros {
+		isMacro[m] = i
+	}
+	var nets []int
+	for ni := range d.Nets {
+		for _, p := range d.Nets[ni].Pins {
+			if _, ok := isMacro[p.Node]; ok {
+				nets = append(nets, ni)
+				break
+			}
+		}
+	}
+	return func(anchors []int) float64 {
+		var total float64
+		var b geom.BBox
+		for _, ni := range nets {
+			b.Reset()
+			net := &d.Nets[ni]
+			for _, p := range net.Pins {
+				var c geom.Point
+				if oi, ok := isMacro[p.Node]; ok {
+					c = env.GroupRect(oi, anchors[oi]).Center()
+				} else {
+					c = d.Nodes[p.Node].Center()
+				}
+				b.Add(c.X+p.Dx, c.Y+p.Dy)
+			}
+			total += net.EffWeight() * b.HPWL()
+		}
+		return total
+	}
+}
+
+// CT is the circuit-training-like baseline of Table III: reinforcement
+// learning places *individual* macros (no grouping) and the trained
+// policy's greedy episode is the final answer — no MCTS. The traits
+// the paper contrasts against (per-macro actions, RL-only decision
+// making) are preserved; network scale is CPU-sized. It mutates d.
+func CT(d *netlist.Design, cfg CTConfig) Result {
+	cfg = cfg.normalize()
+	gplace.Place(d, gplace.Config{Mode: gplace.MoveAll, Iterations: 6})
+	env, macros := macroEnv(d, cfg.Zeta)
+	if len(macros) == 0 {
+		return Finish(d)
+	}
+	wl := macroIncidentWL(d, env, macros)
+
+	acfg := cfg.Agent
+	if acfg.Channels == 0 {
+		acfg = agent.Default(cfg.Zeta, len(macros)+1, cfg.Seed+3)
+	}
+	acfg.Zeta = cfg.Zeta
+	if acfg.MaxSteps < len(macros)+1 {
+		acfg.MaxSteps = len(macros) + 1
+	}
+	ag := agent.New(acfg)
+	tr := rl.NewTrainer(rl.Config{
+		Episodes: cfg.Episodes,
+		Seed:     cfg.Seed + 1,
+	}, ag, env.Clone(), wl)
+	tr.Run()
+
+	anchors, _ := rl.PlayGreedy(ag, env.Clone(), wl)
+	applyAnchors(d, env, macros, anchors)
+	return Finish(d)
+}
+
+// applyAnchors writes anchor rectangles back to the macros.
+func applyAnchors(d *netlist.Design, env *grid.Env, macros []int, anchors []int) {
+	for i, m := range macros {
+		r := env.GroupRect(i, anchors[i]).ClampInto(d.Region)
+		d.Nodes[m].X, d.Nodes[m].Y = r.Lx, r.Ly
+	}
+}

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"math"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/gplace"
+	"macroplace/internal/legalize"
+	"macroplace/internal/netlist"
+	"macroplace/internal/rng"
+)
+
+// SAConfig tunes the simulated-annealing macro placer.
+type SAConfig struct {
+	// Iterations is the total annealing moves (default 4000).
+	Iterations int
+	// T0 is the initial temperature relative to the initial cost
+	// (default 0.1: accepts ~10%-cost-increase moves early).
+	T0 float64
+	// Cooling is the per-step geometric cooling factor (default
+	// derived so the temperature decays to 1e-3·T0 by the end).
+	Cooling float64
+	Seed    int64
+}
+
+func (c SAConfig) normalize() SAConfig {
+	if c.Iterations <= 0 {
+		c.Iterations = 4000
+	}
+	if c.T0 <= 0 {
+		c.T0 = 0.1
+	}
+	if c.Cooling <= 0 {
+		c.Cooling = math.Pow(1e-3, 1/float64(c.Iterations))
+	}
+	return c
+}
+
+// SA is a sequence-pair simulated-annealing macro placer — the
+// paper's "first category" of macro placement algorithms ([6]-[9],
+// [20], [36] use SA over floorplan representations). The movable
+// macros are encoded as a sequence pair (Murata [28]); moves swap
+// elements within one or both sequences; every state is decoded by
+// longest-path packing anchored at the region corner, and evaluated by
+// the HPWL of macro-incident nets with cells frozen at their
+// analytical positions. The accepted-best state feeds the common
+// finishing pass. It mutates d.
+func SA(d *netlist.Design, cfg SAConfig) Result {
+	cfg = cfg.normalize()
+	r := rng.New(cfg.Seed).Split("sa")
+
+	gplace.Place(d, gplace.Config{Mode: gplace.MoveAll, Iterations: 6})
+	macros := macrosByAreaDesc(d)
+	n := len(macros)
+	if n == 0 {
+		return Finish(d)
+	}
+	nodeNets := d.NodeNets()
+
+	// Initial sequence pair from the analytical placement.
+	items := make([]legalize.Item, n)
+	for i, m := range macros {
+		node := &d.Nodes[m]
+		items[i] = legalize.Item{W: node.W, H: node.H, X: node.X, Y: node.Y}
+	}
+	sp := legalize.ExtractSeqPair(items)
+
+	decode := func(sp legalize.SeqPair) []geom.Point {
+		hor, ver := sp.Relations()
+		ws := make([]float64, n)
+		hs := make([]float64, n)
+		tx := make([]float64, n)
+		ty := make([]float64, n)
+		for i, m := range macros {
+			ws[i] = d.Nodes[m].W
+			hs[i] = d.Nodes[m].H
+			tx[i] = d.Nodes[m].X
+			ty[i] = d.Nodes[m].Y
+		}
+		xs := legalize.PackAxis(n, hor, ws, tx, d.Region.Lx, d.Region.Ux)
+		ys := legalize.PackAxis(n, ver, hs, ty, d.Region.Ly, d.Region.Uy)
+		out := make([]geom.Point, n)
+		for i := range out {
+			out[i] = geom.Point{X: xs[i], Y: ys[i]}
+		}
+		return out
+	}
+
+	apply := func(pos []geom.Point) {
+		for i, m := range macros {
+			node := &d.Nodes[m]
+			rect := geom.NewRect(pos[i].X, pos[i].Y, node.W, node.H).ClampInto(d.Region)
+			node.X, node.Y = rect.Lx, rect.Ly
+		}
+	}
+
+	cost := func() float64 {
+		var total float64
+		for _, m := range macros {
+			total += macroNetHPWL(d, nodeNets, m)
+		}
+		// Each incident net counted once per incident macro: constant
+		// factor, irrelevant for annealing comparisons.
+		return total
+	}
+
+	apply(decode(sp))
+	cur := cost()
+	best := cur
+	bestSP := cloneSP(sp)
+
+	temp := cfg.T0 * math.Max(cur, 1)
+	for it := 0; it < cfg.Iterations; it++ {
+		next := cloneSP(sp)
+		i, j := r.Intn(n), r.Intn(n)
+		for j == i && n > 1 {
+			j = r.Intn(n)
+		}
+		switch r.Intn(3) {
+		case 0: // swap in S⁺ only
+			next.SPlus[i], next.SPlus[j] = next.SPlus[j], next.SPlus[i]
+		case 1: // swap in S⁻ only
+			next.SMinus[i], next.SMinus[j] = next.SMinus[j], next.SMinus[i]
+		default: // swap in both (relocation)
+			next.SPlus[i], next.SPlus[j] = next.SPlus[j], next.SPlus[i]
+			next.SMinus[i], next.SMinus[j] = next.SMinus[j], next.SMinus[i]
+		}
+		apply(decode(next))
+		cand := cost()
+		delta := cand - cur
+		if delta <= 0 || r.Float64() < math.Exp(-delta/math.Max(temp, 1e-12)) {
+			sp = next
+			cur = cand
+			if cur < best {
+				best = cur
+				bestSP = cloneSP(sp)
+			}
+		}
+		temp *= cfg.Cooling
+	}
+	apply(decode(bestSP))
+	return Finish(d)
+}
+
+func cloneSP(sp legalize.SeqPair) legalize.SeqPair {
+	return legalize.SeqPair{
+		SPlus:  append([]int(nil), sp.SPlus...),
+		SMinus: append([]int(nil), sp.SMinus...),
+	}
+}

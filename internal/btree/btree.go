@@ -1,0 +1,336 @@
+// Package btree implements the B*-tree floorplan representation (Chang
+// et al.), the data structure behind several of the macro placers the
+// paper cites in its first category (MP-trees [6], B*-tree-based
+// placement [36]). A B*-tree encodes a left-bottom-compacted
+// ("admissible") placement: the left child of a node is the lowest
+// block placed immediately to its right, the right child is the lowest
+// block stacked directly above it at the same x.
+//
+// Packing uses the classic horizontal-contour sweep, giving O(n) decode
+// per tree, and the perturbation set (swap nodes, move subtree, rotate
+// block) supports simulated-annealing search over floorplans.
+package btree
+
+import (
+	"fmt"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/rng"
+)
+
+// Block is one rectangle to floorplan.
+type Block struct {
+	W, H float64
+	// Rotated reports whether the block is currently rotated 90°.
+	Rotated bool
+	// X, Y is the packed lower-left corner (outputs of Pack).
+	X, Y float64
+}
+
+// width/height honour rotation.
+func (b *Block) width() float64 {
+	if b.Rotated {
+		return b.H
+	}
+	return b.W
+}
+
+func (b *Block) height() float64 {
+	if b.Rotated {
+		return b.W
+	}
+	return b.H
+}
+
+// Rect returns the packed rectangle.
+func (b *Block) Rect() geom.Rect {
+	return geom.NewRect(b.X, b.Y, b.width(), b.height())
+}
+
+// Tree is a B*-tree over n blocks. Node ids are block indices.
+type Tree struct {
+	Blocks []Block
+	root   int
+	left   []int // left child or -1
+	right  []int // right child or -1
+	parent []int // parent or -1 (root)
+}
+
+// New builds an initial left-skewed chain tree (blocks in a row).
+func New(blocks []Block) *Tree {
+	n := len(blocks)
+	if n == 0 {
+		panic("btree: no blocks")
+	}
+	t := &Tree{
+		Blocks: append([]Block(nil), blocks...),
+		root:   0,
+		left:   make([]int, n),
+		right:  make([]int, n),
+		parent: make([]int, n),
+	}
+	for i := range t.left {
+		t.left[i] = -1
+		t.right[i] = -1
+		t.parent[i] = -1
+	}
+	for i := 1; i < n; i++ {
+		t.left[i-1] = i
+		t.parent[i] = i - 1
+	}
+	return t
+}
+
+// Clone returns an independent copy.
+func (t *Tree) Clone() *Tree {
+	return &Tree{
+		Blocks: append([]Block(nil), t.Blocks...),
+		root:   t.root,
+		left:   append([]int(nil), t.left...),
+		right:  append([]int(nil), t.right...),
+		parent: append([]int(nil), t.parent...),
+	}
+}
+
+// Len returns the block count.
+func (t *Tree) Len() int { return len(t.Blocks) }
+
+// contour is the horizontal contour: a linked list of segments
+// (x-interval, height). A slice-based implementation keeps it simple;
+// block counts in macro floorplanning are small.
+type contourSeg struct {
+	x1, x2, y float64
+}
+
+// Pack decodes the tree into block coordinates using the contour
+// structure and returns the bounding box of the floorplan.
+func (t *Tree) Pack() geom.Rect {
+	contour := []contourSeg{{x1: 0, x2: 1e18, y: 0}}
+	var bbox geom.BBox
+	bbox.Add(0, 0)
+
+	var place func(node int, x float64)
+	place = func(node int, x float64) {
+		b := &t.Blocks[node]
+		w, h := b.width(), b.height()
+		// Max contour height over [x, x+w).
+		y := 0.0
+		for _, seg := range contour {
+			if seg.x1 < x+w && x < seg.x2 {
+				if seg.y > y {
+					y = seg.y
+				}
+			}
+		}
+		b.X, b.Y = x, y
+		bbox.Add(x+w, y+h)
+		// Update contour: replace [x, x+w) with height y+h.
+		var next []contourSeg
+		for _, seg := range contour {
+			switch {
+			case seg.x2 <= x || seg.x1 >= x+w:
+				next = append(next, seg)
+			default:
+				if seg.x1 < x {
+					next = append(next, contourSeg{seg.x1, x, seg.y})
+				}
+				if seg.x2 > x+w {
+					next = append(next, contourSeg{x + w, seg.x2, seg.y})
+				}
+			}
+		}
+		next = append(next, contourSeg{x, x + w, y + h})
+		// Keep segments ordered by x1 (insertion sort; lists are tiny).
+		for i := 1; i < len(next); i++ {
+			for j := i; j > 0 && next[j].x1 < next[j-1].x1; j-- {
+				next[j], next[j-1] = next[j-1], next[j]
+			}
+		}
+		contour = next
+
+		if l := t.left[node]; l >= 0 {
+			place(l, x+w) // left child sits to the right
+		}
+		if r := t.right[node]; r >= 0 {
+			place(r, x) // right child stacks above at same x
+		}
+	}
+	place(t.root, 0)
+	return bbox.Rect()
+}
+
+// Validate checks the tree structure invariants (each node reachable
+// exactly once, parent/child links consistent).
+func (t *Tree) Validate() error {
+	n := t.Len()
+	seen := make([]bool, n)
+	count := 0
+	var walk func(node, parent int) error
+	walk = func(node, parent int) error {
+		if node < 0 {
+			return nil
+		}
+		if node >= n {
+			return fmt.Errorf("btree: node %d out of range", node)
+		}
+		if seen[node] {
+			return fmt.Errorf("btree: node %d reachable twice", node)
+		}
+		seen[node] = true
+		count++
+		if t.parent[node] != parent {
+			return fmt.Errorf("btree: node %d parent link %d, want %d", node, t.parent[node], parent)
+		}
+		if err := walk(t.left[node], node); err != nil {
+			return err
+		}
+		return walk(t.right[node], node)
+	}
+	if err := walk(t.root, -1); err != nil {
+		return err
+	}
+	if count != n {
+		return fmt.Errorf("btree: %d of %d nodes reachable", count, n)
+	}
+	return nil
+}
+
+// Swap exchanges the blocks at two tree positions (the classic "swap
+// two modules" move: tree shape unchanged, block ids swapped).
+func (t *Tree) Swap(a, b int) {
+	if a == b {
+		return
+	}
+	t.Blocks[a], t.Blocks[b] = t.Blocks[b], t.Blocks[a]
+}
+
+// Rotate toggles a block's rotation.
+func (t *Tree) Rotate(node int) {
+	t.Blocks[node].Rotated = !t.Blocks[node].Rotated
+}
+
+// Move deletes node from its position and re-inserts it as the child
+// of target on the given side, preserving all other subtrees. When the
+// node has children, its first child takes its place (standard B*-tree
+// delete for degree ≤ 1; for degree-2 nodes the left child is
+// promoted and the right subtree re-hangs under the promoted chain's
+// leftmost free slot).
+func (t *Tree) Move(node, target int, rightSide bool) error {
+	if node == target {
+		return fmt.Errorf("btree: cannot move node under itself")
+	}
+	// Refuse when target lies in node's subtree (would detach it).
+	for p := target; p >= 0; p = t.parent[p] {
+		if p == node {
+			return fmt.Errorf("btree: target %d is inside the moved subtree of %d", target, node)
+		}
+	}
+	t.detach(node)
+	// Insert at target side, pushing any existing child down-left.
+	var childSlot *int
+	if rightSide {
+		childSlot = &t.right[target]
+	} else {
+		childSlot = &t.left[target]
+	}
+	old := *childSlot
+	*childSlot = node
+	t.parent[node] = target
+	if old >= 0 {
+		// Re-hang the displaced child under the moved node's free
+		// left slot (or right when left is taken).
+		if t.left[node] < 0 {
+			t.left[node] = old
+		} else if t.right[node] < 0 {
+			t.right[node] = old
+		} else {
+			// Walk down-left to a free slot.
+			cur := t.left[node]
+			for t.left[cur] >= 0 {
+				cur = t.left[cur]
+			}
+			t.left[cur] = old
+			t.parent[old] = cur
+			return nil
+		}
+		t.parent[old] = node
+	}
+	return nil
+}
+
+// detach removes node from the tree, promoting children.
+func (t *Tree) detach(node int) {
+	// Promote: replace node with its left child if present, else
+	// right child; the other child re-hangs under the promoted one.
+	l, r := t.left[node], t.right[node]
+	var repl int
+	switch {
+	case l >= 0 && r >= 0:
+		repl = l
+		// Hang r under leftmost free right-slot... simplest correct:
+		// walk promoted subtree to a node with a free right slot.
+		cur := repl
+		for t.right[cur] >= 0 {
+			cur = t.right[cur]
+		}
+		t.right[cur] = r
+		t.parent[r] = cur
+	case l >= 0:
+		repl = l
+	case r >= 0:
+		repl = r
+	default:
+		repl = -1
+	}
+	p := t.parent[node]
+	if repl >= 0 {
+		t.parent[repl] = p
+	}
+	if p < 0 {
+		if repl < 0 {
+			panic("btree: detaching the only node")
+		}
+		t.root = repl
+	} else if t.left[p] == node {
+		t.left[p] = repl
+	} else {
+		t.right[p] = repl
+	}
+	t.left[node], t.right[node], t.parent[node] = -1, -1, -1
+}
+
+// Perturb applies one random move (swap / rotate / move) drawn from r,
+// returning a description for debugging. The tree remains valid.
+func (t *Tree) Perturb(r *rng.RNG) string {
+	n := t.Len()
+	if n < 2 {
+		t.Rotate(0)
+		return "rotate 0"
+	}
+	switch r.Intn(3) {
+	case 0:
+		a, b := r.Intn(n), r.Intn(n)
+		for b == a {
+			b = r.Intn(n)
+		}
+		t.Swap(a, b)
+		return fmt.Sprintf("swap %d %d", a, b)
+	case 1:
+		k := r.Intn(n)
+		t.Rotate(k)
+		return fmt.Sprintf("rotate %d", k)
+	default:
+		for tries := 0; tries < 8; tries++ {
+			node, target := r.Intn(n), r.Intn(n)
+			if node == target {
+				continue
+			}
+			if err := t.Move(node, target, r.Bernoulli(0.5)); err == nil {
+				return fmt.Sprintf("move %d under %d", node, target)
+			}
+		}
+		a, b := 0, 1
+		t.Swap(a, b)
+		return "swap 0 1 (move fallback)"
+	}
+}

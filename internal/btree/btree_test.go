@@ -1,0 +1,206 @@
+package btree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"macroplace/internal/rng"
+)
+
+func blocks(dims ...float64) []Block {
+	if len(dims)%2 != 0 {
+		panic("need w,h pairs")
+	}
+	out := make([]Block, len(dims)/2)
+	for i := range out {
+		out[i] = Block{W: dims[2*i], H: dims[2*i+1]}
+	}
+	return out
+}
+
+// totalOverlap sums pairwise overlap of packed blocks.
+func totalOverlap(t *Tree) float64 {
+	var total float64
+	for i := 0; i < t.Len(); i++ {
+		for j := i + 1; j < t.Len(); j++ {
+			total += t.Blocks[i].Rect().OverlapArea(t.Blocks[j].Rect())
+		}
+	}
+	return total
+}
+
+func TestPackChainIsARow(t *testing.T) {
+	tr := New(blocks(2, 3, 4, 1, 1, 5))
+	bb := tr.Pack()
+	// Chain of left children: blocks side by side on the floor.
+	if tr.Blocks[0].X != 0 || tr.Blocks[1].X != 2 || tr.Blocks[2].X != 6 {
+		t.Errorf("xs = %v %v %v", tr.Blocks[0].X, tr.Blocks[1].X, tr.Blocks[2].X)
+	}
+	for i := range tr.Blocks {
+		if tr.Blocks[i].Y != 0 {
+			t.Errorf("block %d floated to y=%v", i, tr.Blocks[i].Y)
+		}
+	}
+	if bb.W() != 7 || bb.H() != 5 {
+		t.Errorf("bbox = %v, want 7x5", bb)
+	}
+}
+
+func TestPackRightChildStacks(t *testing.T) {
+	tr := New(blocks(4, 2, 3, 3))
+	// Make block 1 the right child of 0: stacked above at same x.
+	tr.left[0] = -1
+	tr.right[0] = 1
+	bb := tr.Pack()
+	if tr.Blocks[1].X != 0 || tr.Blocks[1].Y != 2 {
+		t.Errorf("stacked block at (%v,%v), want (0,2)", tr.Blocks[1].X, tr.Blocks[1].Y)
+	}
+	if bb.W() != 4 || bb.H() != 5 {
+		t.Errorf("bbox = %v", bb)
+	}
+}
+
+func TestPackContourRespectsHeights(t *testing.T) {
+	// Tall block then short: a right child placed over the second
+	// block must clear only that block's height... build: 0 -> left 1;
+	// 1 -> right 2. Block 2 stacks at x of 1.
+	tr := New(blocks(2, 6, 3, 1, 3, 1))
+	tr.left[1] = -1
+	tr.right[1] = 2
+	tr.parent[2] = 1
+	tr.Pack()
+	if tr.Blocks[2].X != 2 || tr.Blocks[2].Y != 1 {
+		t.Errorf("block 2 at (%v,%v), want (2,1)", tr.Blocks[2].X, tr.Blocks[2].Y)
+	}
+	if ov := totalOverlap(tr); ov != 0 {
+		t.Errorf("overlap = %v", ov)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	tr := New(blocks(4, 2))
+	tr.Rotate(0)
+	tr.Pack()
+	r := tr.Blocks[0].Rect()
+	if r.W() != 2 || r.H() != 4 {
+		t.Errorf("rotated rect = %v", r)
+	}
+	tr.Rotate(0)
+	tr.Pack()
+	if tr.Blocks[0].Rect().W() != 4 {
+		t.Error("double rotation should restore")
+	}
+}
+
+func TestMovePreservesValidity(t *testing.T) {
+	tr := New(blocks(1, 1, 2, 2, 3, 3, 4, 4, 5, 5))
+	if err := tr.Move(4, 0, true); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after move: %v", err)
+	}
+	if err := tr.Move(1, 4, false); err != nil {
+		t.Fatalf("Move 2: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after move 2: %v", err)
+	}
+	// Moving under own subtree must fail.
+	// Build a known ancestor relation first: root's child.
+	child := tr.left[tr.root]
+	if child >= 0 {
+		if err := tr.Move(tr.root, child, true); err == nil {
+			t.Error("moving a node under its own subtree should fail")
+		}
+	}
+}
+
+func TestPackNoOverlapProperty(t *testing.T) {
+	r := rng.New(41)
+	f := func(seed int64) bool {
+		rr := rng.New(seed ^ r.Int63())
+		n := rr.IntRange(2, 12)
+		bs := make([]Block, n)
+		for i := range bs {
+			bs[i] = Block{W: rr.Range(1, 6), H: rr.Range(1, 6)}
+		}
+		tr := New(bs)
+		// Random perturbation sequence.
+		for k := 0; k < 30; k++ {
+			tr.Perturb(rr)
+			if err := tr.Validate(); err != nil {
+				t.Logf("invalid tree after perturb: %v", err)
+				return false
+			}
+		}
+		tr.Pack()
+		return totalOverlap(tr) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackAreaConservedProperty(t *testing.T) {
+	// The floorplan bounding box must contain all blocks and its area
+	// must be at least the summed block area.
+	r := rng.New(43)
+	f := func(seed int64) bool {
+		rr := rng.New(seed ^ r.Int63())
+		n := rr.IntRange(2, 10)
+		bs := make([]Block, n)
+		var area float64
+		for i := range bs {
+			bs[i] = Block{W: rr.Range(1, 5), H: rr.Range(1, 5)}
+			area += bs[i].W * bs[i].H
+		}
+		tr := New(bs)
+		for k := 0; k < 20; k++ {
+			tr.Perturb(rr)
+		}
+		bb := tr.Pack()
+		if bb.Area() < area-1e-9 {
+			return false
+		}
+		for i := range tr.Blocks {
+			if !bb.ContainsRect(tr.Blocks[i].Rect()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapKeepsPackingLegal(t *testing.T) {
+	tr := New(blocks(1, 4, 4, 1, 2, 2))
+	tr.Swap(0, 2)
+	tr.Pack()
+	if ov := totalOverlap(tr); ov != 0 {
+		t.Errorf("overlap after swap = %v", ov)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := New(blocks(1, 1, 2, 2, 3, 3))
+	cp := tr.Clone()
+	cp.Rotate(0)
+	cp.Move(2, 0, true)
+	if tr.Blocks[0].Rotated {
+		t.Error("clone rotation leaked")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("original corrupted: %v", err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := New(blocks(1, 1, 2, 2, 3, 3))
+	tr.parent[2] = 0 // inconsistent with left-chain structure
+	if err := tr.Validate(); err == nil {
+		t.Error("corrupted parent link not detected")
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"macroplace/internal/netlist"
+)
+
+// Coarse bundles the coarsened netlist with the mapping back to the
+// original design. Coarse node indices follow the Clustering group
+// numbering (macro groups first, then cell groups), followed by the
+// pass-through fixed nodes (pre-placed macros and pads).
+type Coarse struct {
+	Design *netlist.Design
+	// CoarseOf maps an original node index to its coarse node index.
+	CoarseOf []int
+	// MacroGroups is the number of macro-group nodes (they occupy
+	// coarse indices [0, MacroGroups)).
+	MacroGroups int
+	// CellGroups is the number of cell-group nodes.
+	CellGroups int
+}
+
+// Coarsen builds the coarsened netlist of Sec. II-A: every macro group
+// and cell group becomes a single node, fixed objects pass through,
+// nets are remapped onto groups, intra-group nets are dropped, and
+// parallel nets (same coarse pin set) are merged by accumulating
+// weight — which is what lets the RL reward loop re-place hundreds of
+// groups instead of hundreds of thousands of cells.
+func Coarsen(d *netlist.Design, c *Clustering) *Coarse {
+	out := &Coarse{
+		Design:      &netlist.Design{Name: d.Name + ".coarse", Region: d.Region},
+		CoarseOf:    make([]int, len(d.Nodes)),
+		MacroGroups: len(c.MacroGroups),
+		CellGroups:  len(c.CellGroups),
+	}
+	for i := range out.CoarseOf {
+		out.CoarseOf[i] = -1
+	}
+
+	addGroup := func(g *Group, kind netlist.NodeKind, name string) int {
+		w, h := groupShape(g)
+		idx := out.Design.AddNode(netlist.Node{
+			Name: name,
+			Kind: kind,
+			Hier: g.Hier,
+			W:    w, H: h,
+			X: g.CX - w/2, Y: g.CY - h/2,
+		})
+		for _, m := range g.Members {
+			out.CoarseOf[m] = idx
+		}
+		return idx
+	}
+	for gi := range c.MacroGroups {
+		addGroup(&c.MacroGroups[gi], netlist.Macro, fmt.Sprintf("mg%d", gi))
+	}
+	for gi := range c.CellGroups {
+		addGroup(&c.CellGroups[gi], netlist.Cell, fmt.Sprintf("cg%d", gi))
+	}
+	// Pass-through fixed nodes.
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if out.CoarseOf[i] >= 0 {
+			continue
+		}
+		if n.Kind == netlist.Pad || n.Fixed || (n.Kind == netlist.Macro && n.Fixed) {
+			cp := *n
+			out.CoarseOf[i] = out.Design.AddNode(cp)
+		}
+		// Unclustered movable nodes (possible when a design has
+		// movable macros excluded from clustering) become singleton
+		// pass-throughs too.
+		if out.CoarseOf[i] < 0 && n.Movable() {
+			cp := *n
+			out.CoarseOf[i] = out.Design.AddNode(cp)
+		}
+	}
+
+	// Remap nets; merge identical coarse pin sets.
+	type key string
+	merged := make(map[key]int)
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		set := map[int]bool{}
+		for _, p := range net.Pins {
+			ci := out.CoarseOf[p.Node]
+			if ci >= 0 {
+				set[ci] = true
+			}
+		}
+		if len(set) < 2 {
+			continue // intra-group or degenerate
+		}
+		ids := make([]int, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		k := key(fmt.Sprint(ids))
+		if existing, ok := merged[k]; ok {
+			out.Design.Nets[existing].Weight += net.EffWeight()
+			continue
+		}
+		cn := netlist.Net{Name: net.Name, Weight: net.EffWeight()}
+		for _, id := range ids {
+			cn.Pins = append(cn.Pins, netlist.Pin{Node: id})
+		}
+		merged[k] = out.Design.AddNet(cn)
+	}
+	return out
+}
+
+// groupShape picks a footprint for a group node: as close to square as
+// its area allows without dropping below the largest member dimension.
+func groupShape(g *Group) (w, h float64) {
+	if g.Area <= 0 {
+		return math.Max(g.MaxW, 1), math.Max(g.MaxH, 1)
+	}
+	side := math.Sqrt(g.Area)
+	w, h = side, side
+	if w < g.MaxW {
+		w = g.MaxW
+		h = g.Area / w
+	}
+	if h < g.MaxH {
+		h = g.MaxH
+		if w*h < g.Area {
+			w = g.Area / h
+		}
+	}
+	return w, h
+}

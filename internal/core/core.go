@@ -1,0 +1,444 @@
+// Package core implements the paper's complete placement flow
+// (Algorithm 1): preprocessing (grid partition, initial analytical
+// placement, clustering, coarsening), RL pre-training, MCTS placement
+// optimization, macro legalization, and final cell placement.
+//
+// The package is the integration point of every substrate in this
+// repository; the root macroplace package re-exports a stable facade
+// over it.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"macroplace/internal/agent"
+	"macroplace/internal/cluster"
+	"macroplace/internal/geom"
+	"macroplace/internal/gplace"
+	"macroplace/internal/grid"
+	"macroplace/internal/legalize"
+	"macroplace/internal/mcts"
+	"macroplace/internal/metrics"
+	"macroplace/internal/netlist"
+	"macroplace/internal/rl"
+	"macroplace/internal/rng"
+	"macroplace/internal/rowlegal"
+)
+
+// Options configures the full flow. Zero values select paper-guided
+// defaults scaled to CPU-only execution.
+type Options struct {
+	// Zeta is the grid resolution ζ (paper: 16).
+	Zeta int
+	// Agent overrides the network shape; when zero-valued a default
+	// shape is derived from Zeta and the episode length.
+	Agent agent.Config
+	// RL tunes pre-training.
+	RL rl.Config
+	// MCTS tunes the optimization stage.
+	MCTS mcts.Config
+	// MCTSRestarts runs that many independent searches (distinct
+	// seeds) and keeps the best allocation under the fast oracle
+	// (default 1 — the paper runs one search).
+	MCTSRestarts int
+	// Cluster overrides clustering parameters (nil: paper defaults
+	// for the grid area).
+	Cluster *cluster.Params
+	// FinalPlaceIterations is the outer-iteration budget of the final
+	// full-netlist cell placement (the DREAMPlace-substitute call).
+	FinalPlaceIterations int
+	// ShuffleOrder randomises the macro-group placement order instead
+	// of Alg. 1's non-increasing-area order (ablation support).
+	ShuffleOrder bool
+	// LegalizeCells, when set, snaps standard cells onto rows after
+	// the final analytical cell placement (Tetris legalization),
+	// yielding a fully legal placement at some wirelength cost.
+	LegalizeCells bool
+	// CongestionWeight, when positive, blends RUDY congestion into
+	// the allocation cost: cost = wHPWL × (1 + weight × overflow),
+	// where overflow is the fraction of coarse-grid bins whose RUDY
+	// demand exceeds twice the mean. This is the routability-driven
+	// extension the paper's citations ([7], [15], [23]) motivate; 0
+	// reproduces the paper's pure-wirelength objective.
+	CongestionWeight float64
+	// CommittedPathOnly restricts the MCTS result to the committed
+	// search path, exactly as Alg. 1 line 15 traces it. By default the
+	// flow also considers the best terminal state evaluated during
+	// exploration and keeps whichever is better under the fast oracle
+	// — a zero-cost improvement since those placements were already
+	// computed (ablatable with this flag).
+	CommittedPathOnly bool
+	// Seed drives every random stream in the flow.
+	Seed int64
+}
+
+func (o Options) normalize() Options {
+	if o.Zeta <= 0 {
+		o.Zeta = grid.DefaultZeta
+	}
+	if o.FinalPlaceIterations <= 0 {
+		o.FinalPlaceIterations = 6
+	}
+	if o.RL.Seed == 0 {
+		o.RL.Seed = o.Seed + 1
+	}
+	if o.MCTS.Seed == 0 {
+		o.MCTS.Seed = o.Seed + 2
+	}
+	return o
+}
+
+// StageTimes records wall-clock time per stage.
+type StageTimes struct {
+	Preprocess time.Duration
+	Pretrain   time.Duration
+	MCTS       time.Duration
+	Finalize   time.Duration
+}
+
+// FinalResult is a fully legalized and cell-placed outcome.
+type FinalResult struct {
+	// HPWL is the half-perimeter wirelength of the full netlist.
+	HPWL float64
+	// MacroOverlap is the residual macro-macro overlap area.
+	MacroOverlap float64
+	// Anchors is the macro-group allocation that produced it.
+	Anchors []int
+	// LegalHPWL is the wirelength after row legalization of the cells
+	// (zero unless Options.LegalizeCells is set).
+	LegalHPWL float64
+	// CellsFailed counts cells the row legalizer could not place.
+	CellsFailed int
+}
+
+// Result is the outcome of the complete flow.
+type Result struct {
+	Final FinalResult
+	// RLFinal is the greedy-policy result without MCTS (for the
+	// paper's RL-vs-MCTS comparisons).
+	RLFinal FinalResult
+	// Search carries the MCTS statistics.
+	Search mcts.Result
+	// History is the RL training trace.
+	History []rl.EpisodeStat
+	Times   StageTimes
+}
+
+// Placer orchestrates the flow on one design. Construct with New;
+// stages may be run individually (Preprocess → Pretrain → RunMCTS →
+// Finalize) or all at once with Place.
+type Placer struct {
+	Opts Options
+	// Work is the mutable working copy of the input design; final
+	// node positions land here.
+	Work *netlist.Design
+
+	Grid   *grid.Grid
+	Clus   *cluster.Clustering
+	Coarse *cluster.Coarse
+	Shapes []grid.Shape
+	Env    *grid.Env
+	Agent  *agent.Agent
+
+	Trainer *rl.Trainer
+
+	coarsePlacer *gplace.Placer
+	// coarseHome is the canonical coarse placement restored before
+	// every EvalAnchors call so the oracle is a pure function of the
+	// anchors (the B2B linearization depends on its starting point).
+	coarseHome []geom.Point
+	// baseUtil is the pre-placed-macro utilization map; groupArea is
+	// the summed macro-group area. Both feed the oracle's overflow
+	// penalty.
+	baseUtil  []float64
+	groupArea float64
+	// utilScratch is reused by EvalAnchors.
+	utilScratch []float64
+	times       StageTimes
+}
+
+// New clones the design and prepares a placer.
+func New(d *netlist.Design, opts Options) (*Placer, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.MovableMacroIndices()) == 0 {
+		return nil, fmt.Errorf("core: design %q has no movable macros", d.Name)
+	}
+	return &Placer{Opts: opts.normalize(), Work: d.Clone()}, nil
+}
+
+// Preprocess runs Alg. 1 lines 1–2: grid partition, initial analytical
+// placement, clustering with Eq. (1)/(2), and coarsened-netlist
+// generation. Macro groups come out sorted by non-increasing area, the
+// placement order the paper motivates.
+func (p *Placer) Preprocess() error {
+	start := time.Now()
+	p.Grid = grid.New(p.Work.Region, p.Opts.Zeta)
+
+	// Initial prototype placement for the clustering distances
+	// (paper's [23] reference).
+	gplace.InitialPlacement(p.Work)
+
+	params := cluster.DefaultParams(p.Grid.CellArea())
+	if p.Opts.Cluster != nil {
+		params = *p.Opts.Cluster
+	}
+	p.Clus = cluster.Build(p.Work, params)
+	if len(p.Clus.MacroGroups) == 0 {
+		return fmt.Errorf("core: clustering produced no macro groups")
+	}
+	if p.Opts.ShuffleOrder {
+		r := rng.New(p.Opts.Seed).Split("order")
+		p.Clus.ReorderMacroGroups(r.Perm(len(p.Clus.MacroGroups)))
+	}
+	p.Coarse = cluster.Coarsen(p.Work, p.Clus)
+
+	p.Shapes = make([]grid.Shape, len(p.Clus.MacroGroups))
+	for i := range p.Clus.MacroGroups {
+		p.Shapes[i] = grid.ShapeOf(p.Grid, &p.Clus.MacroGroups[i])
+	}
+
+	// Pre-placed macros seed the utilization map.
+	var fixedRects []geom.Rect
+	for i := range p.Work.Nodes {
+		n := &p.Work.Nodes[i]
+		if n.Kind == netlist.Macro && n.Fixed {
+			fixedRects = append(fixedRects, n.Rect())
+		}
+	}
+	p.baseUtil = grid.BaseUtilFromFixed(p.Grid, fixedRects)
+	p.Env = grid.NewEnv(p.Grid, p.Shapes, p.baseUtil)
+	p.utilScratch = make([]float64, p.Grid.NumCells())
+	for i := range p.Clus.MacroGroups {
+		p.groupArea += p.Clus.MacroGroups[i].Area
+	}
+
+	// Persistent QP placer over the coarse design for the reward
+	// loop: re-places cell groups with macro groups pinned.
+	p.coarsePlacer = gplace.New(p.Coarse.Design, gplace.Config{Mode: gplace.MoveCells})
+	p.coarseHome = p.Coarse.Design.Positions()
+
+	acfg := p.Opts.Agent
+	if acfg.Zeta == 0 && acfg.Channels == 0 {
+		acfg = agent.Default(p.Opts.Zeta, len(p.Shapes)+1, p.Opts.Seed+3)
+	}
+	acfg.Zeta = p.Opts.Zeta
+	if acfg.MaxSteps < len(p.Shapes)+1 {
+		acfg.MaxSteps = len(p.Shapes) + 1
+	}
+	p.Agent = agent.New(acfg)
+	p.times.Preprocess = time.Since(start)
+	return nil
+}
+
+// EvalAnchors is the fast wirelength oracle used by both RL training
+// and MCTS (Alg. 1 lines 7–8 on the coarsened netlist): macro groups
+// are pinned at the centers of their allocated grid blocks, cell
+// groups are re-placed by QP, and the weighted HPWL of the coarse
+// netlist is returned.
+//
+// Substitution note (DESIGN.md): the paper runs full macro
+// legalization + DREAMPlace here; the coarse QP preserves the ordering
+// between allocations at a small fraction of the cost, and the exact
+// flow still runs once per candidate in Finalize.
+func (p *Placer) EvalAnchors(anchors []int) float64 {
+	p.Coarse.Design.SetPositions(p.coarseHome)
+	for gi := range p.Clus.MacroGroups {
+		c := p.Env.BlockCenter(gi, anchors[gi])
+		p.Coarse.Design.Nodes[gi].SetCenter(c.X, c.Y)
+	}
+	p.coarsePlacer.PlaceQuadraticOnly()
+	cost := p.Coarse.Design.WeightedHPWL()
+	// Overflow penalty: the paper's per-episode evaluation legalizes
+	// macros, so overlapping allocations pay their real wirelength
+	// cost; the coarse oracle must charge them explicitly or the
+	// search would happily stack every group on one grid.
+	if ratio := p.anchorOverflow(anchors); ratio > 0 {
+		// β = 8: a fully-stacked allocation (ratio → 1) must cost
+		// several times its raw coarse wirelength, because its
+		// legalized reality spreads the macros back across the chip.
+		cost *= 1 + 8*ratio
+	}
+	if p.Opts.CongestionWeight > 0 {
+		cm := metrics.RUDY(p.Coarse.Design, p.Opts.Zeta)
+		cost *= 1 + p.Opts.CongestionWeight*cm.OverflowRatio(2*cm.Mean())
+	}
+	return cost
+}
+
+// anchorOverflow returns the grid-capacity overflow of an allocation
+// as a fraction of the total macro-group area: 0 when every grid's
+// accumulated utilization (pre-placed macros included) stays <= 1.
+func (p *Placer) anchorOverflow(anchors []int) float64 {
+	util := p.utilScratch
+	copy(util, p.baseUtil)
+	zeta := p.Grid.Zeta
+	for gi := range p.Shapes {
+		s := &p.Shapes[gi]
+		gx, gy := p.Grid.Coords(anchors[gi])
+		for r := 0; r < s.GH; r++ {
+			row := (gy+r)*zeta + gx
+			for c := 0; c < s.GW; c++ {
+				util[row+c] += s.Util[r*s.GW+c]
+			}
+		}
+	}
+	var overflow float64
+	for _, u := range util {
+		if u > 1 {
+			overflow += u - 1
+		}
+	}
+	if p.groupArea <= 0 {
+		return 0
+	}
+	return overflow * p.Grid.CellArea() / p.groupArea
+}
+
+// Pretrain runs the RL stage (Alg. 1 lines 3–10) and returns the
+// trainer for inspection of history and snapshots.
+func (p *Placer) Pretrain() *rl.Trainer {
+	start := time.Now()
+	p.Trainer = rl.NewTrainer(p.Opts.RL, p.Agent, p.Env.Clone(), p.EvalAnchors)
+	p.Trainer.Run()
+	p.times.Pretrain = time.Since(start)
+	return p.Trainer
+}
+
+// RunMCTS runs the optimization stage (Alg. 1 lines 11–15) using the
+// current agent weights and the trainer's calibrated reward scaler.
+// With Options.MCTSRestarts > 1 it runs independent searches and
+// returns the one whose committed allocation scores best under the
+// fast oracle (restart statistics are summed).
+func (p *Placer) RunMCTS() mcts.Result {
+	start := time.Now()
+	scaler := rl.Scaler{Max: 1, Min: 0, Avg: 0.5, Alpha: 0.75}
+	if p.Trainer != nil {
+		scaler = p.Trainer.Scaler
+	}
+	restarts := p.Opts.MCTSRestarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best mcts.Result
+	for k := 0; k < restarts; k++ {
+		cfg := p.Opts.MCTS
+		cfg.Seed = p.Opts.MCTS.Seed + int64(k)*7919
+		res := mcts.New(cfg, p.Agent, p.EvalAnchors, scaler).Run(p.Env)
+		if k == 0 {
+			best = res
+			continue
+		}
+		explorations := best.Explorations + res.Explorations
+		evals := best.TerminalEvals + res.TerminalEvals
+		if res.Wirelength < best.Wirelength {
+			keepBest := best.BestAnchors
+			keepBestWL := best.BestWirelength
+			best = res
+			if keepBestWL < best.BestWirelength {
+				best.BestAnchors = keepBest
+				best.BestWirelength = keepBestWL
+			}
+		} else if res.BestWirelength < best.BestWirelength {
+			best.BestAnchors = res.BestAnchors
+			best.BestWirelength = res.BestWirelength
+		}
+		best.Explorations = explorations
+		best.TerminalEvals = evals
+	}
+	p.times.MCTS = time.Since(start)
+	return best
+}
+
+// Finalize turns a macro-group allocation into a legal full placement
+// (Alg. 1 lines 15–16): macro legalization per Sec. II-B, then the
+// final cell placement on the complete netlist.
+func (p *Placer) Finalize(anchors []int) (FinalResult, error) {
+	start := time.Now()
+	res, err := legalize.Macros(legalize.Input{
+		Design:     p.Work,
+		Clustering: p.Clus,
+		Coarse:     p.Coarse,
+		Grid:       p.Grid,
+		Shapes:     p.Shapes,
+		Anchors:    anchors,
+	})
+	if err != nil {
+		return FinalResult{}, err
+	}
+	gplace.Place(p.Work, gplace.Config{
+		Mode:       gplace.MoveCells,
+		Iterations: p.Opts.FinalPlaceIterations,
+	})
+	out := FinalResult{
+		HPWL:         p.Work.HPWL(),
+		MacroOverlap: res.Overlap,
+		Anchors:      append([]int(nil), anchors...),
+	}
+	if p.Opts.LegalizeCells {
+		lres, lerr := rowlegal.Legalize(p.Work, rowlegal.Config{})
+		if lerr != nil {
+			return FinalResult{}, lerr
+		}
+		dres := rowlegal.OptimizeDetailed(p.Work, rowlegal.DetailedConfig{})
+		out.LegalHPWL = dres.HPWLAfter
+		out.CellsFailed = lres.Failed
+	}
+	p.times.Finalize += time.Since(start)
+	return out, nil
+}
+
+// Place runs the complete flow and returns the consolidated result.
+func (p *Placer) Place() (*Result, error) {
+	if p.Env == nil {
+		if err := p.Preprocess(); err != nil {
+			return nil, err
+		}
+	}
+	trainer := p.Pretrain()
+
+	// RL-only result (greedy policy), for the comparisons of Fig. 5.
+	rlAnchors, _ := rl.PlayGreedy(p.Agent, p.Env.Clone(), p.EvalAnchors)
+	rlFinal, err := p.Finalize(rlAnchors)
+	if err != nil {
+		return nil, err
+	}
+
+	search := p.RunMCTS()
+	anchors := search.Anchors
+	if !p.Opts.CommittedPathOnly {
+		// Candidate selection under the fast oracle: the committed
+		// search path, the best terminal evaluated during exploration,
+		// and the greedy-RL allocation (the search should never ship
+		// something worse than the policy it was guided by).
+		bestCost := p.EvalAnchors(anchors)
+		consider := func(cand []int) {
+			if len(cand) == 0 {
+				return
+			}
+			if c := p.EvalAnchors(cand); c < bestCost {
+				bestCost = c
+				anchors = cand
+			}
+		}
+		consider(search.BestAnchors)
+		consider(rlAnchors)
+	}
+	final, err := p.Finalize(anchors)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Final:   final,
+		RLFinal: rlFinal,
+		Search:  search,
+		History: trainer.History,
+		Times:   p.times,
+	}, nil
+}
+
+// Times returns per-stage wall-clock durations accumulated so far.
+func (p *Placer) Times() StageTimes { return p.times }

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// SaveCSV writes machine-readable artifacts for one experiment result
+// into dir, so the committed tables can be re-plotted without
+// re-running anything. The filename derives from the result type.
+// Supported results: *Fig4Result, []*Fig5Result, *Table, []TableIVRow,
+// *AblationResult, *AlphaSweepResult.
+func SaveCSV(dir string, result any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	var (
+		name string
+		rows [][]string
+	)
+	switch r := result.(type) {
+	case *Fig4Result:
+		name = "fig4_" + r.Benchmark + ".csv"
+		header := []string{"episode"}
+		for _, s := range r.Series {
+			header = append(header, s.Mode.String()+"_reward", s.Mode.String()+"_wl")
+		}
+		rows = append(rows, header)
+		n := 0
+		for _, s := range r.Series {
+			if len(s.Rewards) > n {
+				n = len(s.Rewards)
+			}
+		}
+		for i := 0; i < n; i++ {
+			row := []string{strconv.Itoa(i + 1)}
+			for _, s := range r.Series {
+				if i < len(s.Rewards) {
+					row = append(row, ftoa(s.Rewards[i]), ftoa(s.Wirelengths[i]))
+				} else {
+					row = append(row, "", "")
+				}
+			}
+			rows = append(rows, row)
+		}
+	case []*Fig5Result:
+		name = "fig5.csv"
+		rows = append(rows, []string{"benchmark", "episode", "rl_reward", "mcts_reward", "rl_wl", "mcts_wl"})
+		for _, res := range r {
+			for _, p := range res.Points {
+				rows = append(rows, []string{
+					res.Benchmark, strconv.Itoa(p.Episode),
+					ftoa(p.RLReward), ftoa(p.MCTSReward),
+					ftoa(p.RLWL), ftoa(p.MCTSWL),
+				})
+			}
+		}
+	case *Table:
+		name = slug(r.Title) + ".csv"
+		header := []string{"benchmark", "movable_macros", "preplaced", "pads", "cells", "nets"}
+		header = append(header, r.Methods...)
+		rows = append(rows, header)
+		for _, row := range r.Rows {
+			line := []string{
+				row.Benchmark,
+				strconv.Itoa(row.Stats.MovableMacros), strconv.Itoa(row.Stats.PreplacedMacro),
+				strconv.Itoa(row.Stats.Pads), strconv.Itoa(row.Stats.Cells), strconv.Itoa(row.Stats.Nets),
+			}
+			for _, m := range r.Methods {
+				line = append(line, ftoa(row.HPWL[m]))
+			}
+			rows = append(rows, line)
+		}
+	case []TableIVRow:
+		name = "tableIV.csv"
+		rows = append(rows, []string{"benchmark", "mcts_seconds"})
+		for _, row := range r {
+			rows = append(rows, []string{row.Benchmark, ftoa(row.MCTSTime.Seconds())})
+		}
+	case *AblationResult:
+		name = slug(r.Title) + ".csv"
+		rows = append(rows, []string{"config", "hpwl", "steps", "terminal_evals", "seconds"})
+		for _, row := range r.Rows {
+			rows = append(rows, []string{
+				row.Name, ftoa(row.HPWL), strconv.Itoa(row.Steps),
+				strconv.Itoa(row.TerminalEvals), ftoa(row.Duration.Seconds()),
+			})
+		}
+	case *AlphaSweepResult:
+		name = "alphasweep_" + r.Benchmark + ".csv"
+		rows = append(rows, []string{"alpha", "mean_reward", "final_rl_wl", "mcts_wl"})
+		for _, p := range r.Points {
+			rows = append(rows, []string{ftoa(p.Alpha), ftoa(p.MeanReward), ftoa(p.FinalWL), ftoa(p.MCTSWL)})
+		}
+	default:
+		return "", fmt.Errorf("experiments: SaveCSV does not support %T", result)
+	}
+
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	return path, nil
+}
+
+// ftoa formats floats compactly for CSV.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// slug converts a title into a short filename stem.
+func slug(title string) string {
+	out := make([]rune, 0, 24)
+	for _, r := range title {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+'a'-'A')
+		case r == ' ' || r == '—' || r == '-':
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+		if len(out) >= 40 {
+			break
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '_' {
+		out = out[:len(out)-1]
+	}
+	if len(out) == 0 {
+		return "result"
+	}
+	return string(out)
+}

@@ -1,0 +1,233 @@
+package gen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"macroplace/internal/netlist"
+)
+
+func TestGenerateCountsMatchSpec(t *testing.T) {
+	spec := Spec{
+		Name: "x", MovableMacros: 10, PreplacedMacros: 3, Pads: 20,
+		Cells: 500, Nets: 700, Seed: 1,
+	}
+	d := Generate(spec)
+	s := d.Stats()
+	if s.MovableMacros != 10 || s.PreplacedMacro != 3 || s.Pads != 20 || s.Cells != 500 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Net count may fall slightly short (degenerate draws are
+	// dropped) but must be close.
+	if s.Nets < 690 || s.Nets > 700 {
+		t.Errorf("nets = %d, want ≈700", s.Nets)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("generated design invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "d", MovableMacros: 5, Cells: 100, Nets: 150, Seed: 7}
+	a, b := Generate(spec), Generate(spec)
+	if !reflect.DeepEqual(a.Nodes, b.Nodes) {
+		t.Error("same spec must generate identical nodes")
+	}
+	if !reflect.DeepEqual(a.Nets, b.Nets) {
+		t.Error("same spec must generate identical nets")
+	}
+	spec.Seed = 8
+	c := Generate(spec)
+	if reflect.DeepEqual(a.Nodes, c.Nodes) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateUtilization(t *testing.T) {
+	spec := Spec{Name: "u", MovableMacros: 8, Cells: 1000, Nets: 1200, Seed: 3, Utilization: 0.6}
+	d := Generate(spec)
+	var area float64
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind != netlist.Pad {
+			area += d.Nodes[i].Area()
+		}
+	}
+	util := area / d.Region.Area()
+	if math.Abs(util-0.6) > 0.05 {
+		t.Errorf("utilization = %v, want ≈0.6", util)
+	}
+}
+
+func TestMacroAreaFraction(t *testing.T) {
+	spec := Spec{Name: "f", MovableMacros: 10, Cells: 1000, Nets: 100, Seed: 5, MacroAreaFrac: 0.4}
+	d := Generate(spec)
+	s := d.Stats()
+	frac := s.MacroArea / (s.MacroArea + s.CellArea)
+	if math.Abs(frac-0.4) > 0.02 {
+		t.Errorf("macro area fraction = %v, want ≈0.4", frac)
+	}
+}
+
+func TestNodesInsideRegion(t *testing.T) {
+	d := Generate(Spec{Name: "r", MovableMacros: 12, PreplacedMacros: 4, Pads: 16, Cells: 300, Nets: 400, Seed: 11})
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if !d.Region.ContainsRect(n.Rect()) {
+			t.Errorf("node %s outside region: %v not in %v", n.Name, n.Rect(), d.Region)
+		}
+	}
+}
+
+func TestPreplacedMacrosAreFixedOnBoundary(t *testing.T) {
+	d := Generate(Spec{Name: "b", MovableMacros: 2, PreplacedMacros: 6, Cells: 50, Nets: 60, Seed: 13})
+	count := 0
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Kind != netlist.Macro || !n.Fixed {
+			continue
+		}
+		count++
+		r := n.Rect()
+		touches := r.Lx == d.Region.Lx || r.Ly == d.Region.Ly ||
+			r.Ux == d.Region.Ux || r.Uy == d.Region.Uy
+		if !touches {
+			t.Errorf("pre-placed macro %s not on boundary: %v in %v", n.Name, r, d.Region)
+		}
+	}
+	if count != 6 {
+		t.Errorf("fixed macros = %d, want 6", count)
+	}
+}
+
+func TestHierarchyAssigned(t *testing.T) {
+	d := Generate(Spec{Name: "h", MovableMacros: 4, Cells: 100, Nets: 100, Seed: 17, HierDepth: 2, HierFanout: 3})
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Kind == netlist.Pad {
+			if n.Hier != "" {
+				t.Errorf("pad %s has hierarchy %q", n.Name, n.Hier)
+			}
+			continue
+		}
+		if n.Hier == "" {
+			t.Errorf("node %s missing hierarchy", n.Name)
+		}
+	}
+}
+
+func TestNetsAreSane(t *testing.T) {
+	d := Generate(Spec{Name: "n", MovableMacros: 6, Pads: 10, Cells: 200, Nets: 400, Seed: 19})
+	for i := range d.Nets {
+		net := &d.Nets[i]
+		if len(net.Pins) < 2 {
+			t.Fatalf("net %s has %d pins", net.Name, len(net.Pins))
+		}
+		seen := map[int]bool{}
+		for _, p := range net.Pins {
+			if p.Node < 0 || p.Node >= len(d.Nodes) {
+				t.Fatalf("net %s pin out of range", net.Name)
+			}
+			if seen[p.Node] {
+				t.Fatalf("net %s repeats node %d", net.Name, p.Node)
+			}
+			seen[p.Node] = true
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Spec{MovableMacros: 100, PreplacedMacros: 10, Pads: 50, Cells: 10000, Nets: 20000}
+	half := s.Scale(0.5)
+	if half.MovableMacros != 50 || half.Cells != 5000 || half.Nets != 10000 {
+		t.Errorf("Scale(0.5) = %+v", half)
+	}
+	// Positive counts never scale to zero.
+	tiny := s.Scale(0.00001)
+	if tiny.MovableMacros < 1 || tiny.Cells < 1 {
+		t.Errorf("Scale floor violated: %+v", tiny)
+	}
+	if same := s.Scale(1); !reflect.DeepEqual(same, s) {
+		t.Error("Scale(1) must be identity")
+	}
+	zero := Spec{}.Scale(0.5)
+	if zero.Cells != 0 {
+		t.Error("zero counts must stay zero")
+	}
+}
+
+func TestIBMSuite(t *testing.T) {
+	names := IBMNames()
+	if len(names) != 17 {
+		t.Fatalf("IBM suite has %d entries, want 17 (ibm05 excluded)", len(names))
+	}
+	for _, n := range names {
+		if n == "ibm05" {
+			t.Fatal("ibm05 must be excluded (no macros)")
+		}
+	}
+	spec, err := IBMSpec("ibm01", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MovableMacros != 246 || spec.Cells != 12000 || spec.Nets != 14000 {
+		t.Errorf("ibm01 spec = %+v, want Table III row", spec)
+	}
+	if _, err := IBMSpec("ibm05", 1, 1); err == nil {
+		t.Error("ibm05 should be rejected")
+	}
+	if _, err := IBMSpec("nope", 1, 1); err == nil {
+		t.Error("unknown name should be rejected")
+	}
+}
+
+func TestCirSuite(t *testing.T) {
+	if len(CirNames()) != 6 {
+		t.Fatalf("Cir suite has %d entries, want 6", len(CirNames()))
+	}
+	spec, err := CirSpec("cir2", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MovableMacros != 71 || spec.PreplacedMacros != 47 || spec.Pads != 365 {
+		t.Errorf("cir2 spec = %+v, want Table II row", spec)
+	}
+	if _, err := CirSpec("cir9", 1, 1); err == nil {
+		t.Error("unknown industrial name should be rejected")
+	}
+}
+
+func TestIBMGenerated(t *testing.T) {
+	d, err := IBM("ibm06", 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("ibm06 invalid: %v", err)
+	}
+	s := d.Stats()
+	// 0.01 of 178 macros ≈ 2, of 32000 cells = 320.
+	if s.MovableMacros < 1 || s.Cells != 320 {
+		t.Errorf("scaled ibm06 stats = %+v", s)
+	}
+	if s.Pads != 0 {
+		t.Error("ICCAD04-like designs carry no pads")
+	}
+}
+
+func TestCirGenerated(t *testing.T) {
+	d, err := Cir("cir6", 0.005, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("cir6 invalid: %v", err)
+	}
+	s := d.Stats()
+	if s.PreplacedMacro < 1 {
+		t.Error("industrial designs must keep pre-placed macros")
+	}
+	if s.Pads < 8 {
+		t.Errorf("pads = %d, want >= 8 after scaling", s.Pads)
+	}
+}

@@ -1,0 +1,127 @@
+// Suites: named benchmark specs mirroring the statistics columns of
+// the paper's Table II (industrial Cir1–Cir6) and Table III (ICCAD04
+// ibm01–ibm18).
+package gen
+
+import (
+	"fmt"
+	"macroplace/internal/netlist"
+	"sort"
+)
+
+// ibmStats holds the statistics row of Table III for one benchmark:
+// macro count, standard-cell count, net count. ibm05 has no macros and
+// is excluded from the paper's table, as it is here.
+var ibmStats = map[string]Spec{
+	"ibm01": {MovableMacros: 246, Cells: 12000, Nets: 14000},
+	"ibm02": {MovableMacros: 280, Cells: 19000, Nets: 19000},
+	"ibm03": {MovableMacros: 290, Cells: 22000, Nets: 27000},
+	"ibm04": {MovableMacros: 608, Cells: 26000, Nets: 31000},
+	"ibm06": {MovableMacros: 178, Cells: 32000, Nets: 34000},
+	"ibm07": {MovableMacros: 507, Cells: 45000, Nets: 48000},
+	"ibm08": {MovableMacros: 309, Cells: 51000, Nets: 50000},
+	"ibm09": {MovableMacros: 253, Cells: 53000, Nets: 60000},
+	"ibm10": {MovableMacros: 786, Cells: 68000, Nets: 75000},
+	"ibm11": {MovableMacros: 373, Cells: 70000, Nets: 81000},
+	"ibm12": {MovableMacros: 651, Cells: 70000, Nets: 77000},
+	"ibm13": {MovableMacros: 424, Cells: 83000, Nets: 99000},
+	"ibm14": {MovableMacros: 614, Cells: 146000, Nets: 152000},
+	"ibm15": {MovableMacros: 393, Cells: 161000, Nets: 186000},
+	"ibm16": {MovableMacros: 458, Cells: 183000, Nets: 190000},
+	"ibm17": {MovableMacros: 760, Cells: 184000, Nets: 189000},
+	"ibm18": {MovableMacros: 285, Cells: 210000, Nets: 201000},
+}
+
+// cirStats holds the statistics columns of Table II for the industrial
+// benchmarks: movable macros, pre-placed macros, I/O pads, standard
+// cells, nets. These designs carry hierarchy and pre-placed macros.
+var cirStats = map[string]Spec{
+	"cir1": {MovableMacros: 30, PreplacedMacros: 13, Pads: 130, Cells: 157000, Nets: 181000},
+	"cir2": {MovableMacros: 71, PreplacedMacros: 47, Pads: 365, Cells: 1098000, Nets: 1126000},
+	"cir3": {MovableMacros: 55, PreplacedMacros: 15, Pads: 219, Cells: 232000, Nets: 235000},
+	"cir4": {MovableMacros: 38, PreplacedMacros: 15, Pads: 169, Cells: 321000, Nets: 327000},
+	"cir5": {MovableMacros: 32, PreplacedMacros: 12, Pads: 351, Cells: 347000, Nets: 352000},
+	"cir6": {MovableMacros: 66, PreplacedMacros: 3, Pads: 481, Cells: 209000, Nets: 217000},
+}
+
+// IBMNames lists the ICCAD04 benchmarks in table order (ibm05 absent:
+// it contains no macros).
+func IBMNames() []string {
+	names := make([]string, 0, len(ibmStats))
+	for n := range ibmStats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CirNames lists the industrial benchmarks in table order.
+func CirNames() []string {
+	names := make([]string, 0, len(cirStats))
+	for n := range cirStats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IBMSpec returns the generation spec for an ICCAD04-like benchmark,
+// scaled by scale (1 = paper-sized). It returns an error for unknown
+// names (including ibm05, which has no macros).
+func IBMSpec(name string, scale float64, seed int64) (Spec, error) {
+	s, ok := ibmStats[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("gen: unknown ICCAD04 benchmark %q", name)
+	}
+	s.Name = name
+	// The ICCAD04 suite carries neither hierarchy nor pads in the
+	// paper's description; keep a shallow synthetic hierarchy so
+	// clustering still has locality structure, but no pads.
+	s.Pads = 0
+	s.Seed = seed
+	// Macros in the ibm suite are small relative to industrial IP.
+	s.MacroAreaFrac = 0.45
+	return s.Scale(scale), nil
+}
+
+// CirSpec returns the generation spec for an industrial-like
+// benchmark with hierarchy and pre-placed macros.
+func CirSpec(name string, scale float64, seed int64) (Spec, error) {
+	s, ok := cirStats[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("gen: unknown industrial benchmark %q", name)
+	}
+	s.Name = name
+	s.Seed = seed
+	s.HierDepth = 3
+	s.HierFanout = 4
+	s.MacroAreaFrac = 0.3
+	// Pads scale less aggressively than cells.
+	pads := s.Pads
+	s = s.Scale(scale)
+	if scale < 1 {
+		s.Pads = pads / 4
+		if s.Pads < 8 {
+			s.Pads = 8
+		}
+	}
+	return s, nil
+}
+
+// IBM generates an ICCAD04-like design.
+func IBM(name string, scale float64, seed int64) (*netlist.Design, error) {
+	s, err := IBMSpec(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(s), nil
+}
+
+// Cir generates an industrial-like design.
+func Cir(name string, scale float64, seed int64) (*netlist.Design, error) {
+	s, err := CirSpec(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(s), nil
+}

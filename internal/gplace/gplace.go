@@ -1,0 +1,548 @@
+// Package gplace implements analytical global placement: a bound-to-
+// bound (B2B) quadratic wirelength model solved with preconditioned
+// conjugate gradients, interleaved with FastPlace/SimPL-style
+// rough-legalization spreading and growing pseudo-net anchors.
+//
+// In the paper's flow this engine stands in for two external tools:
+//
+//   - DREAMPlace [25], the black-box "place the standard cells and
+//     report HPWL" oracle invoked once per RL episode and once after
+//     MCTS (Sec. II-C), and
+//   - the analytical prototyping placement [23] that provides the
+//     initial locations consumed by the clustering score of Eq. (1).
+//
+// The placer is deterministic: no randomness is used anywhere, so a
+// given design and configuration always produce the same placement.
+package gplace
+
+import (
+	"math"
+	"sort"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/netlist"
+	"macroplace/internal/solver"
+)
+
+// Mode selects which nodes the placer may move.
+type Mode int
+
+// Placement modes.
+const (
+	// MoveCells moves standard cells only; macros and pads stay put.
+	MoveCells Mode = iota
+	// MoveAll moves cells and non-fixed macros (mixed-size mode, the
+	// DREAMPlace-like baseline).
+	MoveAll
+)
+
+// Config tunes the placer. The zero value is usable; Normalize fills
+// defaults.
+type Config struct {
+	// Iterations is the number of outer B2B/spreading rounds.
+	Iterations int
+	// CGTol is the conjugate-gradient relative residual target.
+	CGTol float64
+	// CGMaxIter caps CG iterations per solve (0: 2*n).
+	CGMaxIter int
+	// Bins is the spreading grid resolution per axis (0: auto).
+	Bins int
+	// TargetDensity is the desired bin utilization (default 0.9).
+	TargetDensity float64
+	// AnchorBase is the pseudo-net anchor weight on the first
+	// spreading round; it grows linearly with the round index.
+	AnchorBase float64
+	// Mode selects the movable set.
+	Mode Mode
+}
+
+// Normalize returns c with defaults applied.
+func (c Config) Normalize() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 8
+	}
+	if c.CGTol <= 0 {
+		c.CGTol = 1e-5
+	}
+	if c.CGMaxIter <= 0 {
+		// Placement systems are well-conditioned under the Jacobi
+		// preconditioner; a fixed cap keeps worst-case solves bounded
+		// on 100k+ variable designs.
+		c.CGMaxIter = 300
+	}
+	if c.TargetDensity <= 0 {
+		c.TargetDensity = 0.9
+	}
+	if c.AnchorBase <= 0 {
+		c.AnchorBase = 0.05
+	}
+	return c
+}
+
+// Result reports the outcome of a placement run.
+type Result struct {
+	HPWL       float64
+	Iterations int
+	// Overflow is the final total bin-area overflow divided by the
+	// total movable area; 0 means perfectly spread.
+	Overflow float64
+}
+
+// Placer carries reusable state for placing one design repeatedly
+// (the RL reward loop re-places cell groups every episode).
+type Placer struct {
+	cfg Config
+	d   *netlist.Design
+
+	movable []int // node indices the placer moves
+	varOf   []int // node index -> variable index or -1
+
+	// per-variable scratch
+	x, y   []float64
+	bx, by []float64
+	// spread targets for anchor pseudo-nets
+	tx, ty []float64
+}
+
+// New prepares a placer for design d.
+func New(d *netlist.Design, cfg Config) *Placer {
+	cfg = cfg.Normalize()
+	p := &Placer{cfg: cfg, d: d}
+	p.varOf = make([]int, len(d.Nodes))
+	for i := range p.varOf {
+		p.varOf[i] = -1
+	}
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		move := false
+		switch cfg.Mode {
+		case MoveCells:
+			move = n.Kind == netlist.Cell && !n.Fixed
+		case MoveAll:
+			move = n.Movable()
+		}
+		if move {
+			p.varOf[i] = len(p.movable)
+			p.movable = append(p.movable, i)
+		}
+	}
+	nv := len(p.movable)
+	p.x = make([]float64, nv)
+	p.y = make([]float64, nv)
+	p.bx = make([]float64, nv)
+	p.by = make([]float64, nv)
+	p.tx = make([]float64, nv)
+	p.ty = make([]float64, nv)
+	return p
+}
+
+// NumMovable returns the size of the movable set.
+func (p *Placer) NumMovable() int { return len(p.movable) }
+
+// Place runs the full global-placement loop and writes final positions
+// into the design.
+func (p *Placer) Place() Result {
+	d := p.d
+	nv := len(p.movable)
+	if nv == 0 {
+		return Result{HPWL: d.HPWL()}
+	}
+	// Load current centers as the starting state.
+	for v, ni := range p.movable {
+		c := d.Nodes[ni].Center()
+		p.x[v], p.y[v] = c.X, c.Y
+		p.tx[v], p.ty[v] = c.X, c.Y
+	}
+
+	var overflow float64
+	for it := 0; it < p.cfg.Iterations; it++ {
+		anchorW := 0.0
+		if it > 0 {
+			// Geometric growth (SimPL-style): by the final rounds the
+			// anchors dominate the wirelength pull, otherwise dense
+			// hotspots never disperse.
+			anchorW = p.cfg.AnchorBase * math.Pow(2, float64(it-1))
+		}
+		p.solveQuadratic(anchorW)
+		overflow = p.spread()
+	}
+	p.commit()
+	return Result{HPWL: d.HPWL(), Iterations: p.cfg.Iterations, Overflow: overflow}
+}
+
+// PlaceQuadraticOnly runs a single unconstrained quadratic solve (no
+// spreading) — the cheap QP used by macro legalization and the reward
+// loop on coarsened netlists.
+func (p *Placer) PlaceQuadraticOnly() Result {
+	d := p.d
+	if len(p.movable) == 0 {
+		return Result{HPWL: d.HPWL()}
+	}
+	for v, ni := range p.movable {
+		c := d.Nodes[ni].Center()
+		p.x[v], p.y[v] = c.X, c.Y
+		p.tx[v], p.ty[v] = c.X, c.Y
+	}
+	// Two B2B refinement rounds: solve, rebuild the model around the
+	// new solution, solve again.
+	p.solveQuadratic(0)
+	p.solveQuadratic(0)
+	p.commit()
+	return Result{HPWL: d.HPWL(), Iterations: 2}
+}
+
+// commit writes variable centers back to node lower-left corners,
+// clamping into the region.
+func (p *Placer) commit() {
+	d := p.d
+	for v, ni := range p.movable {
+		n := &d.Nodes[ni]
+		n.SetCenter(p.x[v], p.y[v])
+		r := n.Rect().ClampInto(d.Region)
+		n.X, n.Y = r.Lx, r.Ly
+	}
+}
+
+// solveQuadratic builds the B2B model at the current positions (plus
+// anchor pseudo-nets of weight anchorW toward the spread targets) and
+// solves both axes. anchorW is relative to the average connectivity
+// strength, so spreading forces stay commensurate with wirelength
+// forces regardless of design scale.
+func (p *Placer) solveQuadratic(anchorW float64) {
+	nv := len(p.movable)
+	mx := solver.NewSparseSym(nv)
+	my := solver.NewSparseSym(nv)
+	for i := range p.bx {
+		p.bx[i] = 0
+		p.by[i] = 0
+	}
+
+	d := p.d
+	for ni := range d.Nets {
+		p.addNetB2B(mx, my, ni)
+	}
+
+	// Average connectivity diagonal; reference scale for anchors.
+	var avgDiag float64
+	for v := 0; v < nv; v++ {
+		avgDiag += mx.Diag(v) + my.Diag(v)
+	}
+	avgDiag /= float64(2 * nv)
+	if avgDiag <= 0 {
+		avgDiag = 1
+	}
+
+	// Anchors: tie every variable to its spread target; also acts as
+	// the regularizer that keeps the system SPD when a design has no
+	// fixed pins at all (the ICCAD04-like netlists have no pads).
+	rel := anchorW
+	if rel <= 0 {
+		rel = 1e-4
+	}
+	reg := rel * avgDiag
+	for v := 0; v < nv; v++ {
+		mx.AddDiag(v, reg)
+		my.AddDiag(v, reg)
+		p.bx[v] += reg * p.tx[v]
+		p.by[v] += reg * p.ty[v]
+	}
+
+	solver.CG(mx, p.x, p.bx, p.cfg.CGTol, p.cfg.CGMaxIter)
+	solver.CG(my, p.y, p.by, p.cfg.CGTol, p.cfg.CGMaxIter)
+}
+
+// addNetB2B adds net ni's bound-to-bound star to both axis systems.
+// Every pin connects to the two boundary pins of the net with weight
+// w = netWeight * 2 / ((p-1) * dist), the standard B2B linearization.
+func (p *Placer) addNetB2B(mx, my *solver.SparseSym, ni int) {
+	d := p.d
+	net := &d.Nets[ni]
+	np := len(net.Pins)
+	if np < 2 {
+		return
+	}
+	weight := net.EffWeight()
+
+	// Current absolute pin positions.
+	type pinPos struct {
+		v      int // variable index or -1 (fixed)
+		px, py float64
+		dx, dy float64
+	}
+	pins := make([]pinPos, np)
+	minXi, maxXi, minYi, maxYi := 0, 0, 0, 0
+	for k, pin := range net.Pins {
+		n := &d.Nodes[pin.Node]
+		cx, cy := n.X+n.W/2, n.Y+n.H/2
+		pp := pinPos{v: p.varOf[pin.Node], px: cx + pin.Dx, py: cy + pin.Dy, dx: pin.Dx, dy: pin.Dy}
+		pins[k] = pp
+		if pp.px < pins[minXi].px {
+			minXi = k
+		}
+		if pp.px > pins[maxXi].px {
+			maxXi = k
+		}
+		if pp.py < pins[minYi].py {
+			minYi = k
+		}
+		if pp.py > pins[maxYi].py {
+			maxYi = k
+		}
+	}
+
+	base := 2.0 * weight / float64(np-1)
+	// Distance floor: without it, coincident pins get unbounded B2B
+	// weights that overwhelm every spreading force. A per-mille of the
+	// region size keeps the linearization sane.
+	minDist := 1e-3 * (d.Region.W() + d.Region.H()) / 2
+	if minDist <= 0 {
+		minDist = 1e-6
+	}
+	addAxis := func(m *solver.SparseSym, b []float64, loI, hiI int, coord func(pinPos) float64, off func(pinPos) float64) {
+		for k := range pins {
+			for _, bi := range [2]int{loI, hiI} {
+				if k == bi {
+					continue
+				}
+				// Connect pin k to boundary pin bi once; skip the
+				// second boundary when lo == hi.
+				if bi == hiI && loI == hiI {
+					continue
+				}
+				a, c := pins[k], pins[bi]
+				dist := math.Abs(coord(a) - coord(c))
+				if dist < minDist {
+					dist = minDist
+				}
+				w := base / dist
+				switch {
+				case a.v >= 0 && c.v >= 0:
+					m.AddDiag(a.v, w)
+					m.AddDiag(c.v, w)
+					m.Add(a.v, c.v, -w)
+					// Pin offsets shift the RHS.
+					b[a.v] += w * (off(c) - off(a))
+					b[c.v] += w * (off(a) - off(c))
+				case a.v >= 0:
+					m.AddDiag(a.v, w)
+					b[a.v] += w * (coord(c) - off(a))
+				case c.v >= 0:
+					m.AddDiag(c.v, w)
+					b[c.v] += w * (coord(a) - off(c))
+				}
+			}
+		}
+	}
+	addAxis(mx, p.bx, minXi, maxXi, func(q pinPos) float64 { return q.px }, func(q pinPos) float64 { return q.dx })
+	addAxis(my, p.by, minYi, maxYi, func(q pinPos) float64 { return q.py }, func(q pinPos) float64 { return q.dy })
+}
+
+// spread performs one FastPlace-style cell-shifting round: movable
+// area is binned; overfilled bin rows/columns are relaxed by moving
+// bin boundaries and remapping node centers piecewise-linearly. The
+// resulting positions become the anchor targets for the next
+// quadratic solve. It returns the pre-spread overflow ratio.
+func (p *Placer) spread() float64 {
+	d := p.d
+	nv := len(p.movable)
+	nb := p.cfg.Bins
+	if nb <= 0 {
+		nb = int(math.Sqrt(float64(nv)/2)) + 2
+		if nb < 4 {
+			nb = 4
+		}
+		if nb > 128 {
+			nb = 128
+		}
+	}
+	reg := d.Region
+	bw := reg.W() / float64(nb)
+	bh := reg.H() / float64(nb)
+	if bw <= 0 || bh <= 0 {
+		return 0
+	}
+
+	// Bin utilization from movable nodes (area clipped per bin would
+	// be exact; center-assignment is the usual fast approximation).
+	util := make([][]float64, nb)
+	for i := range util {
+		util[i] = make([]float64, nb)
+	}
+	binOf := func(x, y float64) (int, int) {
+		bx := int((x - reg.Lx) / bw)
+		by := int((y - reg.Ly) / bh)
+		if bx < 0 {
+			bx = 0
+		}
+		if bx >= nb {
+			bx = nb - 1
+		}
+		if by < 0 {
+			by = 0
+		}
+		if by >= nb {
+			by = nb - 1
+		}
+		return bx, by
+	}
+	var totalArea, overflow float64
+	for v, ni := range p.movable {
+		bx, by := binOf(p.x[v], p.y[v])
+		a := d.Nodes[ni].Area()
+		util[by][bx] += a
+		totalArea += a
+	}
+	// Account for fixed blockages: their area reduces bin capacity.
+	capGrid := make([][]float64, nb)
+	binArea := bw * bh
+	for i := range capGrid {
+		capGrid[i] = make([]float64, nb)
+		for j := range capGrid[i] {
+			capGrid[i][j] = binArea * p.cfg.TargetDensity
+		}
+	}
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if p.varOf[i] >= 0 || n.Kind == netlist.Pad {
+			continue
+		}
+		if n.Kind == netlist.Macro || n.Fixed {
+			p.subtractBlockage(capGrid, n.Rect(), nb, bw, bh)
+		}
+	}
+	for by := 0; by < nb; by++ {
+		for bx := 0; bx < nb; bx++ {
+			if util[by][bx] > capGrid[by][bx] {
+				overflow += util[by][bx] - capGrid[by][bx]
+			}
+		}
+	}
+
+	// Targets: capacity-weighted rank distribution along each lane
+	// (bin row for x, bin column for y). Cells in a lane are sorted by
+	// coordinate and spread so that the area landing in each bin is
+	// proportional to its free capacity — one pass empties an
+	// overfull bin into its lane, which plain piecewise remapping
+	// (identical coordinates stay identical) never achieves.
+	laneX := make([][]int, nb)
+	for v := range p.movable {
+		_, by := binOf(p.x[v], p.y[v])
+		laneX[by] = append(laneX[by], v)
+	}
+	capAt := func(horizontal bool, lane, k int) float64 {
+		if horizontal {
+			return capGrid[lane][k]
+		}
+		return capGrid[k][lane]
+	}
+	distribute := func(horizontal bool, lane int, members []int, coord []float64, target []float64, lo, step float64, regLo, regHi float64) {
+		if len(members) == 0 {
+			return
+		}
+		sort.Slice(members, func(i, j int) bool {
+			if coord[members[i]] != coord[members[j]] {
+				return coord[members[i]] < coord[members[j]]
+			}
+			return members[i] < members[j]
+		})
+		// Cumulative capacity profile of the lane (floor keeps empty
+		// bins usable and the total positive).
+		cum := make([]float64, nb+1)
+		for k := 0; k < nb; k++ {
+			c := capAt(horizontal, lane, k)
+			if c < 1e-9 {
+				c = 1e-9
+			}
+			cum[k+1] = cum[k] + c
+		}
+		total := cum[nb]
+		n := float64(len(members))
+		k := 0
+		for rank, v := range members {
+			f := (float64(rank) + 0.5) / n * total
+			for k < nb-1 && cum[k+1] < f {
+				k++
+			}
+			within := (f - cum[k]) / (cum[k+1] - cum[k])
+			target[v] = clampF(lo+(float64(k)+within)*step, regLo, regHi)
+		}
+	}
+	for lane := 0; lane < nb; lane++ {
+		distribute(true, lane, laneX[lane], p.x, p.tx, reg.Lx, bw, reg.Lx, reg.Ux)
+	}
+	// Column membership for the y pass comes from the freshly computed
+	// x targets: cells an overfull bin just pushed into different
+	// columns then receive independent vertical distributions. Using
+	// the stale x would give identical rank orders on both axes and
+	// smear coincident cells along a diagonal.
+	laneY := make([][]int, nb)
+	for v := range p.movable {
+		bx, _ := binOf(p.tx[v], p.y[v])
+		laneY[bx] = append(laneY[bx], v)
+	}
+	for lane := 0; lane < nb; lane++ {
+		distribute(false, lane, laneY[lane], p.y, p.ty, reg.Ly, bh, reg.Ly, reg.Uy)
+	}
+	if totalArea == 0 {
+		return 0
+	}
+	return overflow / totalArea
+}
+
+// subtractBlockage removes a fixed rectangle's overlap from bin
+// capacities.
+func (p *Placer) subtractBlockage(capGrid [][]float64, r geom.Rect, nb int, bw, bh float64) {
+	reg := p.d.Region
+	x0 := int(math.Floor((r.Lx - reg.Lx) / bw))
+	x1 := int(math.Ceil((r.Ux - reg.Lx) / bw))
+	y0 := int(math.Floor((r.Ly - reg.Ly) / bh))
+	y1 := int(math.Ceil((r.Uy - reg.Ly) / bh))
+	for by := maxI(y0, 0); by < minI(y1, nb); by++ {
+		for bx := maxI(x0, 0); bx < minI(x1, nb); bx++ {
+			bin := geom.Rect{
+				Lx: reg.Lx + float64(bx)*bw, Ly: reg.Ly + float64(by)*bh,
+				Ux: reg.Lx + float64(bx+1)*bw, Uy: reg.Ly + float64(by)*bh + bh,
+			}
+			capGrid[by][bx] -= r.OverlapArea(bin)
+			if capGrid[by][bx] < 0 {
+				capGrid[by][bx] = 0
+			}
+		}
+	}
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Place is a convenience wrapper: build a placer and run it.
+func Place(d *netlist.Design, cfg Config) Result {
+	return New(d, cfg).Place()
+}
+
+// InitialPlacement produces the prototype placement used by the
+// clustering stage (the paper's [23]): a mixed-size global placement
+// with a modest iteration budget.
+func InitialPlacement(d *netlist.Design) Result {
+	return Place(d, Config{Mode: MoveAll, Iterations: 6})
+}

@@ -1,0 +1,379 @@
+// Package mcts implements the placement-optimization stage of the
+// paper (Sec. IV): a Monte Carlo Tree Search over macro-group
+// allocations, guided by the pre-trained Actor–Critic agent. Selection
+// follows PUCT (Eqs. 10–11), expansion initialises edge priors from
+// π_θ, evaluation uses v_θ at non-terminal nodes (the paper's key
+// runtime reduction — real placements run only at terminal nodes), and
+// backpropagation updates N/W/Q along the path (Eq. 12).
+package mcts
+
+import (
+	"fmt"
+	"math"
+
+	"macroplace/internal/agent"
+	"macroplace/internal/grid"
+	"macroplace/internal/rl"
+)
+
+// EvalMode selects how non-terminal nodes are evaluated.
+type EvalMode int
+
+// Evaluation modes.
+const (
+	// ValueNet uses v_θ from the pre-trained agent (the paper's
+	// method).
+	ValueNet EvalMode = iota
+	// Rollout plays random actions to a terminal state and evaluates
+	// the real placement — the traditional MCTS baseline the paper
+	// argues against (ablation support).
+	Rollout
+)
+
+// Config tunes the search.
+type Config struct {
+	// Gamma is the number of explorations before committing each
+	// macro group (the paper's γ).
+	Gamma int
+	// C is the PUCT exploration constant (paper: 1.05).
+	C float64
+	// Mode selects non-terminal evaluation.
+	Mode EvalMode
+	// Seed drives rollout randomness (Rollout mode only).
+	Seed int64
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.Gamma <= 0 {
+		c.Gamma = 40
+	}
+	if c.C <= 0 {
+		c.C = 1.05
+	}
+	return c
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Anchors is the allocation obtained by tracing the committed
+	// search path (Alg. 1 line 15).
+	Anchors []int
+	// Wirelength is the evaluated wirelength of Anchors.
+	Wirelength float64
+	// Reward is the scaled reward of Anchors.
+	Reward float64
+	// BestAnchors / BestWirelength track the best terminal state seen
+	// during exploration (may beat the committed path).
+	BestAnchors    []int
+	BestWirelength float64
+	// Explorations counts exploration passes; TerminalEvals counts
+	// real placement evaluations (the paper's runtime argument: this
+	// stays far below Explorations in ValueNet mode).
+	Explorations  int
+	TerminalEvals int
+}
+
+// node is one state of the search tree.
+type node struct {
+	env      *grid.Env
+	expanded bool
+	// eval is the node's own evaluation (v_θ or terminal reward),
+	// recorded at expansion. It serves as the first-play-urgency
+	// value of its untried edges: with the all-positive reward scale
+	// of Eq. (9), initialising unvisited Q to 0 would make every
+	// untried edge look catastrophic and the selection would tunnel
+	// along the single highest-prior path.
+	eval float64
+
+	actions  []int
+	prior    []float64
+	visits   []int
+	value    []float64 // accumulated W per edge
+	children []*node
+
+	// cached terminal evaluation
+	termEvaled bool
+	termReward float64
+	termWL     float64
+}
+
+// Search runs the MCTS stage for one pre-trained agent.
+type Search struct {
+	Cfg    Config
+	Agent  *agent.Agent
+	WL     rl.WirelengthFunc
+	Scaler rl.Scaler
+
+	rnd rolloutRNG
+
+	result Result
+}
+
+// rolloutRNG is a tiny xorshift so Rollout mode stays deterministic
+// without pulling the full rng dependency into the hot loop.
+type rolloutRNG struct{ s uint64 }
+
+func (r *rolloutRNG) next() uint64 {
+	if r.s == 0 {
+		r.s = 0x9E3779B97F4A7C15
+	}
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rolloutRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// New builds a search over env's episode, evaluated by wl and scaled
+// by scaler (normally the trainer's calibrated scaler so MCTS rewards
+// are comparable with RL rewards, as in Fig. 5).
+func New(cfg Config, ag *agent.Agent, wl rl.WirelengthFunc, scaler rl.Scaler) *Search {
+	cfg = cfg.Normalize()
+	return &Search{Cfg: cfg, Agent: ag, WL: wl, Scaler: scaler, rnd: rolloutRNG{s: uint64(cfg.Seed) + 1}}
+}
+
+// Run executes Alg. 1 lines 11–15 on a fresh clone of env and returns
+// the committed allocation and statistics.
+func (s *Search) Run(env *grid.Env) Result {
+	s.result = Result{BestWirelength: math.Inf(1)}
+	e := env.Clone()
+	e.Reset()
+	root := &node{env: e}
+	steps := e.NumSteps()
+
+	for t := 0; t < steps; t++ {
+		for i := 0; i < s.Cfg.Gamma; i++ {
+			s.explore(root)
+			s.result.Explorations++
+		}
+		root = s.commit(root)
+		if root == nil {
+			panic("mcts: no child to commit to")
+		}
+	}
+	if !root.env.Done() {
+		panic("mcts: committed path did not reach a terminal state")
+	}
+	anchors := root.env.Anchors()
+	wl := s.WL(anchors)
+	s.result.Anchors = anchors
+	s.result.Wirelength = wl
+	s.result.Reward = s.Scaler.Reward(wl)
+	if s.result.BestAnchors == nil || wl < s.result.BestWirelength {
+		s.result.BestAnchors = anchors
+		s.result.BestWirelength = wl
+	}
+	return s.result
+}
+
+// commit picks the most-visited child and descends, reusing the
+// subtree. Ties cascade to Q, then to the policy prior: at small
+// exploration budgets many children carry a single visit each, and
+// falling back to the prior makes the committed move degrade
+// gracefully toward the greedy policy instead of an arbitrary index.
+func (s *Search) commit(n *node) *node {
+	if !n.expanded {
+		// γ = 0 or all explorations ended below: force an expansion.
+		s.explore(n)
+	}
+	best := -1
+	better := func(k, b int) bool {
+		if n.visits[k] != n.visits[b] {
+			return n.visits[k] > n.visits[b]
+		}
+		if qk, qb := q(n, k), q(n, b); qk != qb {
+			return qk > qb
+		}
+		return n.prior[k] > n.prior[b]
+	}
+	for k := range n.actions {
+		if n.children[k] == nil {
+			continue
+		}
+		if best < 0 || better(k, best) {
+			best = k
+		}
+	}
+	if best < 0 {
+		// No child was ever created: create the max-prior one.
+		best = 0
+		for k := range n.actions {
+			if n.prior[k] > n.prior[best] {
+				best = k
+			}
+		}
+		s.child(n, best)
+	}
+	return n.children[best]
+}
+
+func q(n *node, k int) float64 {
+	if n.visits[k] == 0 {
+		return n.eval
+	}
+	return n.value[k] / float64(n.visits[k])
+}
+
+// explore performs one selection→expansion→evaluation→backpropagation
+// pass from n (Fig. 3).
+func (s *Search) explore(n *node) {
+	type edgeRef struct {
+		n *node
+		k int
+	}
+	var path []edgeRef
+	cur := n
+	for cur.expanded && !cur.env.Done() {
+		k := s.selectEdge(cur)
+		s.child(cur, k)
+		path = append(path, edgeRef{cur, k})
+		cur = cur.children[k]
+	}
+
+	var v float64
+	if cur.env.Done() {
+		// Terminal: real placement evaluation (cached per node).
+		if !cur.termEvaled {
+			wl := s.WL(cur.env.Anchors())
+			cur.termWL = wl
+			cur.termReward = s.Scaler.Reward(wl)
+			cur.termEvaled = true
+			s.result.TerminalEvals++
+			if wl < s.result.BestWirelength {
+				s.result.BestWirelength = wl
+				s.result.BestAnchors = cur.env.Anchors()
+			}
+		}
+		v = cur.termReward
+	} else {
+		v = s.expand(cur)
+		cur.eval = v
+	}
+
+	for _, e := range path {
+		e.n.visits[e.k]++
+		e.n.value[e.k] += v
+	}
+}
+
+// selectEdge applies Eq. (10): argmax over children of Q + U with the
+// PUCT bonus of Eq. (11). At a freshly expanded node every N is zero
+// and Eq. (11) evaluates to 0 for all children, leaving the argmax
+// undefined; ties therefore break toward the higher policy prior,
+// which is the selection AlphaZero-style implementations converge to.
+func (s *Search) selectEdge(n *node) int {
+	total := 0
+	for _, c := range n.visits {
+		total += c
+	}
+	sqrtTotal := math.Sqrt(float64(total))
+	best, bestScore := -1, math.Inf(-1)
+	for k := range n.actions {
+		u := s.Cfg.C * n.prior[k] * sqrtTotal / float64(1+n.visits[k])
+		score := q(n, k) + u
+		if score > bestScore || (score == bestScore && best >= 0 && n.prior[k] > n.prior[best]) {
+			best, bestScore = k, score
+		}
+	}
+	if best < 0 {
+		panic("mcts: node has no actions")
+	}
+	return best
+}
+
+// child lazily materialises child k of n.
+func (s *Search) child(n *node, k int) {
+	if n.children[k] != nil {
+		return
+	}
+	e := n.env.Clone()
+	if err := e.Step(n.actions[k]); err != nil {
+		panic(fmt.Sprintf("mcts: illegal expansion action: %v", err))
+	}
+	n.children[k] = &node{env: e}
+}
+
+// expand marks n explored, enumerates its legal actions, initialises
+// edge priors from π_θ, and returns the evaluation of n (v_θ in
+// ValueNet mode, a random-rollout reward in Rollout mode).
+func (s *Search) expand(n *node) float64 {
+	env := n.env
+	sa := env.Avail()
+	out := s.Agent.Forward(env.SP(), sa, env.T())
+
+	ncells := env.G.NumCells()
+	for a := 0; a < ncells; a++ {
+		if !env.InBounds(a) {
+			continue
+		}
+		n.actions = append(n.actions, a)
+		n.prior = append(n.prior, float64(out.Probs[a]))
+	}
+	if len(n.actions) == 0 {
+		panic("mcts: non-terminal node with no in-bounds action")
+	}
+	// If the masked policy zeroed everything (no available grid),
+	// fall back to uniform priors over in-bounds actions.
+	var sum float64
+	for _, p := range n.prior {
+		sum += p
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(n.prior))
+		for i := range n.prior {
+			n.prior[i] = u
+		}
+	} else {
+		for i := range n.prior {
+			n.prior[i] /= sum
+		}
+	}
+	n.visits = make([]int, len(n.actions))
+	n.value = make([]float64, len(n.actions))
+	n.children = make([]*node, len(n.actions))
+	n.expanded = true
+
+	if s.Cfg.Mode == Rollout {
+		return s.rollout(env)
+	}
+	// Clamp the critic into the calibrated reward range: an untrained
+	// value head can emit arbitrary magnitudes, and any estimate that
+	// outbids every achievable terminal reward would make the search
+	// chase phantoms instead of real placements.
+	v := float64(out.Value)
+	lo, hi := s.Scaler.Bounds()
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// rollout plays uniform-random in-bounds actions to a terminal state
+// and returns its scaled reward (traditional MCTS evaluation).
+func (s *Search) rollout(env *grid.Env) float64 {
+	e := env.Clone()
+	ncells := e.G.NumCells()
+	for !e.Done() {
+		var legal []int
+		for a := 0; a < ncells; a++ {
+			if e.InBounds(a) {
+				legal = append(legal, a)
+			}
+		}
+		if err := e.Step(legal[s.rnd.intn(len(legal))]); err != nil {
+			panic(fmt.Sprintf("mcts: illegal rollout action: %v", err))
+		}
+	}
+	wl := s.WL(e.Anchors())
+	s.result.TerminalEvals++
+	if wl < s.result.BestWirelength {
+		s.result.BestWirelength = wl
+		s.result.BestAnchors = e.Anchors()
+	}
+	return s.Scaler.Reward(wl)
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"macroplace/internal/gen"
+	"macroplace/internal/geom"
+	"macroplace/internal/netlist"
+)
+
+func TestRUDYSingleNet(t *testing.T) {
+	d := &netlist.Design{Region: geom.NewRect(0, 0, 32, 32)}
+	a := d.AddNode(netlist.Node{Name: "a", Kind: netlist.Cell, W: 0, H: 0, X: 4, Y: 4})
+	b := d.AddNode(netlist.Node{Name: "b", Kind: netlist.Cell, W: 0, H: 0, X: 12, Y: 12})
+	d.AddNet(netlist.Net{Name: "n", Pins: []netlist.Pin{{Node: a}, {Node: b}}})
+	cm := RUDY(d, 8) // 4-unit bins
+	// Net box [4,4]-[12,12]: HPWL 16, area 64, density (8+8)/64 = 0.25
+	// over bins (1,1)-(2,2).
+	inside := cm.Demand[1*8+1]
+	if math.Abs(inside-0.25) > 1e-9 {
+		t.Errorf("inside demand = %v, want 0.25", inside)
+	}
+	if cm.Demand[0] != 0 {
+		t.Error("bins outside the net box must have zero demand")
+	}
+	// Partial bins at the box boundary scale by overlap fraction —
+	// here the box aligns exactly with bin boundaries, so bin (0,1)
+	// stays empty.
+	if cm.Demand[1*8+0] != 0 {
+		t.Errorf("boundary-exterior bin demand = %v", cm.Demand[1*8+0])
+	}
+	if got := cm.Max(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestRUDYWeightsAndDegenerateNets(t *testing.T) {
+	d := &netlist.Design{Region: geom.NewRect(0, 0, 10, 10)}
+	a := d.AddNode(netlist.Node{Name: "a", Kind: netlist.Cell, X: 1, Y: 1})
+	b := d.AddNode(netlist.Node{Name: "b", Kind: netlist.Cell, X: 9, Y: 9})
+	d.AddNet(netlist.Net{Name: "w", Weight: 3, Pins: []netlist.Pin{{Node: a}, {Node: b}}})
+	d.AddNet(netlist.Net{Name: "single", Pins: []netlist.Pin{{Node: a}}}) // ignored
+	cm1 := RUDY(d, 4)
+	d.Nets[0].Weight = 1
+	cm2 := RUDY(d, 4)
+	if math.Abs(cm1.Mean()-3*cm2.Mean()) > 1e-9 {
+		t.Errorf("weight scaling: %v vs 3×%v", cm1.Mean(), cm2.Mean())
+	}
+}
+
+func TestCongestionOverflowRatio(t *testing.T) {
+	cm := &CongestionMap{Bins: 2, Demand: []float64{0, 1, 2, 3}}
+	if got := cm.OverflowRatio(1.5); got != 0.5 {
+		t.Errorf("OverflowRatio = %v, want 0.5", got)
+	}
+	if got := cm.OverflowRatio(10); got != 0 {
+		t.Errorf("OverflowRatio(10) = %v", got)
+	}
+}
+
+func TestMeasureDisplacement(t *testing.T) {
+	before := []geom.Point{{X: 0, Y: 0}, {X: 5, Y: 5}, {X: 1, Y: 1}}
+	after := []geom.Point{{X: 3, Y: 4}, {X: 5, Y: 5}, {X: 0, Y: 1}}
+	disp := MeasureDisplacement(before, after)
+	if disp.Total != 8 || disp.Max != 7 || disp.Moved != 2 {
+		t.Errorf("displacement = %+v", disp)
+	}
+	if math.Abs(disp.Mean-8.0/3) > 1e-12 {
+		t.Errorf("mean = %v", disp.Mean)
+	}
+}
+
+func TestMeasureDisplacementMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	MeasureDisplacement(make([]geom.Point, 2), make([]geom.Point, 3))
+}
+
+func TestMeasureReport(t *testing.T) {
+	d, err := gen.IBM("ibm01", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Measure(d)
+	if rep.HPWL <= 0 || rep.WeightedHPWL < rep.HPWL {
+		t.Errorf("report wirelengths: %+v", rep)
+	}
+	if rep.PeakCongestion < rep.MeanCongestion {
+		t.Error("peak congestion below mean")
+	}
+	if !strings.Contains(rep.String(), "HPWL=") {
+		t.Error("report string missing fields")
+	}
+}
+
+func TestMeasureCountsOutsideNodes(t *testing.T) {
+	d := &netlist.Design{Region: geom.NewRect(0, 0, 10, 10)}
+	d.AddNode(netlist.Node{Name: "in", Kind: netlist.Macro, W: 2, H: 2, X: 1, Y: 1})
+	d.AddNode(netlist.Node{Name: "out", Kind: netlist.Macro, W: 2, H: 2, X: 9, Y: 9})
+	d.AddNet(netlist.Net{Name: "n", Pins: []netlist.Pin{{Node: 0}, {Node: 1}}})
+	rep := Measure(d)
+	if rep.Outside != 1 {
+		t.Errorf("Outside = %d, want 1", rep.Outside)
+	}
+}

@@ -1,0 +1,257 @@
+package bookshelf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"macroplace/internal/gen"
+	"macroplace/internal/geom"
+	"macroplace/internal/netlist"
+)
+
+// sample builds a small mixed design by hand.
+func sample() *netlist.Design {
+	d := &netlist.Design{Name: "s", Region: geom.NewRect(0, 0, 120, 96)}
+	d.AddNode(netlist.Node{Name: "m0", Kind: netlist.Macro, W: 40, H: 36, X: 2, Y: 2})
+	d.AddNode(netlist.Node{Name: "c0", Kind: netlist.Cell, W: 6, H: 12, X: 50, Y: 12})
+	d.AddNode(netlist.Node{Name: "c1", Kind: netlist.Cell, W: 8, H: 12, X: 70, Y: 24})
+	d.AddNode(netlist.Node{Name: "p0", Kind: netlist.Pad, Fixed: true, W: 1, H: 1, X: 0, Y: 0})
+	d.AddNet(netlist.Net{Name: "n0", Pins: []netlist.Pin{{Node: 0, Dx: 1, Dy: -2}, {Node: 1}}})
+	d.AddNet(netlist.Net{Name: "n1", Pins: []netlist.Pin{{Node: 1}, {Node: 2}, {Node: 3}}})
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := sample()
+	if err := Write(d, dir, "s"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := ReadAux(filepath.Join(dir, "s.aux"))
+	if err != nil {
+		t.Fatalf("ReadAux: %v", err)
+	}
+	if len(got.Nodes) != len(d.Nodes) {
+		t.Fatalf("nodes = %d, want %d", len(got.Nodes), len(d.Nodes))
+	}
+	for i := range d.Nodes {
+		w, g := d.Nodes[i], got.Nodes[i]
+		if w.Name != g.Name || w.W != g.W || w.H != g.H || w.X != g.X || w.Y != g.Y {
+			t.Errorf("node %d mismatch: want %+v got %+v", i, w, g)
+		}
+	}
+	// m0 is 36 units tall vs row height 12 → must classify as macro.
+	if got.Nodes[0].Kind != netlist.Macro {
+		t.Errorf("m0 kind = %v, want macro", got.Nodes[0].Kind)
+	}
+	if got.Nodes[1].Kind != netlist.Cell {
+		t.Errorf("c0 kind = %v, want cell", got.Nodes[1].Kind)
+	}
+	if got.Nodes[3].Kind != netlist.Pad || !got.Nodes[3].Fixed {
+		t.Errorf("p0 kind = %v fixed=%v, want fixed pad", got.Nodes[3].Kind, got.Nodes[3].Fixed)
+	}
+	if len(got.Nets) != 2 {
+		t.Fatalf("nets = %d, want 2", len(got.Nets))
+	}
+	if len(got.Nets[0].Pins) != 2 || len(got.Nets[1].Pins) != 3 {
+		t.Error("pin counts wrong after round trip")
+	}
+	if got.Nets[0].Pins[0].Dx != 1 || got.Nets[0].Pins[0].Dy != -2 {
+		t.Errorf("pin offsets lost: %+v", got.Nets[0].Pins[0])
+	}
+	// Region must round-trip through the synthetic .scl rows.
+	if math.Abs(got.Region.W()-d.Region.W()) > 1e-6 || math.Abs(got.Region.H()-d.Region.H()) > 1e-6 {
+		t.Errorf("region = %v, want %v", got.Region, d.Region)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("round-tripped design invalid: %v", err)
+	}
+}
+
+func TestGeneratedDesignRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := gen.Generate(gen.Spec{
+		Name: "g", MovableMacros: 6, PreplacedMacros: 2, Pads: 8,
+		Cells: 200, Nets: 300, Seed: 9,
+	})
+	if err := Write(d, dir, "g"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := ReadAux(filepath.Join(dir, "g.aux"))
+	if err != nil {
+		t.Fatalf("ReadAux: %v", err)
+	}
+	ws, gs := d.Stats(), got.Stats()
+	if ws.Cells != gs.Cells || ws.Pads != gs.Pads || ws.Nets != gs.Nets {
+		t.Errorf("stats mismatch: want %+v got %+v", ws, gs)
+	}
+	// HPWL must be identical — positions and offsets both survive.
+	if math.Abs(d.HPWL()-got.HPWL()) > 1e-6*d.HPWL() {
+		t.Errorf("HPWL: want %v got %v", d.HPWL(), got.HPWL())
+	}
+}
+
+func TestParseToleratesMessyFormatting(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	nodes := write("m.nodes", `UCLA nodes 1.0
+# a comment
+
+NumNodes : 3
+NumTerminals : 1
+   a   10    12
+b 4 12
+  pad1  1 1  terminal
+`)
+	nets := write("m.nets", `UCLA nets 1.0
+NumNets : 2
+NumPins : 4
+NetDegree : 2   first
+ a B : 0.5 -0.5
+ b B : 0 0
+NetDegree : 2
+ b B
+ pad1 B
+`)
+	pl := write("m.pl", `UCLA pl 1.0
+a 1 2 : N
+b 3.5 4 : N
+pad1 0 0 : N /FIXED
+`)
+	d, err := ReadFiles("m", nodes, nets, pl, "")
+	if err != nil {
+		t.Fatalf("ReadFiles: %v", err)
+	}
+	if len(d.Nodes) != 3 || len(d.Nets) != 2 {
+		t.Fatalf("parsed %d nodes / %d nets", len(d.Nodes), len(d.Nets))
+	}
+	if d.Nodes[0].W != 10 || d.Nodes[0].H != 12 {
+		t.Errorf("node a size = %vx%v", d.Nodes[0].W, d.Nodes[0].H)
+	}
+	if d.Nodes[1].X != 3.5 || d.Nodes[1].Y != 4 {
+		t.Errorf("node b pos = (%v,%v)", d.Nodes[1].X, d.Nodes[1].Y)
+	}
+	if !d.Nodes[2].Fixed {
+		t.Error("pad1 should be fixed (terminal + /FIXED)")
+	}
+	if d.Nets[0].Pins[0].Dx != 0.5 || d.Nets[0].Pins[0].Dy != -0.5 {
+		t.Errorf("pin offset = (%v,%v)", d.Nets[0].Pins[0].Dx, d.Nets[0].Pins[0].Dy)
+	}
+	// Second net's name was omitted → auto-assigned.
+	if d.Nets[1].Name == "" {
+		t.Error("unnamed net should receive a synthetic name")
+	}
+	// No .scl → region defaults to a sensible non-empty box.
+	if d.Region.Empty() {
+		t.Error("default region must not be empty")
+	}
+}
+
+func TestUnknownNodeInNetsFails(t *testing.T) {
+	dir := t.TempDir()
+	nodes := filepath.Join(dir, "x.nodes")
+	nets := filepath.Join(dir, "x.nets")
+	os.WriteFile(nodes, []byte("NumNodes : 1\na 1 1\n"), 0o644)
+	os.WriteFile(nets, []byte("NetDegree : 2 n\n a B\n ghost B\n"), 0o644)
+	if _, err := ReadFiles("x", nodes, nets, "", ""); err == nil {
+		t.Error("net referencing unknown node should fail")
+	}
+}
+
+func TestSclRegionParsing(t *testing.T) {
+	dir := t.TempDir()
+	scl := filepath.Join(dir, "r.scl")
+	os.WriteFile(scl, []byte(`UCLA scl 1.0
+NumRows : 2
+CoreRow Horizontal
+ Coordinate : 10
+ Height : 12
+ SubrowOrigin : 5 NumSites : 90
+End
+CoreRow Horizontal
+ Coordinate : 22
+ Height : 12
+ SubrowOrigin : 5 NumSites : 90
+End
+`), 0o644)
+	f, err := os.Open(scl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	region, err := readScl(f)
+	if err != nil {
+		t.Fatalf("readScl: %v", err)
+	}
+	want := geom.Rect{Lx: 5, Ly: 10, Ux: 95, Uy: 34}
+	if region != want {
+		t.Errorf("region = %v, want %v", region, want)
+	}
+}
+
+func TestMissingAuxFilesError(t *testing.T) {
+	if _, err := ReadAux(filepath.Join(t.TempDir(), "none.aux")); err == nil {
+		t.Error("missing aux should error")
+	}
+	dir := t.TempDir()
+	aux := filepath.Join(dir, "bad.aux")
+	os.WriteFile(aux, []byte("RowBasedPlacement : only.pl\n"), 0o644)
+	if _, err := ReadAux(aux); err == nil {
+		t.Error("aux without .nodes/.nets should error")
+	}
+}
+
+// TestParserRobustness feeds malformed inputs: the parser must return
+// errors (or tolerate benign oddities) without panicking.
+func TestParserRobustness(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name        string
+		nodes, nets string
+		wantErr     bool
+	}{
+		{"bad-width", "a xx 3\n", "NetDegree : 1 n\n a B\n", true},
+		{"bad-height", "a 1 yy\n", "NetDegree : 1 n\n a B\n", true},
+		{"short-node-line", "a 1\n", "", true},
+		{"pin-before-netdegree", "a 1 1\n", " a B\n", true},
+		{"empty-files", "", "", false},
+		{"comment-only", "# nothing\n", "# nothing\n", false},
+		{"weird-offsets", "a 1 1\nb 1 1\n", "NetDegree : 2 n\n a B : xx yy\n b B\n", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			nodes := mk(c.name+".nodes", c.nodes)
+			nets := mk(c.name+".nets", c.nets)
+			_, err := ReadFiles(c.name, nodes, nets, "", "")
+			if c.wantErr && err == nil {
+				t.Errorf("expected error")
+			}
+			if !c.wantErr && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func TestEmptySclErrors(t *testing.T) {
+	f := strings.NewReader("UCLA scl 1.0\nNumRows : 0\n")
+	if _, err := readScl(f); err == nil {
+		t.Error("scl without rows should error")
+	}
+}

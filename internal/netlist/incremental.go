@@ -1,0 +1,109 @@
+package netlist
+
+import "macroplace/internal/geom"
+
+// IncrementalHPWL maintains the total half-perimeter wirelength of a
+// design under single-node moves in O(pins-on-node) per update instead
+// of re-evaluating every net. It is the evaluation engine behind the
+// annealing and simulated-evolution baselines, whose inner loops probe
+// thousands of candidate positions.
+//
+// The evaluator caches each net's bounding box. Moving a node updates
+// the boxes of its incident nets: growth is O(1); shrinkage
+// recomputes the net box exactly (no amortised-box approximation, so
+// Total always equals Design.HPWL up to float accumulation order).
+type IncrementalHPWL struct {
+	d        *Design
+	nodeNets [][]int
+	boxes    []geom.BBox
+	weights  []float64
+	total    float64
+}
+
+// NewIncrementalHPWL builds the evaluator from the design's current
+// positions.
+func NewIncrementalHPWL(d *Design) *IncrementalHPWL {
+	ev := &IncrementalHPWL{
+		d:        d,
+		nodeNets: d.NodeNets(),
+		boxes:    make([]geom.BBox, len(d.Nets)),
+		weights:  make([]float64, len(d.Nets)),
+	}
+	for ni := range d.Nets {
+		ev.weights[ni] = d.Nets[ni].EffWeight()
+		ev.recomputeNet(ni)
+		ev.total += ev.weights[ni] * ev.boxes[ni].HPWL()
+	}
+	return ev
+}
+
+// Total returns the current weighted HPWL.
+func (ev *IncrementalHPWL) Total() float64 { return ev.total }
+
+// NodeCost returns the summed weighted HPWL of the nets incident to
+// node n — the per-node cost used by selection heuristics.
+func (ev *IncrementalHPWL) NodeCost(n int) float64 {
+	var c float64
+	for _, ni := range ev.nodeNets[n] {
+		c += ev.weights[ni] * ev.boxes[ni].HPWL()
+	}
+	return c
+}
+
+// recomputeNet rebuilds net ni's bounding box from scratch.
+func (ev *IncrementalHPWL) recomputeNet(ni int) {
+	ev.boxes[ni].Reset()
+	for _, p := range ev.d.Nets[ni].Pins {
+		pt := ev.d.PinPos(p)
+		ev.boxes[ni].Add(pt.X, pt.Y)
+	}
+}
+
+// MoveNode moves node n so its lower-left corner is at (x, y) and
+// returns the change in total weighted HPWL. The design is updated in
+// place.
+func (ev *IncrementalHPWL) MoveNode(n int, x, y float64) (delta float64) {
+	node := &ev.d.Nodes[n]
+	if node.X == x && node.Y == y {
+		return 0
+	}
+	var before float64
+	for _, ni := range ev.nodeNets[n] {
+		before += ev.weights[ni] * ev.boxes[ni].HPWL()
+	}
+	node.X, node.Y = x, y
+	var after float64
+	for _, ni := range ev.nodeNets[n] {
+		ev.recomputeNet(ni)
+		after += ev.weights[ni] * ev.boxes[ni].HPWL()
+	}
+	delta = after - before
+	ev.total += delta
+	return delta
+}
+
+// MoveCenter moves node n so its center is at (cx, cy).
+func (ev *IncrementalHPWL) MoveCenter(n int, cx, cy float64) float64 {
+	node := &ev.d.Nodes[n]
+	return ev.MoveNode(n, cx-node.W/2, cy-node.H/2)
+}
+
+// ProbeCenter returns the total-HPWL delta of moving node n's center
+// to (cx, cy) without committing the move.
+func (ev *IncrementalHPWL) ProbeCenter(n int, cx, cy float64) float64 {
+	node := &ev.d.Nodes[n]
+	ox, oy := node.X, node.Y
+	delta := ev.MoveCenter(n, cx, cy)
+	ev.MoveNode(n, ox, oy)
+	return delta
+}
+
+// Resync rebuilds all caches after external position changes (e.g.
+// a global placement pass ran on the same design).
+func (ev *IncrementalHPWL) Resync() {
+	ev.total = 0
+	for ni := range ev.d.Nets {
+		ev.recomputeNet(ni)
+		ev.total += ev.weights[ni] * ev.boxes[ni].HPWL()
+	}
+}

@@ -1,0 +1,127 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/rng"
+)
+
+// randomDesign builds a design with random nodes and nets for
+// incremental-vs-full comparison.
+func randomDesign(seed int64, nodes, nets int) *Design {
+	r := rng.New(seed)
+	d := &Design{Name: "r", Region: geom.NewRect(0, 0, 100, 100)}
+	for i := 0; i < nodes; i++ {
+		d.AddNode(Node{
+			Name: "n" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)),
+			Kind: Cell, W: r.Range(1, 4), H: r.Range(1, 4),
+			X: r.Range(0, 90), Y: r.Range(0, 90),
+		})
+	}
+	for i := 0; i < nets; i++ {
+		deg := r.IntRange(2, 5)
+		net := Net{Name: "e", Weight: r.Range(0.5, 2)}
+		seen := map[int]bool{}
+		for len(net.Pins) < deg {
+			n := r.Intn(nodes)
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			net.Pins = append(net.Pins, Pin{Node: n, Dx: r.Range(-0.5, 0.5), Dy: r.Range(-0.5, 0.5)})
+		}
+		d.AddNet(net)
+	}
+	return d
+}
+
+func TestIncrementalMatchesFull(t *testing.T) {
+	d := randomDesign(1, 30, 60)
+	ev := NewIncrementalHPWL(d)
+	if math.Abs(ev.Total()-d.WeightedHPWL()) > 1e-9 {
+		t.Fatalf("initial total %v != full %v", ev.Total(), d.WeightedHPWL())
+	}
+	r := rng.New(2)
+	for step := 0; step < 300; step++ {
+		n := r.Intn(30)
+		ev.MoveNode(n, r.Range(0, 90), r.Range(0, 90))
+		full := d.WeightedHPWL()
+		if math.Abs(ev.Total()-full) > 1e-6*(1+full) {
+			t.Fatalf("step %d: incremental %v != full %v", step, ev.Total(), full)
+		}
+	}
+}
+
+func TestIncrementalDeltaConsistency(t *testing.T) {
+	d := randomDesign(3, 20, 40)
+	ev := NewIncrementalHPWL(d)
+	r := rng.New(4)
+	for step := 0; step < 100; step++ {
+		n := r.Intn(20)
+		before := ev.Total()
+		delta := ev.MoveNode(n, r.Range(0, 90), r.Range(0, 90))
+		if math.Abs((before+delta)-ev.Total()) > 1e-9*(1+math.Abs(ev.Total())) {
+			t.Fatalf("delta inconsistent at step %d", step)
+		}
+	}
+}
+
+func TestProbeDoesNotCommit(t *testing.T) {
+	d := randomDesign(5, 10, 20)
+	ev := NewIncrementalHPWL(d)
+	posBefore := d.Positions()
+	totalBefore := ev.Total()
+	delta := ev.ProbeCenter(3, 50, 50)
+	if ev.Total() != totalBefore {
+		t.Error("probe changed the total")
+	}
+	for i, p := range d.Positions() {
+		if p != posBefore[i] {
+			t.Fatal("probe moved a node")
+		}
+	}
+	// Probe delta must equal the committed delta.
+	committed := ev.MoveCenter(3, 50, 50)
+	if math.Abs(delta-committed) > 1e-9*(1+math.Abs(committed)) {
+		t.Errorf("probe delta %v != committed delta %v", delta, committed)
+	}
+}
+
+func TestMoveNodeNoop(t *testing.T) {
+	d := randomDesign(6, 5, 8)
+	ev := NewIncrementalHPWL(d)
+	if delta := ev.MoveNode(2, d.Nodes[2].X, d.Nodes[2].Y); delta != 0 {
+		t.Errorf("no-op move returned delta %v", delta)
+	}
+}
+
+func TestNodeCost(t *testing.T) {
+	d := &Design{Region: geom.NewRect(0, 0, 100, 100)}
+	a := d.AddNode(Node{Name: "a", Kind: Cell, W: 2, H: 2, X: 0, Y: 0})
+	b := d.AddNode(Node{Name: "b", Kind: Cell, W: 2, H: 2, X: 10, Y: 0})
+	c := d.AddNode(Node{Name: "c", Kind: Cell, W: 2, H: 2, X: 0, Y: 20})
+	d.AddNet(Net{Name: "ab", Pins: []Pin{{Node: a}, {Node: b}}}) // HPWL 10
+	d.AddNet(Net{Name: "ac", Pins: []Pin{{Node: a}, {Node: c}}}) // HPWL 20
+	d.AddNet(Net{Name: "bc", Pins: []Pin{{Node: b}, {Node: c}}}) // HPWL 30
+	ev := NewIncrementalHPWL(d)
+	if got := ev.NodeCost(a); got != 30 {
+		t.Errorf("NodeCost(a) = %v, want 30", got)
+	}
+	if got := ev.NodeCost(b); got != 40 {
+		t.Errorf("NodeCost(b) = %v, want 40", got)
+	}
+}
+
+func TestResync(t *testing.T) {
+	d := randomDesign(7, 15, 30)
+	ev := NewIncrementalHPWL(d)
+	// External mutation the evaluator cannot see.
+	d.Nodes[0].X += 17
+	d.Nodes[4].Y += 5
+	ev.Resync()
+	if math.Abs(ev.Total()-d.WeightedHPWL()) > 1e-9 {
+		t.Errorf("resync total %v != full %v", ev.Total(), d.WeightedHPWL())
+	}
+}

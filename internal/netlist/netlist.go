@@ -1,0 +1,372 @@
+// Package netlist defines the circuit model shared by every stage of
+// the placer: nodes (macros, standard cells, I/O pads), nets with
+// pin offsets, the placement region, and half-perimeter wirelength
+// (HPWL) evaluation.
+//
+// The model is deliberately flat and index-based: nodes and nets live
+// in slices and refer to each other by integer index, which keeps the
+// hot evaluation loops allocation-free. Hierarchy is carried as a
+// path string on each node ("top/alu/add0"), which is exactly what the
+// paper's clustering score (Eq. 1) consumes.
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"macroplace/internal/geom"
+)
+
+// NodeKind distinguishes the three classes of placeable objects.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	// Cell is a movable standard cell.
+	Cell NodeKind = iota
+	// Macro is a large block; movable unless Fixed.
+	Macro
+	// Pad is an I/O terminal on the chip boundary; always fixed.
+	Pad
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case Cell:
+		return "cell"
+	case Macro:
+		return "macro"
+	case Pad:
+		return "pad"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Node is a placeable object. X and Y give the lower-left corner of
+// its bounding box in the same unit as the placement region.
+type Node struct {
+	Name string
+	// Hier is the design-hierarchy path of the node, components
+	// separated by '/'. Empty when the design carries no hierarchy
+	// (e.g. the ICCAD04 benchmarks).
+	Hier  string
+	Kind  NodeKind
+	Fixed bool
+	W, H  float64
+	X, Y  float64
+}
+
+// Area returns the footprint area of the node.
+func (n *Node) Area() float64 { return n.W * n.H }
+
+// Center returns the center point of the node.
+func (n *Node) Center() geom.Point {
+	return geom.Point{X: n.X + n.W/2, Y: n.Y + n.H/2}
+}
+
+// Rect returns the bounding rectangle of the node.
+func (n *Node) Rect() geom.Rect {
+	return geom.Rect{Lx: n.X, Ly: n.Y, Ux: n.X + n.W, Uy: n.Y + n.H}
+}
+
+// SetCenter moves the node so that its center is at (cx, cy).
+func (n *Node) SetCenter(cx, cy float64) {
+	n.X = cx - n.W/2
+	n.Y = cy - n.H/2
+}
+
+// Movable reports whether the placer may move the node.
+func (n *Node) Movable() bool { return !n.Fixed && n.Kind != Pad }
+
+// Pin connects a net to a node at an offset from the node's center.
+type Pin struct {
+	// Node is the index of the node in Design.Nodes.
+	Node int
+	// Dx, Dy are the pin offsets from the node center.
+	Dx, Dy float64
+}
+
+// Net is a set of electrically-connected pins with an optional weight
+// used by weighted-wirelength objectives (Eq. 3 in the paper). A zero
+// Weight is treated as 1.
+type Net struct {
+	Name   string
+	Pins   []Pin
+	Weight float64
+}
+
+// EffWeight returns the net weight, defaulting to 1.
+func (n *Net) EffWeight() float64 {
+	if n.Weight <= 0 {
+		return 1
+	}
+	return n.Weight
+}
+
+// Design is a complete circuit plus its placement region. The zero
+// value is an empty design.
+type Design struct {
+	Name   string
+	Region geom.Rect
+	Nodes  []Node
+	Nets   []Net
+
+	// nodeByName is built lazily by NodeIndex.
+	nodeByName map[string]int
+}
+
+// AddNode appends a node and returns its index.
+func (d *Design) AddNode(n Node) int {
+	d.Nodes = append(d.Nodes, n)
+	d.nodeByName = nil
+	return len(d.Nodes) - 1
+}
+
+// AddNet appends a net and returns its index.
+func (d *Design) AddNet(n Net) int {
+	d.Nets = append(d.Nets, n)
+	return len(d.Nets) - 1
+}
+
+// NodeIndex returns the index of the node with the given name, or -1.
+func (d *Design) NodeIndex(name string) int {
+	if d.nodeByName == nil {
+		d.nodeByName = make(map[string]int, len(d.Nodes))
+		for i := range d.Nodes {
+			d.nodeByName[d.Nodes[i].Name] = i
+		}
+	}
+	if i, ok := d.nodeByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// PinPos returns the absolute position of pin p.
+func (d *Design) PinPos(p Pin) geom.Point {
+	c := d.Nodes[p.Node].Center()
+	return geom.Point{X: c.X + p.Dx, Y: c.Y + p.Dy}
+}
+
+// NetHPWL returns the half-perimeter wirelength of net i (unweighted).
+func (d *Design) NetHPWL(i int) float64 {
+	var b geom.BBox
+	for _, p := range d.Nets[i].Pins {
+		pt := d.PinPos(p)
+		b.Add(pt.X, pt.Y)
+	}
+	return b.HPWL()
+}
+
+// HPWL returns the total unweighted half-perimeter wirelength of the
+// design in its current placement.
+func (d *Design) HPWL() float64 {
+	var total float64
+	var b geom.BBox
+	for i := range d.Nets {
+		b.Reset()
+		for _, p := range d.Nets[i].Pins {
+			n := &d.Nodes[p.Node]
+			b.Add(n.X+n.W/2+p.Dx, n.Y+n.H/2+p.Dy)
+		}
+		total += b.HPWL()
+	}
+	return total
+}
+
+// WeightedHPWL returns the net-weighted half-perimeter wirelength.
+func (d *Design) WeightedHPWL() float64 {
+	var total float64
+	var b geom.BBox
+	for i := range d.Nets {
+		b.Reset()
+		for _, p := range d.Nets[i].Pins {
+			n := &d.Nodes[p.Node]
+			b.Add(n.X+n.W/2+p.Dx, n.Y+n.H/2+p.Dy)
+		}
+		total += d.Nets[i].EffWeight() * b.HPWL()
+	}
+	return total
+}
+
+// Stats summarises a design the way the paper's benchmark tables do.
+type Stats struct {
+	MovableMacros  int
+	PreplacedMacro int
+	Pads           int
+	Cells          int
+	Nets           int
+	MacroArea      float64
+	CellArea       float64
+}
+
+// Stats computes design statistics.
+func (d *Design) Stats() Stats {
+	var s Stats
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		switch n.Kind {
+		case Macro:
+			if n.Fixed {
+				s.PreplacedMacro++
+			} else {
+				s.MovableMacros++
+			}
+			s.MacroArea += n.Area()
+		case Cell:
+			s.Cells++
+			s.CellArea += n.Area()
+		case Pad:
+			s.Pads++
+		}
+	}
+	s.Nets = len(d.Nets)
+	return s
+}
+
+// MacroIndices returns the indices of all macros, movable first when
+// movableFirst is set.
+func (d *Design) MacroIndices() []int {
+	var out []int
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind == Macro {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MovableMacroIndices returns the indices of movable macros.
+func (d *Design) MovableMacroIndices() []int {
+	var out []int
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind == Macro && !d.Nodes[i].Fixed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CellIndices returns the indices of standard cells.
+func (d *Design) CellIndices() []int {
+	var out []int
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind == Cell {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Positions snapshots the (X, Y) of every node.
+func (d *Design) Positions() []geom.Point {
+	out := make([]geom.Point, len(d.Nodes))
+	for i := range d.Nodes {
+		out[i] = geom.Point{X: d.Nodes[i].X, Y: d.Nodes[i].Y}
+	}
+	return out
+}
+
+// SetPositions restores a snapshot taken with Positions. It panics if
+// the lengths differ.
+func (d *Design) SetPositions(pos []geom.Point) {
+	if len(pos) != len(d.Nodes) {
+		panic("netlist: SetPositions length mismatch")
+	}
+	for i := range d.Nodes {
+		d.Nodes[i].X = pos[i].X
+		d.Nodes[i].Y = pos[i].Y
+	}
+}
+
+// Clone returns a deep copy of the design.
+func (d *Design) Clone() *Design {
+	out := &Design{Name: d.Name, Region: d.Region}
+	out.Nodes = append([]Node(nil), d.Nodes...)
+	out.Nets = make([]Net, len(d.Nets))
+	for i := range d.Nets {
+		out.Nets[i] = Net{
+			Name:   d.Nets[i].Name,
+			Weight: d.Nets[i].Weight,
+			Pins:   append([]Pin(nil), d.Nets[i].Pins...),
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: pin node indices in range,
+// nets with at least one pin, non-negative node sizes, and a valid
+// region. It returns the first violation found, or nil.
+func (d *Design) Validate() error {
+	if !d.Region.Valid() || d.Region.Empty() {
+		return fmt.Errorf("netlist: design %q has empty or invalid region %v", d.Name, d.Region)
+	}
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.W < 0 || n.H < 0 {
+			return fmt.Errorf("netlist: node %q has negative size %gx%g", n.Name, n.W, n.H)
+		}
+		if math.IsNaN(n.X) || math.IsNaN(n.Y) {
+			return fmt.Errorf("netlist: node %q has NaN position", n.Name)
+		}
+	}
+	for i := range d.Nets {
+		net := &d.Nets[i]
+		if len(net.Pins) == 0 {
+			return fmt.Errorf("netlist: net %q has no pins", net.Name)
+		}
+		for _, p := range net.Pins {
+			if p.Node < 0 || p.Node >= len(d.Nodes) {
+				return fmt.Errorf("netlist: net %q pin references node %d of %d", net.Name, p.Node, len(d.Nodes))
+			}
+		}
+	}
+	return nil
+}
+
+// NodeNets returns, for every node, the list of net indices incident
+// to it. Multiple pins of the same net on one node are reported once.
+func (d *Design) NodeNets() [][]int {
+	out := make([][]int, len(d.Nodes))
+	for ni := range d.Nets {
+		seen := -1
+		for _, p := range d.Nets[ni].Pins {
+			if p.Node == seen {
+				continue
+			}
+			// A node may appear on a net more than once with other
+			// nodes in between; dedupe with a linear check (pin
+			// counts per net are small).
+			dup := false
+			for _, e := range out[p.Node] {
+				if e == ni {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out[p.Node] = append(out[p.Node], ni)
+			}
+			seen = p.Node
+		}
+	}
+	return out
+}
+
+// HierPrefixLen returns the number of leading hierarchy components the
+// two paths share. Paths use '/' separators; empty paths share 0.
+func HierPrefixLen(a, b string) int {
+	if a == "" || b == "" {
+		return 0
+	}
+	as := strings.Split(a, "/")
+	bs := strings.Split(b, "/")
+	n := 0
+	for n < len(as) && n < len(bs) && as[n] == bs[n] {
+		n++
+	}
+	return n
+}

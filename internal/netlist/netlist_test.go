@@ -1,0 +1,282 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"macroplace/internal/geom"
+)
+
+// twoNodeDesign builds a minimal design with two cells and one net.
+func twoNodeDesign() *Design {
+	d := &Design{Name: "t", Region: geom.NewRect(0, 0, 100, 100)}
+	a := d.AddNode(Node{Name: "a", Kind: Cell, W: 2, H: 2, X: 0, Y: 0})
+	b := d.AddNode(Node{Name: "b", Kind: Cell, W: 2, H: 2, X: 10, Y: 20})
+	d.AddNet(Net{Name: "n", Pins: []Pin{{Node: a}, {Node: b}}})
+	return d
+}
+
+func TestHPWLTwoPin(t *testing.T) {
+	d := twoNodeDesign()
+	// Centers: (1,1) and (11,21) → HPWL = 10 + 20 = 30.
+	if got := d.HPWL(); got != 30 {
+		t.Errorf("HPWL = %v, want 30", got)
+	}
+	if got := d.NetHPWL(0); got != 30 {
+		t.Errorf("NetHPWL = %v, want 30", got)
+	}
+}
+
+func TestHPWLPinOffsets(t *testing.T) {
+	d := twoNodeDesign()
+	d.Nets[0].Pins[0].Dx = 1 // pin at (2,1)
+	d.Nets[0].Pins[1].Dy = -1
+	// Points: (2,1) and (11,20) → 9 + 19 = 28.
+	if got := d.HPWL(); got != 28 {
+		t.Errorf("HPWL with offsets = %v, want 28", got)
+	}
+}
+
+func TestWeightedHPWL(t *testing.T) {
+	d := twoNodeDesign()
+	d.Nets[0].Weight = 3
+	if got := d.WeightedHPWL(); got != 90 {
+		t.Errorf("WeightedHPWL = %v, want 90", got)
+	}
+	// Zero weight defaults to 1.
+	d.Nets[0].Weight = 0
+	if got := d.WeightedHPWL(); got != 30 {
+		t.Errorf("WeightedHPWL default = %v, want 30", got)
+	}
+}
+
+func TestEffWeight(t *testing.T) {
+	n := Net{}
+	if n.EffWeight() != 1 {
+		t.Error("zero weight should default to 1")
+	}
+	n.Weight = 2.5
+	if n.EffWeight() != 2.5 {
+		t.Error("explicit weight should pass through")
+	}
+}
+
+func TestNodeGeometry(t *testing.T) {
+	n := Node{W: 4, H: 6, X: 10, Y: 20}
+	if c := n.Center(); c != (geom.Point{X: 12, Y: 23}) {
+		t.Errorf("Center = %v", c)
+	}
+	n.SetCenter(0, 0)
+	if n.X != -2 || n.Y != -3 {
+		t.Errorf("SetCenter → corner (%v,%v)", n.X, n.Y)
+	}
+	if n.Area() != 24 {
+		t.Errorf("Area = %v", n.Area())
+	}
+	r := n.Rect()
+	if r.W() != 4 || r.H() != 6 {
+		t.Errorf("Rect = %v", r)
+	}
+}
+
+func TestMovable(t *testing.T) {
+	cases := []struct {
+		n    Node
+		want bool
+	}{
+		{Node{Kind: Cell}, true},
+		{Node{Kind: Macro}, true},
+		{Node{Kind: Macro, Fixed: true}, false},
+		{Node{Kind: Pad}, false},
+		{Node{Kind: Pad, Fixed: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.n.Movable(); got != c.want {
+			t.Errorf("Movable(%v fixed=%v) = %v, want %v", c.n.Kind, c.n.Fixed, got, c.want)
+		}
+	}
+}
+
+func TestNodeIndex(t *testing.T) {
+	d := twoNodeDesign()
+	if d.NodeIndex("b") != 1 {
+		t.Error("NodeIndex(b) != 1")
+	}
+	if d.NodeIndex("zzz") != -1 {
+		t.Error("unknown name should return -1")
+	}
+	// Index must refresh after AddNode.
+	d.AddNode(Node{Name: "c"})
+	if d.NodeIndex("c") != 2 {
+		t.Error("NodeIndex must see nodes added after first lookup")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := &Design{Region: geom.NewRect(0, 0, 10, 10)}
+	d.AddNode(Node{Name: "m1", Kind: Macro, W: 2, H: 2})
+	d.AddNode(Node{Name: "m2", Kind: Macro, Fixed: true, W: 3, H: 1})
+	d.AddNode(Node{Name: "c1", Kind: Cell, W: 1, H: 1})
+	d.AddNode(Node{Name: "p1", Kind: Pad})
+	d.AddNet(Net{Name: "n", Pins: []Pin{{Node: 0}, {Node: 2}}})
+	s := d.Stats()
+	if s.MovableMacros != 1 || s.PreplacedMacro != 1 || s.Cells != 1 || s.Pads != 1 || s.Nets != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.MacroArea != 7 || s.CellArea != 1 {
+		t.Errorf("areas = %v/%v", s.MacroArea, s.CellArea)
+	}
+}
+
+func TestIndexSlices(t *testing.T) {
+	d := &Design{Region: geom.NewRect(0, 0, 10, 10)}
+	d.AddNode(Node{Name: "m1", Kind: Macro})
+	d.AddNode(Node{Name: "m2", Kind: Macro, Fixed: true})
+	d.AddNode(Node{Name: "c1", Kind: Cell})
+	if got := d.MacroIndices(); len(got) != 2 {
+		t.Errorf("MacroIndices = %v", got)
+	}
+	if got := d.MovableMacroIndices(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("MovableMacroIndices = %v", got)
+	}
+	if got := d.CellIndices(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("CellIndices = %v", got)
+	}
+}
+
+func TestPositionsRoundTrip(t *testing.T) {
+	d := twoNodeDesign()
+	pos := d.Positions()
+	d.Nodes[0].X = 99
+	d.Nodes[1].Y = -5
+	d.SetPositions(pos)
+	if d.Nodes[0].X != 0 || d.Nodes[1].Y != 20 {
+		t.Error("SetPositions did not restore the snapshot")
+	}
+}
+
+func TestSetPositionsLengthMismatchPanics(t *testing.T) {
+	d := twoNodeDesign()
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	d.SetPositions(make([]geom.Point, 1))
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := twoNodeDesign()
+	c := d.Clone()
+	c.Nodes[0].X = 42
+	c.Nets[0].Pins[0].Node = 1
+	c.Nets[0].Weight = 9
+	if d.Nodes[0].X == 42 || d.Nets[0].Pins[0].Node == 1 || d.Nets[0].Weight == 9 {
+		t.Error("Clone must not share state with the original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := twoNodeDesign()
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid design rejected: %v", err)
+	}
+
+	bad := d.Clone()
+	bad.Region = geom.Rect{}
+	if bad.Validate() == nil {
+		t.Error("empty region should fail validation")
+	}
+
+	bad = d.Clone()
+	bad.Nodes[0].W = -1
+	if bad.Validate() == nil {
+		t.Error("negative width should fail validation")
+	}
+
+	bad = d.Clone()
+	bad.Nodes[0].X = math.NaN()
+	if bad.Validate() == nil {
+		t.Error("NaN position should fail validation")
+	}
+
+	bad = d.Clone()
+	bad.Nets[0].Pins = nil
+	if bad.Validate() == nil {
+		t.Error("pinless net should fail validation")
+	}
+
+	bad = d.Clone()
+	bad.Nets[0].Pins[0].Node = 99
+	if bad.Validate() == nil {
+		t.Error("out-of-range pin should fail validation")
+	}
+}
+
+func TestNodeNetsDedupes(t *testing.T) {
+	d := twoNodeDesign()
+	// A net referencing node 0 twice must list net once for node 0.
+	d.AddNet(Net{Name: "dup", Pins: []Pin{{Node: 0}, {Node: 0, Dx: 1}, {Node: 1}}})
+	nn := d.NodeNets()
+	if len(nn[0]) != 2 {
+		t.Errorf("node 0 nets = %v, want 2 entries", nn[0])
+	}
+	if len(nn[1]) != 2 {
+		t.Errorf("node 1 nets = %v", nn[1])
+	}
+}
+
+func TestHierPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"top", "", 0},
+		{"top", "top", 1},
+		{"top/a/b", "top/a/c", 2},
+		{"top/a", "top/a/b", 2},
+		{"x/a", "y/a", 0},
+	}
+	for _, c := range cases {
+		if got := HierPrefixLen(c.a, c.b); got != c.want {
+			t.Errorf("HierPrefixLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := HierPrefixLen(c.b, c.a); got != c.want {
+			t.Errorf("HierPrefixLen symmetric (%q,%q) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestHPWLTranslationInvarianceProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2, dx, dy float64) bool {
+		for _, v := range []float64{x1, y1, x2, y2, dx, dy} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		d := &Design{Region: geom.NewRect(-1e7, -1e7, 2e7, 2e7)}
+		a := d.AddNode(Node{Name: "a", Kind: Cell, W: 1, H: 1, X: x1, Y: y1})
+		b := d.AddNode(Node{Name: "b", Kind: Cell, W: 1, H: 1, X: x2, Y: y2})
+		d.AddNet(Net{Name: "n", Pins: []Pin{{Node: a}, {Node: b}}})
+		w1 := d.HPWL()
+		d.Nodes[0].X += dx
+		d.Nodes[0].Y += dy
+		d.Nodes[1].X += dx
+		d.Nodes[1].Y += dy
+		return math.Abs(d.HPWL()-w1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if Cell.String() != "cell" || Macro.String() != "macro" || Pad.String() != "pad" {
+		t.Error("NodeKind strings wrong")
+	}
+	if NodeKind(9).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}

@@ -1,0 +1,84 @@
+package netlist
+
+import "math"
+
+// NetMSTLength returns the rectilinear minimum-spanning-tree length of
+// net i — a tighter routing-length model than the half-perimeter
+// bound for nets with four or more pins (HPWL ≤ RSMT ≤ RMST, and
+// RMST ≤ 1.5 × RSMT, so the MST brackets the Steiner optimum). For
+// two- and three-pin nets the MST length equals the Steiner length.
+//
+// Prim's algorithm over the pins with Manhattan distance; net degrees
+// are small, so the O(k²) scan is the fast path.
+func (d *Design) NetMSTLength(i int) float64 {
+	pins := d.Nets[i].Pins
+	k := len(pins)
+	if k < 2 {
+		return 0
+	}
+	xs := make([]float64, k)
+	ys := make([]float64, k)
+	for j, p := range pins {
+		pt := d.PinPos(p)
+		xs[j], ys[j] = pt.X, pt.Y
+	}
+	inTree := make([]bool, k)
+	dist := make([]float64, k)
+	for j := range dist {
+		dist[j] = math.Inf(1)
+	}
+	inTree[0] = true
+	for j := 1; j < k; j++ {
+		dist[j] = math.Abs(xs[j]-xs[0]) + math.Abs(ys[j]-ys[0])
+	}
+	var total float64
+	for added := 1; added < k; added++ {
+		best := -1
+		for j := 0; j < k; j++ {
+			if !inTree[j] && (best < 0 || dist[j] < dist[best]) {
+				best = j
+			}
+		}
+		inTree[best] = true
+		total += dist[best]
+		for j := 0; j < k; j++ {
+			if !inTree[j] {
+				dd := math.Abs(xs[j]-xs[best]) + math.Abs(ys[j]-ys[best])
+				if dd < dist[j] {
+					dist[j] = dd
+				}
+			}
+		}
+	}
+	return total
+}
+
+// SteinerWirelength returns the summed weighted rectilinear-MST length
+// of every net — the routing-aware counterpart of WeightedHPWL used in
+// quality reports.
+func (d *Design) SteinerWirelength() float64 {
+	var total float64
+	for i := range d.Nets {
+		total += d.Nets[i].EffWeight() * d.NetMSTLength(i)
+	}
+	return total
+}
+
+// RotateNode rotates node i by 90° counter-clockwise about its center:
+// width and height swap, and every pin offset (dx, dy) on nets
+// incident to the node maps to (−dy, dx). The node's center is
+// preserved.
+func (d *Design) RotateNode(i int) {
+	n := &d.Nodes[i]
+	c := n.Center()
+	n.W, n.H = n.H, n.W
+	n.SetCenter(c.X, c.Y)
+	for ni := range d.Nets {
+		for pi := range d.Nets[ni].Pins {
+			p := &d.Nets[ni].Pins[pi]
+			if p.Node == i {
+				p.Dx, p.Dy = -p.Dy, p.Dx
+			}
+		}
+	}
+}

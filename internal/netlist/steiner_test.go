@@ -1,0 +1,123 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"macroplace/internal/geom"
+)
+
+// pointNet builds a design with one net over point nodes at the given
+// coordinates.
+func pointNet(pts ...[2]float64) *Design {
+	d := &Design{Region: geom.NewRect(-1000, -1000, 2000, 2000)}
+	net := Net{Name: "n"}
+	for i, p := range pts {
+		id := d.AddNode(Node{Name: string(rune('a' + i)), Kind: Cell, X: p[0], Y: p[1]})
+		net.Pins = append(net.Pins, Pin{Node: id})
+	}
+	d.AddNet(net)
+	return d
+}
+
+func TestMSTTwoPinEqualsHPWL(t *testing.T) {
+	d := pointNet([2]float64{0, 0}, [2]float64{3, 4})
+	if got := d.NetMSTLength(0); got != 7 {
+		t.Errorf("MST = %v, want 7", got)
+	}
+	if d.NetMSTLength(0) != d.NetHPWL(0) {
+		t.Error("2-pin MST must equal HPWL")
+	}
+}
+
+func TestMSTThreePinLShape(t *testing.T) {
+	// Pins at (0,0), (10,0), (10,5): MST = 10 + 5 = 15; HPWL = 15 too.
+	d := pointNet([2]float64{0, 0}, [2]float64{10, 0}, [2]float64{10, 5})
+	if got := d.NetMSTLength(0); got != 15 {
+		t.Errorf("MST = %v, want 15", got)
+	}
+}
+
+func TestMSTFourCornersExceedsHPWL(t *testing.T) {
+	// Square corners: HPWL = 2s, MST = 3s (three sides).
+	d := pointNet([2]float64{0, 0}, [2]float64{10, 0}, [2]float64{0, 10}, [2]float64{10, 10})
+	if got := d.NetMSTLength(0); got != 30 {
+		t.Errorf("MST = %v, want 30", got)
+	}
+	if hp := d.NetHPWL(0); hp != 20 {
+		t.Errorf("HPWL = %v, want 20", hp)
+	}
+}
+
+func TestMSTDominatesHPWLProperty(t *testing.T) {
+	f := func(raw [10]float64) bool {
+		pts := make([][2]float64, 0, 5)
+		for i := 0; i < 10; i += 2 {
+			x := math.Mod(math.Abs(raw[i]), 100)
+			y := math.Mod(math.Abs(raw[i+1]), 100)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return true
+			}
+			pts = append(pts, [2]float64{x, y})
+		}
+		d := pointNet(pts...)
+		return d.NetMSTLength(0) >= d.NetHPWL(0)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteinerWirelengthWeights(t *testing.T) {
+	d := pointNet([2]float64{0, 0}, [2]float64{5, 0})
+	d.Nets[0].Weight = 3
+	if got := d.SteinerWirelength(); got != 15 {
+		t.Errorf("Steiner WL = %v, want 15", got)
+	}
+}
+
+func TestRotateNodePreservesCenterAndHPWLSymmetry(t *testing.T) {
+	d := &Design{Region: geom.NewRect(0, 0, 100, 100)}
+	m := d.AddNode(Node{Name: "m", Kind: Macro, W: 10, H: 4, X: 20, Y: 30})
+	p := d.AddNode(Node{Name: "p", Kind: Pad, Fixed: true, X: 60, Y: 60})
+	d.AddNet(Net{Name: "n", Pins: []Pin{{Node: m, Dx: 5, Dy: 2}, {Node: p}}})
+
+	before := d.Nodes[m].Center()
+	d.RotateNode(m)
+	after := d.Nodes[m].Center()
+	if before != after {
+		t.Errorf("center moved: %v -> %v", before, after)
+	}
+	if d.Nodes[m].W != 4 || d.Nodes[m].H != 10 {
+		t.Errorf("dims = %vx%v, want 4x10", d.Nodes[m].W, d.Nodes[m].H)
+	}
+	// Pin offset (5,2) → (−2,5).
+	if d.Nets[0].Pins[0].Dx != -2 || d.Nets[0].Pins[0].Dy != 5 {
+		t.Errorf("pin offset = (%v,%v), want (-2,5)", d.Nets[0].Pins[0].Dx, d.Nets[0].Pins[0].Dy)
+	}
+	// Four rotations restore everything.
+	for i := 0; i < 3; i++ {
+		d.RotateNode(m)
+	}
+	if d.Nodes[m].W != 10 || d.Nodes[m].H != 4 {
+		t.Error("four rotations must be the identity on dims")
+	}
+	if d.Nets[0].Pins[0].Dx != 5 || d.Nets[0].Pins[0].Dy != 2 {
+		t.Error("four rotations must be the identity on pin offsets")
+	}
+}
+
+func TestRotateNodePinStaysInside(t *testing.T) {
+	// A pin inside the node must stay inside after rotation.
+	d := &Design{Region: geom.NewRect(0, 0, 100, 100)}
+	m := d.AddNode(Node{Name: "m", Kind: Macro, W: 8, H: 2, X: 0, Y: 0})
+	o := d.AddNode(Node{Name: "o", Kind: Cell, X: 50, Y: 50})
+	d.AddNet(Net{Name: "n", Pins: []Pin{{Node: m, Dx: 3, Dy: 0.5}, {Node: o}}})
+	d.RotateNode(m)
+	pin := d.Nets[0].Pins[0]
+	pos := d.PinPos(pin)
+	if !d.Nodes[m].Rect().Contains(pos) {
+		t.Errorf("pin at %v escaped rotated node %v", pos, d.Nodes[m].Rect())
+	}
+}

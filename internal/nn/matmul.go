@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the operation count above which MatMul
+// fans rows out across goroutines.
+const matmulParallelThreshold = 1 << 20
+
+// MatMul computes C = A·B with A of shape (m×k), B of shape (k×n),
+// and C of shape (m×n), all row-major. C is overwritten.
+func MatMul(c, a, b []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("nn: MatMul buffer too small")
+	}
+	work := m * k * n
+	if work >= matmulParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+		matmulParallel(c, a, b, m, k, n)
+		return
+	}
+	matmulRows(c, a, b, k, n, 0, m)
+}
+
+// matmulRows computes rows [r0, r1) of C. The inner loops run in
+// i-k-j order so the innermost loop streams both B and C rows — the
+// cache-friendly ordering for row-major data.
+func matmulRows(c, a, b []float32, k, n, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		ci := c[i*n : i*n+n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := a[i*k : i*k+k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : p*n+n]
+			for j := 0; j < n; j++ {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+func matmulParallel(c, a, b []float32, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			matmulRows(c, a, b, k, n, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatMulATB computes C = Aᵀ·B with A of shape (k×m), B of shape
+// (k×n): the gradient-w.r.t.-input kernel of Linear/Conv backward.
+func MatMulATB(c, a, b []float32, m, k, n int) {
+	for x := 0; x < m*n; x++ {
+		c[x] = 0
+	}
+	for p := 0; p < k; p++ {
+		ap := a[p*m : p*m+m]
+		bp := b[p*n : p*n+n]
+		for i := 0; i < m; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			ci := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// MatMulABTAcc computes C += A·Bᵀ with A of shape (m×k), B of shape
+// (n×k): the weight-gradient kernel (accumulating).
+func MatMulABTAcc(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : j*k+k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			ci[j] += s
+		}
+	}
+}

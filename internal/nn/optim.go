@@ -1,0 +1,130 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears the gradients.
+	Step()
+	// ZeroGrad clears gradients without updating.
+	ZeroGrad()
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	Params   []*Param
+	LR       float32
+	Momentum float32
+	vel      [][]float32
+}
+
+// NewSGD builds an SGD optimizer over params.
+func NewSGD(params []*Param, lr, momentum float32) *SGD {
+	s := &SGD{Params: params, LR: lr, Momentum: momentum}
+	if momentum > 0 {
+		s.vel = make([][]float32, len(params))
+		for i, p := range params {
+			s.vel[i] = make([]float32, len(p.W))
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.Params {
+		if s.vel != nil {
+			v := s.vel[i]
+			for j := range p.W {
+				v[j] = s.Momentum*v[j] + p.G[j]
+				p.W[j] -= s.LR * v[j]
+			}
+		} else {
+			for j := range p.W {
+				p.W[j] -= s.LR * p.G[j]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.Params {
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with gradient clipping.
+type Adam struct {
+	Params []*Param
+	LR     float32
+	Beta1  float32
+	Beta2  float32
+	Eps    float32
+	// ClipNorm, when positive, rescales the global gradient norm to
+	// at most this value before the update — essential for the policy
+	// gradients of Eq. (5), whose magnitude varies with the advantage.
+	ClipNorm float32
+
+	t    int
+	m, v [][]float32
+}
+
+// NewAdam builds an Adam optimizer with standard hyperparameters.
+func NewAdam(params []*Param, lr float32) *Adam {
+	a := &Adam{
+		Params: params, LR: lr,
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5,
+		m: make([][]float32, len(params)),
+		v: make([][]float32, len(params)),
+	}
+	for i, p := range params {
+		a.m[i] = make([]float32, len(p.W))
+		a.v[i] = make([]float32, len(p.W))
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	if a.ClipNorm > 0 {
+		var sq float64
+		for _, p := range a.Params {
+			for _, g := range p.G {
+				sq += float64(g) * float64(g)
+			}
+		}
+		norm := math.Sqrt(sq)
+		if norm > float64(a.ClipNorm) {
+			scale := float32(float64(a.ClipNorm) / norm)
+			for _, p := range a.Params {
+				for j := range p.G {
+					p.G[j] *= scale
+				}
+			}
+		}
+	}
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for i, p := range a.Params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W {
+			g := p.G[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.W[j] -= a.LR * mh / (float32(math.Sqrt(float64(vh))) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.Params {
+		p.ZeroGrad()
+	}
+}

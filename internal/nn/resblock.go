@@ -1,0 +1,60 @@
+package nn
+
+import "macroplace/internal/rng"
+
+// ResBlock is the residual unit of the paper's Fig. 2 (right-bottom):
+// Conv3x3+BN, ReLU, Conv3x3+BN, skip connection, ReLU.
+type ResBlock struct {
+	Conv1 *Conv2D
+	BN1   *BatchNorm2D
+	Act1  *ReLU
+	Conv2 *Conv2D
+	BN2   *BatchNorm2D
+	Out   *ReLU
+}
+
+// NewResBlock builds a residual block over c channels.
+func NewResBlock(name string, c int, r *rng.RNG) *ResBlock {
+	return &ResBlock{
+		Conv1: NewConv2D(name+".conv1", c, c, 3, r),
+		BN1:   NewBatchNorm2D(name+".bn1", c),
+		Act1:  NewReLU(),
+		Conv2: NewConv2D(name+".conv2", c, c, 3, r),
+		BN2:   NewBatchNorm2D(name+".bn2", c),
+		Out:   NewReLU(),
+	}
+}
+
+// Params implements Layer.
+func (b *ResBlock) Params() []*Param {
+	var out []*Param
+	out = append(out, b.Conv1.Params()...)
+	out = append(out, b.BN1.Params()...)
+	out = append(out, b.Conv2.Params()...)
+	out = append(out, b.BN2.Params()...)
+	return out
+}
+
+// Forward implements Layer.
+func (b *ResBlock) Forward(x *Tensor) *Tensor {
+	h := b.Conv1.Forward(x)
+	h = b.BN1.Forward(h)
+	h = b.Act1.Forward(h)
+	h = b.Conv2.Forward(h)
+	h = b.BN2.Forward(h)
+	h.AddInPlace(x)
+	return b.Out.Forward(h)
+}
+
+// Backward implements Layer.
+func (b *ResBlock) Backward(dy *Tensor) *Tensor {
+	d := b.Out.Backward(dy)
+	// d flows both into the residual branch and the identity skip.
+	db := b.BN2.Backward(d)
+	db = b.Conv2.Backward(db)
+	db = b.Act1.Backward(db)
+	db = b.BN1.Backward(db)
+	db = b.Conv1.Backward(db)
+	db.AddInPlace(d) // skip path
+	return db
+}

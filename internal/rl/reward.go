@@ -1,0 +1,101 @@
+// Package rl implements the paper's pre-training stage (Sec. III):
+// the reward function of Eq. (9) with its random-play calibration, and
+// the Actor–Critic training loop of Algorithm 1, lines 3–10.
+package rl
+
+import "math"
+
+// RewardMode selects the reward function, mirroring the three curves
+// of Fig. 4.
+type RewardMode int
+
+// Reward modes.
+const (
+	// Shaped is Eq. (9) with the α offset: rewards sit slightly above
+	// zero, which the paper shows converges fastest.
+	Shaped RewardMode = iota
+	// ShapedNoAlpha is Eq. (9) without α: rewards hover around zero.
+	ShapedNoAlpha
+	// NegWL is the intuitive reward −W (raw negative wirelength).
+	NegWL
+)
+
+// String implements fmt.Stringer.
+func (m RewardMode) String() string {
+	switch m {
+	case Shaped:
+		return "shaped"
+	case ShapedNoAlpha:
+		return "shaped-no-alpha"
+	case NegWL:
+		return "negWL"
+	default:
+		return "unknown"
+	}
+}
+
+// Scaler converts an episode wirelength into a reward. It is
+// calibrated from random play per Sec. III-E: δ, γ and Δ are the
+// maximum, minimum, and average wirelengths over the calibration
+// episodes.
+type Scaler struct {
+	Mode RewardMode
+	// Max (δ), Min (γ), Avg (Δ) of the calibration wirelengths.
+	Max, Min, Avg float64
+	// Alpha is the paper's α offset (range [0.5, 1]).
+	Alpha float64
+}
+
+// Calibrate builds a scaler from random-play wirelengths.
+func Calibrate(mode RewardMode, wirelengths []float64, alpha float64) Scaler {
+	s := Scaler{Mode: mode, Alpha: alpha}
+	if len(wirelengths) == 0 {
+		s.Max, s.Min, s.Avg = 1, 0, 0.5
+		return s
+	}
+	s.Max, s.Min = math.Inf(-1), math.Inf(1)
+	for _, w := range wirelengths {
+		if w > s.Max {
+			s.Max = w
+		}
+		if w < s.Min {
+			s.Min = w
+		}
+		s.Avg += w
+	}
+	s.Avg /= float64(len(wirelengths))
+	return s
+}
+
+// Reward applies 𝔇(W) of Eq. (9) (or the selected variant).
+func (s Scaler) Reward(w float64) float64 {
+	switch s.Mode {
+	case NegWL:
+		return -w
+	case ShapedNoAlpha:
+		return s.shaped(w, 0)
+	default:
+		return s.shaped(w, s.Alpha)
+	}
+}
+
+func (s Scaler) shaped(w, alpha float64) float64 {
+	span := s.Max - s.Min
+	if span <= 0 {
+		span = math.Max(math.Abs(s.Avg), 1)
+	}
+	return (-w+s.Avg)/span + alpha
+}
+
+// Bounds returns the reward interval spanned by the calibration range
+// [Min, Max] wirelengths, lo <= hi. MCTS clamps value-network
+// estimates into this interval so an untrained (or overshooting)
+// critic can never outbid a real terminal reward (Sec. IV-B3 relies on
+// v_θ and terminal rewards sharing a scale).
+func (s Scaler) Bounds() (lo, hi float64) {
+	lo, hi = s.Reward(s.Max), s.Reward(s.Min)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}

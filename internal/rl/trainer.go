@@ -1,0 +1,281 @@
+package rl
+
+import (
+	"fmt"
+
+	"macroplace/internal/agent"
+	"macroplace/internal/grid"
+	"macroplace/internal/nn"
+	"macroplace/internal/rng"
+)
+
+// WirelengthFunc evaluates a complete macro-group allocation (one
+// anchor grid per group, in placement order) and returns its
+// wirelength. In the full pipeline this runs macro legalization plus
+// cell placement on the coarsened netlist (Alg. 1 line 7–8).
+type WirelengthFunc func(anchors []int) float64
+
+// Config tunes the Actor–Critic pre-training stage.
+type Config struct {
+	// Episodes is the training length in episodes.
+	Episodes int
+	// UpdateEvery is the batch size in episodes (paper: 30).
+	UpdateEvery int
+	// CalibrationEpisodes is the random-play budget used to calibrate
+	// the reward scaler (paper: 50).
+	CalibrationEpisodes int
+	// Alpha is the reward offset α of Eq. (9) (paper: [0.5, 1]).
+	Alpha float64
+	// Mode selects the reward function (Fig. 4 ablation).
+	Mode RewardMode
+	// LR is the Adam learning rate.
+	LR float64
+	// EntropyCoef adds an exploration bonus (0 disables).
+	EntropyCoef float64
+	// Seed drives action sampling.
+	Seed int64
+	// SnapshotEvery, when positive, stores a weight snapshot every
+	// that many episodes (Fig. 5 uses 35).
+	SnapshotEvery int
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.Episodes <= 0 {
+		c.Episodes = 300
+	}
+	if c.UpdateEvery <= 0 {
+		c.UpdateEvery = 30
+	}
+	if c.CalibrationEpisodes <= 0 {
+		c.CalibrationEpisodes = 50
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.75
+	}
+	if c.LR <= 0 {
+		c.LR = 1e-3
+	}
+	return c
+}
+
+// EpisodeStat records one training episode.
+type EpisodeStat struct {
+	Episode    int
+	Wirelength float64
+	Reward     float64
+}
+
+// Snapshot is a frozen copy of the agent at a training point.
+type Snapshot struct {
+	Episode int
+	Agent   *agent.Agent
+}
+
+// Trainer runs the pre-training stage on one environment.
+type Trainer struct {
+	Cfg    Config
+	Agent  *agent.Agent
+	Env    *grid.Env
+	WL     WirelengthFunc
+	Scaler Scaler
+
+	// History holds one entry per training episode.
+	History []EpisodeStat
+	// Snapshots are the periodic weight copies (incl. episode 0, the
+	// untrained agent, when SnapshotEvery > 0).
+	Snapshots []Snapshot
+
+	opt *nn.Adam
+	rnd *rng.RNG
+}
+
+// NewTrainer wires a trainer. The env is reset internally; the agent
+// is trained in place.
+func NewTrainer(cfg Config, ag *agent.Agent, env *grid.Env, wl WirelengthFunc) *Trainer {
+	cfg = cfg.Normalize()
+	return &Trainer{
+		Cfg:   cfg,
+		Agent: ag,
+		Env:   env,
+		WL:    wl,
+		opt:   nn.NewAdam(ag.Params(), float32(cfg.LR)),
+		rnd:   rng.New(cfg.Seed).Split("rl"),
+	}
+}
+
+// episodeRecord is one completed episode awaiting the batched update.
+type episodeRecord struct {
+	steps  []step
+	reward float64
+}
+
+// step is one recorded decision of an episode.
+type step struct {
+	sp     []float64
+	sa     []float64
+	t      int
+	action int
+}
+
+// RandomEpisode plays one uniformly-random episode (over the available
+// grids of s_a, falling back to any in-bounds grid) and returns its
+// anchors.
+func RandomEpisode(env *grid.Env, rnd *rng.RNG) []int {
+	env.Reset()
+	for !env.Done() {
+		sa := env.Avail()
+		a := rnd.Choice(sa)
+		if a < 0 {
+			a = randomInBounds(env, rnd)
+		}
+		if err := env.Step(a); err != nil {
+			panic(fmt.Sprintf("rl: random episode produced illegal action: %v", err))
+		}
+	}
+	return env.Anchors()
+}
+
+func randomInBounds(env *grid.Env, rnd *rng.RNG) int {
+	n := env.G.NumCells()
+	var ok []int
+	for a := 0; a < n; a++ {
+		if env.InBounds(a) {
+			ok = append(ok, a)
+		}
+	}
+	if len(ok) == 0 {
+		panic("rl: no in-bounds action exists")
+	}
+	return ok[rnd.Intn(len(ok))]
+}
+
+// Calibrate plays the random episodes of Sec. III-E and installs the
+// resulting reward scaler. It returns the calibration wirelengths.
+func (tr *Trainer) Calibrate() []float64 {
+	wls := make([]float64, 0, tr.Cfg.CalibrationEpisodes)
+	r := tr.rnd.Split("calibrate")
+	for i := 0; i < tr.Cfg.CalibrationEpisodes; i++ {
+		anchors := RandomEpisode(tr.Env, r)
+		wls = append(wls, tr.WL(anchors))
+	}
+	tr.Scaler = Calibrate(tr.Cfg.Mode, wls, tr.Cfg.Alpha)
+	return wls
+}
+
+// PlayGreedy runs one episode with argmax actions (no exploration) and
+// returns the anchors and wirelength — the "RL result" curve of
+// Fig. 5.
+func PlayGreedy(ag *agent.Agent, env *grid.Env, wl WirelengthFunc) ([]int, float64) {
+	env.Reset()
+	for !env.Done() {
+		sa := env.Avail()
+		out := ag.Forward(env.SP(), sa, env.T())
+		best, bestP := -1, float32(-1)
+		for a, p := range out.Probs {
+			if p > bestP && env.InBounds(a) {
+				best, bestP = a, p
+			}
+		}
+		if best < 0 || bestP <= 0 {
+			// Degenerate distribution: fall back to the first
+			// in-bounds action deterministically.
+			for a := 0; a < env.G.NumCells(); a++ {
+				if env.InBounds(a) {
+					best = a
+					break
+				}
+			}
+		}
+		if err := env.Step(best); err != nil {
+			panic(fmt.Sprintf("rl: greedy episode produced illegal action: %v", err))
+		}
+	}
+	anchors := env.Anchors()
+	return anchors, wl(anchors)
+}
+
+// Run executes the training loop: episodes of policy-sampled actions,
+// terminal reward broadcast to every step (Sec. III-E), and an
+// Actor–Critic update every UpdateEvery episodes (Alg. 1 line 9). It
+// calibrates first if Calibrate was not called.
+func (tr *Trainer) Run() {
+	if tr.Scaler.Max == 0 && tr.Scaler.Min == 0 {
+		tr.Calibrate()
+	}
+	if tr.Cfg.SnapshotEvery > 0 {
+		tr.Snapshots = append(tr.Snapshots, Snapshot{Episode: 0, Agent: tr.Agent.Clone()})
+	}
+	var batch []episodeRecord
+	sampler := tr.rnd.Split("actions")
+
+	for ep := 1; ep <= tr.Cfg.Episodes; ep++ {
+		env := tr.Env
+		env.Reset()
+		var steps []step
+		for !env.Done() {
+			sp := env.SP()
+			sa := env.Avail()
+			t := env.T()
+			out := tr.Agent.Forward(sp, sa, t)
+			a := sampleAction(out.Probs, env, sampler)
+			steps = append(steps, step{sp: sp, sa: sa, t: t, action: a})
+			if err := env.Step(a); err != nil {
+				panic(fmt.Sprintf("rl: training episode produced illegal action: %v", err))
+			}
+		}
+		w := tr.WL(env.Anchors())
+		r := tr.Scaler.Reward(w)
+		tr.History = append(tr.History, EpisodeStat{Episode: ep, Wirelength: w, Reward: r})
+		batch = append(batch, episodeRecord{steps: steps, reward: r})
+
+		if len(batch) >= tr.Cfg.UpdateEvery || ep == tr.Cfg.Episodes {
+			tr.update(batch)
+			batch = batch[:0]
+		}
+		if tr.Cfg.SnapshotEvery > 0 && ep%tr.Cfg.SnapshotEvery == 0 {
+			tr.Snapshots = append(tr.Snapshots, Snapshot{Episode: ep, Agent: tr.Agent.Clone()})
+		}
+	}
+}
+
+// update replays each recorded step to populate layer caches, then
+// backpropagates the Actor–Critic loss of Eqs. (5)–(8) and applies one
+// optimizer step over the whole batch.
+func (tr *Trainer) update(batch []episodeRecord) {
+	count := 0
+	for _, ep := range batch {
+		r := float32(ep.reward)
+		for _, st := range ep.steps {
+			out := tr.Agent.Forward(st.sp, st.sa, st.t)
+			adv := r - out.Value // Eq. (6)
+			tr.Agent.Backward(st.action, adv, r, float32(tr.Cfg.EntropyCoef))
+			count++
+		}
+	}
+	if count > 0 {
+		// Average gradients over the batch for scale stability.
+		inv := 1 / float32(count)
+		for _, p := range tr.Agent.Params() {
+			for i := range p.G {
+				p.G[i] *= inv
+			}
+		}
+		tr.opt.Step()
+	}
+}
+
+// sampleAction draws from probs restricted to in-bounds actions.
+func sampleAction(probs []float32, env *grid.Env, rnd *rng.RNG) int {
+	w := make([]float64, len(probs))
+	for i, p := range probs {
+		if p > 0 && env.InBounds(i) {
+			w[i] = float64(p)
+		}
+	}
+	a := rnd.Choice(w)
+	if a < 0 {
+		a = randomInBounds(env, rnd)
+	}
+	return a
+}

@@ -1,0 +1,231 @@
+package solver
+
+import (
+	"errors"
+	"math"
+)
+
+// LP is a linear program in the inequality form
+//
+//	minimize   c·x
+//	subject to A·x <= B,  x >= 0.
+//
+// Equality rows can be expressed as two opposing inequalities;
+// variables with lower bounds other than zero should be shifted by the
+// caller. This matches how the sequence-pair legalizer (Eq. 3 of the
+// paper) builds its programs: coordinates are shifted to the grid
+// origin and spacing constraints become difference inequalities.
+type LP struct {
+	C []float64   // length n objective
+	A [][]float64 // m rows of length n
+	B []float64   // length m right-hand sides
+}
+
+// LP solve errors.
+var (
+	// ErrInfeasible is returned when no x satisfies the constraints.
+	ErrInfeasible = errors.New("solver: LP infeasible")
+	// ErrUnbounded is returned when the objective can decrease forever.
+	ErrUnbounded = errors.New("solver: LP unbounded")
+)
+
+const simplexEps = 1e-9
+
+// Solve runs the two-phase simplex method with Bland's anti-cycling
+// rule and returns the optimal x and objective value.
+func (lp *LP) Solve() ([]float64, float64, error) {
+	m := len(lp.A)
+	n := len(lp.C)
+	for i := range lp.A {
+		if len(lp.A[i]) != n {
+			panic("solver: LP row length mismatch")
+		}
+	}
+	if len(lp.B) != m {
+		panic("solver: LP B length mismatch")
+	}
+
+	// Columns: n structural, m slack, up to m artificial, 1 RHS.
+	nart := 0
+	artOf := make([]int, m) // artificial column index per row, -1 if none
+	for i := range artOf {
+		artOf[i] = -1
+	}
+	for i := 0; i < m; i++ {
+		if lp.B[i] < 0 {
+			artOf[i] = nart
+			nart++
+		}
+	}
+	total := n + m + nart
+	t := make([][]float64, m+1)
+	for i := range t {
+		t[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if lp.B[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * lp.A[i][j]
+		}
+		t[i][n+i] = sign // slack (surplus when negated)
+		t[i][total] = sign * lp.B[i]
+		if artOf[i] >= 0 {
+			col := n + m + artOf[i]
+			t[i][col] = 1
+			basis[i] = col
+		} else {
+			basis[i] = n + i
+		}
+	}
+
+	if nart > 0 {
+		// Phase 1: minimize sum of artificials. Objective row holds
+		// reduced costs; start with cost 1 on artificials and price
+		// out the basic ones.
+		obj := t[m]
+		for k := 0; k < nart; k++ {
+			obj[n+m+k] = 1
+		}
+		for i := 0; i < m; i++ {
+			if artOf[i] >= 0 {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t[i][j]
+				}
+			}
+		}
+		if err := simplexIterate(t, basis, total); err != nil {
+			return nil, 0, err
+		}
+		if -t[m][total] > 1e-7 {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+m {
+				pivoted := false
+				for j := 0; j < n+m; j++ {
+					if math.Abs(t[i][j]) > simplexEps {
+						pivot(t, basis, i, j, total)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; zero it so it never pivots.
+					for j := 0; j <= total; j++ {
+						t[i][j] = 0
+					}
+				}
+			}
+		}
+		// Freeze artificial columns.
+		for k := 0; k < nart; k++ {
+			col := n + m + k
+			for i := 0; i <= m; i++ {
+				t[i][col] = 0
+			}
+		}
+	}
+
+	// Phase 2 objective: reduced costs of c.
+	obj := t[m]
+	for j := 0; j <= total; j++ {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = lp.C[j]
+	}
+	for i := 0; i < m; i++ {
+		if basis[i] < n && lp.C[basis[i]] != 0 {
+			cb := lp.C[basis[i]]
+			for j := 0; j <= total; j++ {
+				obj[j] -= cb * t[i][j]
+			}
+		}
+	}
+	if err := simplexIterate(t, basis, total); err != nil {
+		return nil, 0, err
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][total]
+		}
+	}
+	var val float64
+	for j := 0; j < n; j++ {
+		val += lp.C[j] * x[j]
+	}
+	return x, val, nil
+}
+
+// simplexIterate runs primal simplex pivots until optimal (no negative
+// reduced cost) using Bland's rule, or reports unboundedness.
+func simplexIterate(t [][]float64, basis []int, total int) error {
+	m := len(basis)
+	obj := t[m]
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			return errors.New("solver: simplex iteration limit exceeded")
+		}
+		// Bland: entering = lowest-index column with negative cost.
+		enter := -1
+		for j := 0; j < total; j++ {
+			if obj[j] < -simplexEps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving: min ratio, ties by lowest basis index (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a > simplexEps {
+				ratio := t[i][total] / a
+				if ratio < best-simplexEps || (ratio < best+simplexEps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, total)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, basis []int, leave, enter, total int) {
+	m := len(basis)
+	piv := t[leave][enter]
+	inv := 1 / piv
+	row := t[leave]
+	for j := 0; j <= total; j++ {
+		row[j] *= inv
+	}
+	for i := 0; i <= m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t[i][enter]
+		if f == 0 {
+			continue
+		}
+		ti := t[i]
+		for j := 0; j <= total; j++ {
+			ti[j] -= f * row[j]
+		}
+	}
+	basis[leave] = enter
+}

@@ -1,0 +1,80 @@
+package viz
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"macroplace/internal/gen"
+	"macroplace/internal/geom"
+	"macroplace/internal/netlist"
+)
+
+func vizDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	d, err := gen.IBM("ibm01", 0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteSVGBasics(t *testing.T) {
+	d := vizDesign(t)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, d, Options{}); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Error("output is not a complete SVG document")
+	}
+	// One rect per movable macro at minimum.
+	if got, want := strings.Count(s, `fill="#fd8d3c"`), len(d.MovableMacroIndices()); got != want {
+		t.Errorf("macro rects = %d, want %d", got, want)
+	}
+}
+
+func TestWriteSVGOptions(t *testing.T) {
+	d := vizDesign(t)
+	var plain, full bytes.Buffer
+	if err := WriteSVG(&plain, d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSVG(&full, d, Options{ShowCells: true, ShowGrid: true, Congestion: true, Zeta: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() <= plain.Len() {
+		t.Error("cells/grid/congestion options should add elements")
+	}
+	if !strings.Contains(full.String(), "<line") {
+		t.Error("grid lines missing")
+	}
+	if !strings.Contains(full.String(), "#9ecae1") {
+		t.Error("cell rects missing")
+	}
+}
+
+func TestWriteSVGEmptyRegion(t *testing.T) {
+	d := &netlist.Design{Region: geom.Rect{}}
+	if err := WriteSVG(&bytes.Buffer{}, d, Options{}); err == nil {
+		t.Error("empty region should error")
+	}
+}
+
+func TestSaveSVG(t *testing.T) {
+	d := vizDesign(t)
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := SaveSVG(path, d, Options{ShowGrid: true}); err != nil {
+		t.Fatalf("SaveSVG: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || !strings.Contains(string(data), "<svg") {
+		t.Error("saved file is not an SVG")
+	}
+}

@@ -1,0 +1,250 @@
+// Package macroplace is a from-scratch Go reproduction of "Effective
+// Macro Placement for Very Large Scale Designs Using MCTS Guided by
+// Pre-trained RL" (Lin, Lee, Lin — DATE 2025).
+//
+// The placer transforms macro placement into a macro-group allocation
+// problem on a ζ×ζ grid, pre-trains an Actor–Critic agent to allocate
+// the groups, and then runs a PUCT Monte Carlo Tree Search guided by
+// that agent to find the final allocation, followed by sequence-pair
+// macro legalization and analytical cell placement.
+//
+// # Quick start
+//
+//	d, _ := macroplace.GenerateIBM("ibm01", 0.05, 1)  // synthetic ICCAD04-like benchmark
+//	res, err := macroplace.Place(d, macroplace.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Println("HPWL:", res.Final.HPWL)
+//
+// The heavy lifting lives in internal packages (netlist model,
+// analytical global placement, clustering, a small neural-network
+// library, RL, MCTS, legalization, baselines); this package re-exports
+// the stable surface a downstream user needs: benchmark generation and
+// I/O, the full flow, the individual stages, and the baseline placers
+// used in the paper's comparison tables.
+package macroplace
+
+import (
+	"macroplace/internal/agent"
+	"macroplace/internal/baseline"
+	"macroplace/internal/core"
+	"macroplace/internal/gen"
+	"macroplace/internal/mcts"
+	"macroplace/internal/metrics"
+	"macroplace/internal/netlist"
+	"macroplace/internal/netlist/bookshelf"
+	"macroplace/internal/rl"
+	"macroplace/internal/viz"
+)
+
+// Design is a circuit netlist plus placement region. See the
+// internal/netlist package for the full model.
+type Design = netlist.Design
+
+// Options configures the complete placement flow (Algorithm 1).
+type Options = core.Options
+
+// Result is the outcome of the complete flow.
+type Result = core.Result
+
+// Placer exposes the staged flow: Preprocess → Pretrain → RunMCTS →
+// Finalize, or Place for everything at once.
+type Placer = core.Placer
+
+// BenchmarkSpec describes a synthetic benchmark for Generate.
+type BenchmarkSpec = gen.Spec
+
+// BaselineResult is the outcome of a baseline placer run.
+type BaselineResult = baseline.Result
+
+// AgentConfig is the Actor–Critic network shape (Fig. 2 / Table I).
+type AgentConfig = agent.Config
+
+// RLConfig tunes the pre-training stage.
+type RLConfig = rl.Config
+
+// MCTSConfig tunes the search stage.
+type MCTSConfig = mcts.Config
+
+// SearchResult carries the MCTS search statistics.
+type SearchResult = mcts.Result
+
+// Agent is the Actor–Critic network guiding the search.
+type Agent = agent.Agent
+
+// RLSnapshot is a frozen agent copy taken during training.
+type RLSnapshot = rl.Snapshot
+
+// Reward modes for RLConfig.Mode (the Fig. 4 ablation).
+const (
+	// RewardShaped is Eq. (9) with the α offset (paper default).
+	RewardShaped = rl.Shaped
+	// RewardShapedNoAlpha is Eq. (9) without α.
+	RewardShapedNoAlpha = rl.ShapedNoAlpha
+	// RewardNegWL is the intuitive −wirelength reward.
+	RewardNegWL = rl.NegWL
+)
+
+// GreedyRL plays one deterministic (argmax) episode with ag on p's
+// environment and returns the allocation and its fast-oracle
+// wirelength — the "RL result" without MCTS. Preprocess (or Place)
+// must have run on p.
+func GreedyRL(p *Placer, ag *Agent) ([]int, float64) {
+	return rl.PlayGreedy(ag, p.Env.Clone(), p.EvalAnchors)
+}
+
+// SearchWithAgent runs an MCTS search on p's environment guided by an
+// arbitrary agent snapshot (e.g. a partially-trained one), using the
+// trainer's calibrated reward scaler when available.
+func SearchWithAgent(p *Placer, ag *Agent, cfg MCTSConfig) SearchResult {
+	scaler := rl.Scaler{Max: 1, Min: 0, Avg: 0.5, Alpha: 0.75}
+	if p.Trainer != nil {
+		scaler = p.Trainer.Scaler
+	}
+	return mcts.New(cfg, ag, p.EvalAnchors, scaler).Run(p.Env)
+}
+
+// DefaultOptions returns a CPU-friendly configuration: ζ=16, a reduced
+// agent tower, 120 training episodes, 24 explorations per macro group.
+// For the paper-exact network shape set Agent to PaperAgent.
+func DefaultOptions() Options {
+	return Options{
+		Zeta: 16,
+		RL:   RLConfig{Episodes: 120},
+		MCTS: MCTSConfig{Gamma: 24},
+		Seed: 1,
+	}
+}
+
+// PaperAgent returns the exact Table I network configuration (128
+// channels, 10 residual blocks). Training it on CPU is slow; see
+// DESIGN.md for the substitution notes.
+func PaperAgent(maxSteps int, seed int64) AgentConfig {
+	return agent.Paper(maxSteps, seed)
+}
+
+// NewPlacer prepares the staged flow on a copy of d.
+func NewPlacer(d *Design, opts Options) (*Placer, error) {
+	return core.New(d, opts)
+}
+
+// Place runs the complete flow — preprocessing, RL pre-training, MCTS
+// optimization, macro legalization, and final cell placement — and
+// returns the consolidated result.
+func Place(d *Design, opts Options) (*Result, error) {
+	p, err := core.New(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Place()
+}
+
+// Generate synthesises a benchmark from an explicit spec.
+func Generate(spec BenchmarkSpec) *Design {
+	return gen.Generate(spec)
+}
+
+// GenerateIBM synthesises an ICCAD04-like benchmark ("ibm01".."ibm18",
+// excluding the macro-less ibm05) whose statistics match the paper's
+// Table III at the given scale (1 = paper-sized).
+func GenerateIBM(name string, scale float64, seed int64) (*Design, error) {
+	return gen.IBM(name, scale, seed)
+}
+
+// GenerateCir synthesises an industrial-like hierarchical benchmark
+// ("cir1".."cir6") matching the paper's Table II statistics.
+func GenerateCir(name string, scale float64, seed int64) (*Design, error) {
+	return gen.Cir(name, scale, seed)
+}
+
+// IBMNames lists the available ICCAD04-like benchmark names in table
+// order.
+func IBMNames() []string { return gen.IBMNames() }
+
+// CirNames lists the available industrial-like benchmark names.
+func CirNames() []string { return gen.CirNames() }
+
+// ReadBookshelf loads a design from a Bookshelf .aux file (the ICCAD04
+// distribution format), classifying oversized movable nodes as macros.
+func ReadBookshelf(auxPath string) (*Design, error) {
+	return bookshelf.ReadAux(auxPath)
+}
+
+// WriteBookshelf writes the design as Bookshelf files <base>.* in dir.
+func WriteBookshelf(d *Design, dir, base string) error {
+	return bookshelf.Write(d, dir, base)
+}
+
+// BaselineSE runs the simulated-evolution macro placer (Table II's SE
+// column) on a copy of d.
+func BaselineSE(d *Design, seed int64) BaselineResult {
+	return baseline.SE(d.Clone(), baseline.SEConfig{Seed: seed})
+}
+
+// BaselineDreamPlace runs the mixed-size analytical baseline (Table
+// II's DREAMPlace column) on a copy of d.
+func BaselineDreamPlace(d *Design) BaselineResult {
+	return baseline.DreamPlaceLike(d.Clone())
+}
+
+// BaselineRePlAce runs the density-driven analytical baseline (Table
+// III's RePlAce column) on a copy of d.
+func BaselineRePlAce(d *Design) BaselineResult {
+	return baseline.RePlAceLike(d.Clone(), baseline.RePlAceConfig{})
+}
+
+// BaselineCT runs the per-macro pure-RL baseline (Table III's CT
+// column) on a copy of d.
+func BaselineCT(d *Design, seed int64) BaselineResult {
+	return baseline.CT(d.Clone(), baseline.CTConfig{Seed: seed})
+}
+
+// BaselineMaskPlace runs the wiremask baseline (Table III's MaskPlace
+// column) on a copy of d.
+func BaselineMaskPlace(d *Design, seed int64) BaselineResult {
+	return baseline.MaskPlace(d.Clone(), baseline.MaskPlaceConfig{Seed: seed})
+}
+
+// BaselineSA runs the sequence-pair simulated-annealing macro placer
+// (the paper's "first category" of macro placement algorithms) on a
+// copy of d.
+func BaselineSA(d *Design, seed int64) BaselineResult {
+	return baseline.SA(d.Clone(), baseline.SAConfig{Seed: seed})
+}
+
+// QualityReport is a consolidated placement-quality snapshot (HPWL,
+// macro overlap, RUDY congestion, region violations).
+type QualityReport = metrics.Report
+
+// MeasureQuality computes a quality report for the design's current
+// placement.
+func MeasureQuality(d *Design) QualityReport {
+	return metrics.Measure(d)
+}
+
+// SVGOptions controls placement rendering.
+type SVGOptions = viz.Options
+
+// SaveSVG renders the design's current placement as an SVG file.
+func SaveSVG(path string, d *Design, opts SVGOptions) error {
+	return viz.SaveSVG(path, d, opts)
+}
+
+// BaselineSABTree runs the B*-tree variant of the annealing baseline
+// (contour-packed floorplans, swap/rotate/move moves) on a copy of d.
+func BaselineSABTree(d *Design, seed int64) BaselineResult {
+	return baseline.SABTree(d.Clone(), baseline.SAConfig{Seed: seed})
+}
+
+// LoadAgent reads a pre-trained agent checkpoint written by
+// (*Agent).SaveFile. Install it into a staged flow with
+// p.Agent.CopyWeightsFrom(loaded) after Preprocess, provided the
+// configurations match.
+func LoadAgent(path string) (*Agent, error) {
+	return agent.LoadFile(path)
+}
+
+// BaselineMinCut runs the classic recursive-bisection (FM min-cut)
+// placer on a copy of d.
+func BaselineMinCut(d *Design, seed int64) BaselineResult {
+	return baseline.MinCut(d.Clone(), baseline.MinCutConfig{Seed: seed})
+}
