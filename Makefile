@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the merge gate (same script
+# CI runs); the rest are conveniences over the go tool.
+
+GO ?= go
+
+.PHONY: check check-short build test race bench fmt vet
+
+check: ## gofmt + vet + build + race-detector test suite
+	scripts/check.sh
+
+check-short: ## check, but with -short tests
+	scripts/check.sh -short
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench: ## micro + table/figure benchmarks (quick preset)
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

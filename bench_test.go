@@ -6,6 +6,7 @@
 package macroplace
 
 import (
+	"fmt"
 	"testing"
 
 	"macroplace/internal/agent"
@@ -250,11 +251,47 @@ func BenchmarkMCTSExploration(b *testing.B) {
 	scaler := rl.Calibrate(rl.Shaped, []float64{0, 50, 100}, 0.75)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := mcts.New(mcts.Config{Gamma: 8, Seed: int64(i)}, ag, wl, scaler)
+		s := mcts.New(mcts.Config{Gamma: 8, Seed: int64(i), Workers: 1}, ag, wl, scaler)
 		_ = s.Run(env)
 	}
 	// Each Run is Gamma × steps explorations.
 	b.ReportMetric(float64(8*12), "explorations/op")
+}
+
+// BenchmarkMCTSWorkers measures the tree-parallel search speedup on a
+// medium synthetic design sized so the neural evaluation dominates
+// (ζ=16 maps through a 24-channel, 3-block tower — the regime the
+// paper's full-scale runs live in). Compare the Workers=1 and
+// Workers=4 rows: the virtual-loss workers plus the evaluation
+// batcher should cut wall-clock time at identical exploration budgets.
+func BenchmarkMCTSWorkers(b *testing.B) {
+	g := grid.New(benchDesign(b, 0.02).Region, 16)
+	shape := grid.Shape{GW: 2, GH: 2, Util: []float64{0.2, 0.2, 0.2, 0.2},
+		W: 2 * g.CellW, H: 2 * g.CellH, Area: 0.8 * g.CellArea()}
+	shapes := make([]grid.Shape, 20)
+	for i := range shapes {
+		shapes[i] = shape
+	}
+	env := grid.NewEnv(g, shapes, nil)
+	ag := agent.New(agent.Config{Zeta: 16, Channels: 24, ResBlocks: 3, MaxSteps: 24, Seed: 9})
+	wl := func(anchors []int) float64 {
+		var t float64
+		for _, a := range anchors {
+			gx, gy := g.Coords(a)
+			t += float64(gx + gy)
+		}
+		return t
+	}
+	scaler := rl.Calibrate(rl.Shaped, []float64{0, 300, 600}, 0.75)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := mcts.New(mcts.Config{Gamma: 16, Seed: int64(i), Workers: workers}, ag, wl, scaler)
+				_ = s.Run(env)
+			}
+			b.ReportMetric(float64(16*20), "explorations/op")
+		})
+	}
 }
 
 // BenchmarkLegalizeGrid measures sequence-pair legalization of a

@@ -30,6 +30,7 @@ func main() {
 		scale    = flag.Float64("scale", 0, "override benchmark scale")
 		episodes = flag.Int("episodes", 0, "override RL episodes")
 		gamma    = flag.Int("gamma", 0, "override MCTS explorations per group")
+		workers  = flag.Int("workers", 0, "parallel MCTS workers (default 1 = sequential/reproducible)")
 		zeta     = flag.Int("zeta", 0, "override grid resolution")
 		seed     = flag.Int64("seed", 0, "override seed")
 		ibm      = flag.String("ibm", "", "comma-separated ICCAD04 subset (default: preset's)")
@@ -52,6 +53,9 @@ func main() {
 	}
 	if *gamma > 0 {
 		cfg.Gamma = *gamma
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 	if *zeta > 0 {
 		cfg.Zeta = *zeta

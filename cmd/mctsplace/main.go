@@ -28,6 +28,7 @@ func main() {
 		zeta      = flag.Int("zeta", 16, "grid resolution ζ")
 		episodes  = flag.Int("episodes", 120, "RL pre-training episodes")
 		gamma     = flag.Int("gamma", 24, "MCTS explorations per macro group")
+		workers   = flag.Int("workers", 0, "parallel MCTS workers (0 = all CPUs, 1 = sequential/deterministic)")
 		channels  = flag.Int("channels", 16, "agent tower width (paper: 128)")
 		resblocks = flag.Int("resblocks", 2, "agent tower depth (paper: 10)")
 		out       = flag.String("out", "", "directory to write the placed design as Bookshelf files")
@@ -51,6 +52,7 @@ func main() {
 	opts.Seed = *seed
 	opts.RL.Episodes = *episodes
 	opts.MCTS.Gamma = *gamma
+	opts.MCTS.Workers = *workers
 	opts.Agent = macroplace.AgentConfig{Zeta: *zeta, Channels: *channels, ResBlocks: *resblocks, Seed: *seed + 100}
 
 	p, err := macroplace.NewPlacer(d, opts)

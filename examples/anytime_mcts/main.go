@@ -28,6 +28,9 @@ func main() {
 	opts.RL.Episodes = 70
 	opts.RL.SnapshotEvery = 10 // paper's Fig. 5 snapshots every 35 iterations
 	opts.MCTS.Gamma = 16
+	// All CPUs: the per-snapshot searches below are wall-clock bound;
+	// set Workers to 1 instead for a bit-reproducible table.
+	opts.MCTS.Workers = 0
 
 	placer, err := macroplace.NewPlacer(design, opts)
 	if err != nil {

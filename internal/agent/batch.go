@@ -1,0 +1,102 @@
+package agent
+
+import (
+	"fmt"
+	"math"
+
+	"macroplace/internal/nn"
+)
+
+// BatchInput is one ⟨s_p, s_a, t⟩ state for EvaluateBatch.
+type BatchInput struct {
+	SP, SA []float64
+	T      int
+}
+
+// EvaluateBatch runs both heads on a batch of states in one pass and
+// returns one Output per input, in order.
+//
+// Unlike Forward it is a pure function of the weights: it touches
+// neither the layer caches that Backward consumes nor the BatchNorm
+// running statistics, so it is safe to call concurrently with other
+// EvaluateBatch calls (Forward/Backward must still be externally
+// serialized against it only insofar as they mutate weights — searches
+// never do). Per sample the arithmetic matches Forward operation for
+// operation, so the outputs are bit-identical to evaluating each state
+// alone; the whole batch flows through single MatMul calls big enough
+// to engage the nn package's parallel matmul kernel.
+func (a *Agent) EvaluateBatch(in []BatchInput) []Output {
+	batch := len(in)
+	if batch == 0 {
+		return nil
+	}
+	z := a.Cfg.Zeta
+	n := z * z
+	for i := range in {
+		if len(in[i].SP) != n || len(in[i].SA) != n {
+			panic(fmt.Sprintf("agent: batch state %d length %d/%d, want %d",
+				i, len(in[i].SP), len(in[i].SA), n))
+		}
+	}
+
+	// s_p as the single input channel, channel-major batch layout.
+	sp := make([]float32, batch*n)
+	for b := range in {
+		dst := sp[b*n : (b+1)*n]
+		for i, v := range in[b].SP {
+			dst[i] = float32(v)
+		}
+	}
+
+	h := a.conv1.ForwardBatch(sp, batch, z, z)
+	h = a.bn1.ForwardBatch(h, batch, n)
+	nn.ReLUBatch(h)
+	for _, rb := range a.tower {
+		h = rb.ForwardBatch(h, batch, z, z)
+	}
+	trunk := h // [Channels, batch, n]
+
+	// Policy head.
+	hp := a.convP.ForwardBatch(trunk, batch, z, z)
+	hp = a.bnP.ForwardBatch(hp, batch, n)
+	nn.ReLUBatch(hp)
+	outs := make([]Output, batch)
+	pin := make([]float32, 2*n)
+	for b := range in {
+		// Gather sample b out of the channel-major layout: the flatten
+		// order (channel 0 then channel 1) matches Forward's.
+		copy(pin[:n], hp[b*n:(b+1)*n])
+		copy(pin[n:], hp[(batch+b)*n:(batch+b+1)*n])
+		logits := a.fcP.Apply(pin)
+		saF := make([]float32, n)
+		for i, v := range in[b].SA {
+			saF[i] = float32(v)
+		}
+		outs[b].Probs = nn.MaskedSoftmax(nil, logits, saF)
+	}
+
+	// Value head: concat [trunk, s_p, posEmb(t)] channels per sample.
+	c := a.Cfg.Channels
+	comb := make([]float32, (c+2)*batch*n)
+	copy(comb[:c*batch*n], trunk)
+	copy(comb[c*batch*n:(c+1)*batch*n], sp)
+	for b := range in {
+		copy(comb[(c+1)*batch*n+b*n:], a.posEmb.At(in[b].T))
+	}
+	hv := a.convV.ForwardBatch(comb, batch, z, z)
+	hv = a.bnV.ForwardBatch(hv, batch, n)
+	nn.ReLUBatch(hv)
+	for b := range in {
+		v := a.fc1V.Apply(hv[b*n : (b+1)*n])
+		nn.ReLUBatch(v)
+		v = a.fc2V.Apply(v)
+		nn.ReLUBatch(v)
+		v = a.fc3V.Apply(v)
+		val := v[0]
+		if math.IsNaN(float64(val)) {
+			val = 0
+		}
+		outs[b].Value = val
+	}
+	return outs
+}

@@ -24,7 +24,10 @@ func testOptions() Options {
 			LR:                  1e-3,
 			Seed:                11,
 		},
-		MCTS: mcts.Config{Gamma: 8, Seed: 13},
+		// Workers pinned to 1: TestFlowDeterminism and
+		// TestMCTSRestartsNotWorse compare runs bit-for-bit, which only
+		// the sequential search guarantees.
+		MCTS: mcts.Config{Gamma: 8, Seed: 13, Workers: 1},
 		Seed: 5,
 	}
 }

@@ -38,6 +38,12 @@ type Config struct {
 	Episodes int
 	// Gamma is the MCTS exploration budget per macro group.
 	Gamma int
+	// Workers is the parallel MCTS worker count. It defaults to 1
+	// (sequential) rather than all CPUs: the committed EXPERIMENTS.md
+	// numbers must be bit-reproducible, which only the sequential
+	// search guarantees. Set >1 (or pass -workers to cmd/experiments)
+	// to trade reproducibility for wall-clock speed.
+	Workers int
 	// Channels / ResBlocks set the agent tower size.
 	Channels, ResBlocks int
 	// Seed drives all randomness.
@@ -102,6 +108,9 @@ func (c Config) normalize() Config {
 	if c.ResBlocks <= 0 {
 		c.ResBlocks = 2
 	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
 	if len(c.IBM) == 0 {
 		c.IBM = gen.IBMNames()
 	}
@@ -130,7 +139,7 @@ func (c Config) coreOptions(seedOffset int64) core.Options {
 			Episodes: c.Episodes,
 			Seed:     c.Seed + seedOffset + 200,
 		},
-		MCTS: mcts.Config{Gamma: c.Gamma, Seed: c.Seed + seedOffset + 300},
+		MCTS: mcts.Config{Gamma: c.Gamma, Seed: c.Seed + seedOffset + 300, Workers: c.Workers},
 		Seed: c.Seed + seedOffset,
 	}
 }

@@ -5,11 +5,20 @@
 // π_θ, evaluation uses v_θ at non-terminal nodes (the paper's key
 // runtime reduction — real placements run only at terminal nodes), and
 // backpropagation updates N/W/Q along the path (Eq. 12).
+//
+// The search runs either sequentially (Workers=1, bit-reproducible for
+// a fixed seed) or tree-parallel (Workers>1): concurrent workers
+// descend one shared tree under per-node mutexes, in-flight paths are
+// discouraged by virtual loss, and concurrent leaf evaluations are
+// coalesced by a batcher into single EvaluateBatch passes through the
+// agent. See parallel.go and DESIGN.md §"Parallel search".
 package mcts
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"macroplace/internal/agent"
 	"macroplace/internal/grid"
@@ -41,6 +50,16 @@ type Config struct {
 	Mode EvalMode
 	// Seed drives rollout randomness (Rollout mode only).
 	Seed int64
+	// Workers is the number of concurrent exploration goroutines.
+	// 0 selects runtime.NumCPU(); 1 runs the sequential search, which
+	// is bit-identical to the pre-parallelism implementation for a
+	// fixed seed. Workers>1 is tree-parallel with virtual loss: the
+	// result is a legal allocation of statistically equivalent quality,
+	// but not bit-reproducible across runs (goroutine scheduling
+	// decides which leaves are in flight together). The effective
+	// count is capped at Gamma — more workers than explorations per
+	// commit can never be busy at once.
+	Workers int
 }
 
 // Normalize fills defaults.
@@ -50,6 +69,12 @@ func (c Config) Normalize() Config {
 	}
 	if c.C <= 0 {
 		c.C = 1.05
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -74,10 +99,20 @@ type Result struct {
 	TerminalEvals int
 }
 
+// Node expansion states. A node is created nodeNew; in the parallel
+// search exactly one worker claims it (nodeExpanding) while its leaf
+// evaluation is in flight, and every node ends nodeExpanded. The
+// sequential search moves nodes directly from nodeNew to nodeExpanded.
+const (
+	nodeNew uint8 = iota
+	nodeExpanding
+	nodeExpanded
+)
+
 // node is one state of the search tree.
 type node struct {
-	env      *grid.Env
-	expanded bool
+	env   *grid.Env
+	state uint8
 	// eval is the node's own evaluation (v_θ or terminal reward),
 	// recorded at expansion. It serves as the first-play-urgency
 	// value of its untried edges: with the all-positive reward scale
@@ -96,7 +131,20 @@ type node struct {
 	termEvaled bool
 	termReward float64
 	termWL     float64
+
+	// Parallel-search state. mu guards every mutable field above
+	// (state, eval, the per-edge statistics, the terminal cache) plus
+	// vloss; the sequential search never locks it. vloss counts
+	// in-flight selections per edge: each adds one pessimistic virtual
+	// visit during selection and is reverted by the backup. cond (lazy,
+	// shares mu) wakes workers that reached a node whose expansion
+	// another worker has claimed.
+	mu    sync.Mutex
+	cond  *sync.Cond
+	vloss []int
 }
+
+func (n *node) expanded() bool { return n.state == nodeExpanded }
 
 // Search runs the MCTS stage for one pre-trained agent.
 type Search struct {
@@ -108,6 +156,17 @@ type Search struct {
 	rnd rolloutRNG
 
 	result Result
+
+	// Parallel-search plumbing (nil / unused at Workers=1).
+	// wlMu serializes WL oracle calls: WirelengthFunc implementations
+	// (core.Placer.EvalAnchors in particular) mutate shared scratch
+	// state and are documented as single-goroutine. resMu guards the
+	// shared result fields. vlossVal is the reward charged per virtual
+	// visit. Lock order: node.mu → wlMu → resMu.
+	wlMu     sync.Mutex
+	resMu    sync.Mutex
+	vlossVal float64
+	batch    *evalBatcher
 }
 
 // rolloutRNG is a tiny xorshift so Rollout mode stays deterministic
@@ -137,6 +196,9 @@ func New(cfg Config, ag *agent.Agent, wl rl.WirelengthFunc, scaler rl.Scaler) *S
 // Run executes Alg. 1 lines 11–15 on a fresh clone of env and returns
 // the committed allocation and statistics.
 func (s *Search) Run(env *grid.Env) Result {
+	if s.Cfg.Workers > 1 {
+		return s.runParallel(env)
+	}
 	s.result = Result{BestWirelength: math.Inf(1)}
 	e := env.Clone()
 	e.Reset()
@@ -153,6 +215,12 @@ func (s *Search) Run(env *grid.Env) Result {
 			panic("mcts: no child to commit to")
 		}
 	}
+	return s.finishRun(root)
+}
+
+// finishRun traces the committed terminal node into the result
+// (shared by the sequential and parallel drivers; single-threaded).
+func (s *Search) finishRun(root *node) Result {
 	if !root.env.Done() {
 		panic("mcts: committed path did not reach a terminal state")
 	}
@@ -174,7 +242,7 @@ func (s *Search) Run(env *grid.Env) Result {
 // falling back to the prior makes the committed move degrade
 // gracefully toward the greedy policy instead of an arbitrary index.
 func (s *Search) commit(n *node) *node {
-	if !n.expanded {
+	if !n.expanded() {
 		// γ = 0 or all explorations ended below: force an expansion.
 		s.explore(n)
 	}
@@ -217,7 +285,7 @@ func q(n *node, k int) float64 {
 }
 
 // explore performs one selection→expansion→evaluation→backpropagation
-// pass from n (Fig. 3).
+// pass from n (Fig. 3). Sequential only.
 func (s *Search) explore(n *node) {
 	type edgeRef struct {
 		n *node
@@ -225,7 +293,7 @@ func (s *Search) explore(n *node) {
 	}
 	var path []edgeRef
 	cur := n
-	for cur.expanded && !cur.env.Done() {
+	for cur.expanded() && !cur.env.Done() {
 		k := s.selectEdge(cur)
 		s.child(cur, k)
 		path = append(path, edgeRef{cur, k})
@@ -295,54 +363,43 @@ func (s *Search) child(n *node, k int) {
 	n.children[k] = &node{env: e}
 }
 
-// expand marks n explored, enumerates its legal actions, initialises
-// edge priors from π_θ, and returns the evaluation of n (v_θ in
-// ValueNet mode, a random-rollout reward in Rollout mode).
-func (s *Search) expand(n *node) float64 {
-	env := n.env
-	sa := env.Avail()
-	out := s.Agent.Forward(env.SP(), sa, env.T())
-
+// policyOf enumerates the in-bounds actions of env and their
+// normalised priors from the agent output (uniform fallback when the
+// masked policy zeroed everything).
+func (s *Search) policyOf(env *grid.Env, probs []float32) (actions []int, prior []float64) {
 	ncells := env.G.NumCells()
 	for a := 0; a < ncells; a++ {
 		if !env.InBounds(a) {
 			continue
 		}
-		n.actions = append(n.actions, a)
-		n.prior = append(n.prior, float64(out.Probs[a]))
+		actions = append(actions, a)
+		prior = append(prior, float64(probs[a]))
 	}
-	if len(n.actions) == 0 {
+	if len(actions) == 0 {
 		panic("mcts: non-terminal node with no in-bounds action")
 	}
-	// If the masked policy zeroed everything (no available grid),
-	// fall back to uniform priors over in-bounds actions.
 	var sum float64
-	for _, p := range n.prior {
+	for _, p := range prior {
 		sum += p
 	}
 	if sum <= 0 {
-		u := 1 / float64(len(n.prior))
-		for i := range n.prior {
-			n.prior[i] = u
+		u := 1 / float64(len(prior))
+		for i := range prior {
+			prior[i] = u
 		}
 	} else {
-		for i := range n.prior {
-			n.prior[i] /= sum
+		for i := range prior {
+			prior[i] /= sum
 		}
 	}
-	n.visits = make([]int, len(n.actions))
-	n.value = make([]float64, len(n.actions))
-	n.children = make([]*node, len(n.actions))
-	n.expanded = true
+	return actions, prior
+}
 
-	if s.Cfg.Mode == Rollout {
-		return s.rollout(env)
-	}
-	// Clamp the critic into the calibrated reward range: an untrained
-	// value head can emit arbitrary magnitudes, and any estimate that
-	// outbids every achievable terminal reward would make the search
-	// chase phantoms instead of real placements.
-	v := float64(out.Value)
+// clampValue clamps the critic into the calibrated reward range: an
+// untrained value head can emit arbitrary magnitudes, and any estimate
+// that outbids every achievable terminal reward would make the search
+// chase phantoms instead of real placements.
+func (s *Search) clampValue(v float64) float64 {
 	lo, hi := s.Scaler.Bounds()
 	if v < lo {
 		v = lo
@@ -353,8 +410,32 @@ func (s *Search) expand(n *node) float64 {
 	return v
 }
 
+// expand marks n explored, enumerates its legal actions, initialises
+// edge priors from π_θ, and returns the evaluation of n (v_θ in
+// ValueNet mode, a random-rollout reward in Rollout mode). Sequential
+// only — the parallel search expands in exploreParallel.
+func (s *Search) expand(n *node) float64 {
+	env := n.env
+	sa := env.Avail()
+	out := s.Agent.Forward(env.SP(), sa, env.T())
+
+	n.actions, n.prior = s.policyOf(env, out.Probs)
+	n.visits = make([]int, len(n.actions))
+	n.value = make([]float64, len(n.actions))
+	n.vloss = make([]int, len(n.actions))
+	n.children = make([]*node, len(n.actions))
+	n.state = nodeExpanded
+
+	if s.Cfg.Mode == Rollout {
+		return s.rollout(env)
+	}
+	return s.clampValue(float64(out.Value))
+}
+
 // rollout plays uniform-random in-bounds actions to a terminal state
 // and returns its scaled reward (traditional MCTS evaluation).
+// Sequential only: it draws from the search-wide RNG and updates the
+// result without locks.
 func (s *Search) rollout(env *grid.Env) float64 {
 	e := env.Clone()
 	ncells := e.G.NumCells()

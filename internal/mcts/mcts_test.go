@@ -37,7 +37,7 @@ func untrained() *agent.Agent {
 
 func TestRunProducesLegalCompleteAllocation(t *testing.T) {
 	env, wl := cornerEnv()
-	s := New(Config{Gamma: 16, Seed: 1}, untrained(), wl, testScaler())
+	s := New(Config{Gamma: 16, Seed: 1, Workers: 1}, untrained(), wl, testScaler())
 	res := s.Run(env)
 	if len(res.Anchors) != 3 {
 		t.Fatalf("anchors = %v", res.Anchors)
@@ -61,7 +61,7 @@ func TestRunProducesLegalCompleteAllocation(t *testing.T) {
 
 func TestSearchBeatsRandomOnCornerObjective(t *testing.T) {
 	env, wl := cornerEnv()
-	s := New(Config{Gamma: 100, Seed: 2}, untrained(), wl, testScaler())
+	s := New(Config{Gamma: 100, Seed: 2, Workers: 1}, untrained(), wl, testScaler())
 	res := s.Run(env)
 	// Random average is 3 groups × E[gx+gy] = 3 × 3 = 9. An untrained
 	// critic emits near-constant values that dilute the sparse
@@ -80,7 +80,7 @@ func TestValueNetModeEvaluatesFewTerminals(t *testing.T) {
 	env, wl := cornerEnv()
 	calls := 0
 	countingWL := func(a []int) float64 { calls++; return wl(a) }
-	s := New(Config{Gamma: 12, Seed: 3}, untrained(), countingWL, testScaler())
+	s := New(Config{Gamma: 12, Seed: 3, Workers: 1}, untrained(), countingWL, testScaler())
 	res := s.Run(env)
 	// The paper's runtime claim: terminal placements ≪ explorations.
 	if res.TerminalEvals >= res.Explorations/2 {
@@ -102,7 +102,7 @@ func TestRolloutModeCostsMoreEvaluations(t *testing.T) {
 		env, wl := cornerEnv()
 		calls := 0
 		counting := func(a []int) float64 { calls++; return wl(a) }
-		s := New(Config{Gamma: 8, Seed: 4, Mode: mode}, untrained(), counting, testScaler())
+		s := New(Config{Gamma: 8, Seed: 4, Mode: mode, Workers: 1}, untrained(), counting, testScaler())
 		return s.Run(env), calls
 	}
 	rollout, rolloutCalls := runMode(Rollout)
@@ -118,7 +118,7 @@ func TestRolloutModeCostsMoreEvaluations(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() Result {
 		env, wl := cornerEnv()
-		s := New(Config{Gamma: 10, Seed: 5}, untrained(), wl, testScaler())
+		s := New(Config{Gamma: 10, Seed: 5, Workers: 1}, untrained(), wl, testScaler())
 		return s.Run(env)
 	}
 	a, b := run(), run()
@@ -129,7 +129,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestBestSeenAtLeastAsGoodAsCommitted(t *testing.T) {
 	env, wl := cornerEnv()
-	s := New(Config{Gamma: 20, Seed: 6}, untrained(), wl, testScaler())
+	s := New(Config{Gamma: 20, Seed: 6, Workers: 1}, untrained(), wl, testScaler())
 	res := s.Run(env)
 	if res.BestWirelength > res.Wirelength {
 		t.Errorf("best-seen %v worse than committed %v", res.BestWirelength, res.Wirelength)
@@ -143,7 +143,7 @@ func TestGammaZeroStillCompletes(t *testing.T) {
 	// Gamma normalizes to a positive default; explicit tiny budget of
 	// 1 exploration per move must still produce a full allocation.
 	env, wl := cornerEnv()
-	s := New(Config{Gamma: 1, Seed: 7}, untrained(), wl, testScaler())
+	s := New(Config{Gamma: 1, Seed: 7, Workers: 1}, untrained(), wl, testScaler())
 	res := s.Run(env)
 	if len(res.Anchors) != 3 {
 		t.Fatalf("anchors = %v", res.Anchors)
@@ -158,7 +158,7 @@ func TestMCTSImprovesOnGreedyRL(t *testing.T) {
 	tr := rl.NewTrainer(rl.Config{Episodes: 60, UpdateEvery: 10, CalibrationEpisodes: 10, Seed: 8}, ag, env.Clone(), wl)
 	tr.Run()
 	_, greedyWL := rl.PlayGreedy(ag, env.Clone(), wl)
-	search := New(Config{Gamma: 8, Seed: 9}, ag, wl, tr.Scaler)
+	search := New(Config{Gamma: 8, Seed: 9, Workers: 1}, ag, wl, tr.Scaler)
 	res := search.Run(env)
 	if res.Wirelength > greedyWL {
 		t.Errorf("MCTS (%v) lost to greedy RL (%v)", res.Wirelength, greedyWL)
@@ -170,9 +170,15 @@ func TestConfigNormalize(t *testing.T) {
 	if c.Gamma != 40 || c.C != 1.05 {
 		t.Errorf("defaults = %+v, want paper values", c)
 	}
-	c2 := Config{Gamma: 3, C: 2}.Normalize()
-	if c2.Gamma != 3 || c2.C != 2 {
+	if c.Workers < 1 {
+		t.Errorf("Workers normalized to %d, want >= 1 (NumCPU default)", c.Workers)
+	}
+	c2 := Config{Gamma: 3, C: 2, Workers: 6}.Normalize()
+	if c2.Gamma != 3 || c2.C != 2 || c2.Workers != 6 {
 		t.Error("explicit values must survive")
+	}
+	if w := (Config{Workers: -3}).Normalize().Workers; w != 1 {
+		t.Errorf("negative Workers normalized to %d, want 1", w)
 	}
 }
 
@@ -181,7 +187,7 @@ func TestConfigNormalize(t *testing.T) {
 // explorations build on earlier work instead of restarting.
 func TestTreeReuseAcrossCommits(t *testing.T) {
 	env, wl := cornerEnv()
-	s := New(Config{Gamma: 12, Seed: 12}, untrained(), wl, testScaler())
+	s := New(Config{Gamma: 12, Seed: 12, Workers: 1}, untrained(), wl, testScaler())
 	e := env.Clone()
 	e.Reset()
 	root := &node{env: e}
@@ -197,7 +203,7 @@ func TestTreeReuseAcrossCommits(t *testing.T) {
 	}
 	// The committed child accumulated visits during the first batch of
 	// explorations; tree reuse means it is (usually) already expanded.
-	if !next.expanded {
+	if !next.expanded() {
 		t.Log("committed child not expanded (legal but unusual at γ=12)")
 	}
 	totalVisits := 0
@@ -214,7 +220,7 @@ func TestTreeReuseAcrossCommits(t *testing.T) {
 // update N and W on every edge from the leaf to the root (Eq. 12).
 func TestBackpropUpdatesWholePath(t *testing.T) {
 	env, wl := cornerEnv()
-	s := New(Config{Gamma: 1, Seed: 13}, untrained(), wl, testScaler())
+	s := New(Config{Gamma: 1, Seed: 13, Workers: 1}, untrained(), wl, testScaler())
 	e := env.Clone()
 	e.Reset()
 	root := &node{env: e}
@@ -256,7 +262,7 @@ func TestNoTunnelingWithPeakedPriors(t *testing.T) {
 	// Search against the TRUE oracle with a modest budget: terminal
 	// rewards contradict the prior, and the search must listen.
 	scaler := rl.Calibrate(rl.Shaped, []float64{0, 6, 12}, 0.75)
-	s := New(Config{Gamma: 60, Seed: 22}, ag, wl, scaler)
+	s := New(Config{Gamma: 60, Seed: 22, Workers: 1}, ag, wl, scaler)
 	res := s.Run(env)
 	if res.Wirelength >= greedyWL {
 		t.Errorf("search (%v) did not improve on the misleading greedy policy (%v)", res.Wirelength, greedyWL)

@@ -1,0 +1,367 @@
+package mcts
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"macroplace/internal/agent"
+	"macroplace/internal/grid"
+)
+
+// Tree-parallel search (Workers > 1).
+//
+// All workers of one commit step descend the same tree concurrently:
+//
+//   - Per-node statistics are guarded by node.mu; a path is locked one
+//     node at a time (selection and backup), never two nodes at once,
+//     so there is no lock-ordering hazard between nodes.
+//   - Virtual loss: selecting edge k increments node.vloss[k]; the
+//     backup that completes the pass decrements it again. While in
+//     flight, the edge is scored as if it had already returned vloss
+//     extra visits at the calibrated worst-case reward
+//     (Scaler.VirtualLoss), which steers concurrent workers onto
+//     distinct paths instead of all racing down the current argmax.
+//   - Expansion is claimed: the first worker to reach a nodeNew leaf
+//     flips it to nodeExpanding and evaluates it outside the lock;
+//     later arrivals wait on the node's cond until the claimer
+//     publishes the expansion (nodeExpanded) and broadcasts.
+//   - All agent evaluations go through an evalBatcher: a dedicated
+//     goroutine that drains whatever requests are pending — never
+//     waiting to fill a batch, so it cannot deadlock — and evaluates
+//     them in one pure EvaluateBatch pass. Agent.Forward itself is
+//     stateful and is never called while workers run.
+//   - The wirelength oracle is serialized behind wlMu
+//     (WirelengthFunc is documented single-goroutine), and the shared
+//     Result fields behind resMu. Lock order: node.mu → wlMu → resMu.
+//
+// Between commit steps the tree is quiescent (WaitGroup barrier), so
+// commit and finishRun reuse the sequential code unchanged.
+
+// edgeRef records one selected edge of an exploration path.
+type edgeRef struct {
+	n *node
+	k int
+}
+
+// workerState is the per-goroutine state of one search worker. Each
+// worker owns a rollout RNG seeded from Cfg.Seed and its worker index,
+// so Rollout mode needs no RNG lock (sequences differ from the
+// sequential search's, which is inherent to parallel rollouts).
+type workerState struct {
+	rnd rolloutRNG
+}
+
+// runParallel is the Workers>1 counterpart of Run: the same
+// steps × (γ explorations, commit) schedule, with each step's γ
+// explorations distributed over the workers by an atomic ticket
+// counter (exactly γ passes happen, regardless of how the scheduler
+// interleaves the workers).
+func (s *Search) runParallel(env *grid.Env) Result {
+	s.result = Result{BestWirelength: math.Inf(1)}
+	s.vlossVal = s.Scaler.VirtualLoss()
+	workers := s.Cfg.Workers
+	if workers > s.Cfg.Gamma {
+		workers = s.Cfg.Gamma
+	}
+	s.batch = newEvalBatcher(s.Agent, workers)
+	defer func() {
+		s.batch.stop()
+		s.batch = nil
+	}()
+
+	e := env.Clone()
+	e.Reset()
+	root := &node{env: e}
+	steps := e.NumSteps()
+
+	wks := make([]*workerState, workers)
+	for i := range wks {
+		wks[i] = &workerState{rnd: rolloutRNG{s: uint64(s.Cfg.Seed) + 1 + uint64(i+1)*0x9E3779B97F4A7C15}}
+	}
+
+	for t := 0; t < steps; t++ {
+		var tickets int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for _, wk := range wks {
+			go func(wk *workerState) {
+				defer wg.Done()
+				for atomic.AddInt64(&tickets, 1) <= int64(s.Cfg.Gamma) {
+					s.exploreParallel(root, wk)
+				}
+			}(wk)
+		}
+		wg.Wait()
+		s.result.Explorations += s.Cfg.Gamma
+		root = s.commit(root)
+		if root == nil {
+			panic("mcts: no child to commit to")
+		}
+	}
+	return s.finishRun(root)
+}
+
+// exploreParallel is one selection→expansion→evaluation→backup pass
+// under the tree-parallel protocol.
+func (s *Search) exploreParallel(root *node, wk *workerState) {
+	var path []edgeRef
+	cur := root
+	for {
+		cur.mu.Lock()
+		if cur.env.Done() {
+			v := s.terminalValueLocked(cur)
+			cur.mu.Unlock()
+			s.backup(path, v)
+			return
+		}
+		if cur.state == nodeNew {
+			cur.state = nodeExpanding
+			cur.mu.Unlock()
+			v := s.expandParallel(cur, wk)
+			s.backup(path, v)
+			return
+		}
+		for cur.state == nodeExpanding {
+			if cur.cond == nil {
+				cur.cond = sync.NewCond(&cur.mu)
+			}
+			cur.cond.Wait()
+		}
+		k := s.selectEdgeVL(cur)
+		s.childLocked(cur, k)
+		cur.vloss[k]++
+		next := cur.children[k]
+		cur.mu.Unlock()
+		path = append(path, edgeRef{cur, k})
+		cur = next
+	}
+}
+
+// selectEdgeVL is selectEdge with virtual loss folded into both Q and
+// the visit counts of Eq. (10)/(11): an edge with vloss in-flight
+// passes is scored as if those passes had already returned the
+// calibrated worst-case reward. Caller holds n.mu.
+func (s *Search) selectEdgeVL(n *node) int {
+	total := 0
+	for k := range n.visits {
+		total += n.visits[k] + n.vloss[k]
+	}
+	sqrtTotal := math.Sqrt(float64(total))
+	best, bestScore := -1, math.Inf(-1)
+	for k := range n.actions {
+		nk := n.visits[k] + n.vloss[k]
+		var qv float64
+		if nk == 0 {
+			qv = n.eval
+		} else {
+			qv = (n.value[k] + float64(n.vloss[k])*s.vlossVal) / float64(nk)
+		}
+		u := s.Cfg.C * n.prior[k] * sqrtTotal / float64(1+nk)
+		score := qv + u
+		if score > bestScore || (score == bestScore && best >= 0 && n.prior[k] > n.prior[best]) {
+			best, bestScore = k, score
+		}
+	}
+	if best < 0 {
+		panic("mcts: node has no actions")
+	}
+	return best
+}
+
+// childLocked materialises child k of n. Caller holds n.mu, which
+// makes the lazy creation race-free; the clone/step work on the new
+// child's private env.
+func (s *Search) childLocked(n *node, k int) {
+	if n.children[k] != nil {
+		return
+	}
+	e := n.env.Clone()
+	if err := e.Step(n.actions[k]); err != nil {
+		panic(fmt.Sprintf("mcts: illegal expansion action: %v", err))
+	}
+	n.children[k] = &node{env: e}
+}
+
+// terminalValueLocked returns the cached terminal reward of n,
+// evaluating the real placement on first visit. Caller holds n.mu;
+// the WL oracle and shared result are taken in lock order.
+func (s *Search) terminalValueLocked(n *node) float64 {
+	if !n.termEvaled {
+		anchors := n.env.Anchors()
+		s.wlMu.Lock()
+		wl := s.WL(anchors)
+		s.wlMu.Unlock()
+		n.termWL = wl
+		n.termReward = s.Scaler.Reward(wl)
+		n.termEvaled = true
+		s.resMu.Lock()
+		s.result.TerminalEvals++
+		if wl < s.result.BestWirelength {
+			s.result.BestWirelength = wl
+			s.result.BestAnchors = anchors
+		}
+		s.resMu.Unlock()
+	}
+	return n.termReward
+}
+
+// expandParallel evaluates and publishes a claimed leaf. The agent
+// evaluation (and in Rollout mode the random playout) runs with no
+// node lock held; the expansion is then published under n.mu and any
+// workers parked on the claim are woken.
+func (s *Search) expandParallel(n *node, wk *workerState) float64 {
+	env := n.env
+	out := s.batch.eval(env.SP(), env.Avail(), env.T())
+	actions, prior := s.policyOf(env, out.Probs)
+
+	var v float64
+	if s.Cfg.Mode == Rollout {
+		v = s.rolloutParallel(env, wk)
+	} else {
+		v = s.clampValue(float64(out.Value))
+	}
+
+	n.mu.Lock()
+	n.actions, n.prior = actions, prior
+	n.visits = make([]int, len(actions))
+	n.value = make([]float64, len(actions))
+	n.vloss = make([]int, len(actions))
+	n.children = make([]*node, len(actions))
+	n.eval = v
+	n.state = nodeExpanded
+	if n.cond != nil {
+		n.cond.Broadcast()
+	}
+	n.mu.Unlock()
+	return v
+}
+
+// rolloutParallel is rollout with the worker's private RNG and the
+// shared oracle/result taken under their locks.
+func (s *Search) rolloutParallel(env *grid.Env, wk *workerState) float64 {
+	e := env.Clone()
+	ncells := e.G.NumCells()
+	for !e.Done() {
+		var legal []int
+		for a := 0; a < ncells; a++ {
+			if e.InBounds(a) {
+				legal = append(legal, a)
+			}
+		}
+		if err := e.Step(legal[wk.rnd.intn(len(legal))]); err != nil {
+			panic(fmt.Sprintf("mcts: illegal rollout action: %v", err))
+		}
+	}
+	anchors := e.Anchors()
+	s.wlMu.Lock()
+	wl := s.WL(anchors)
+	s.wlMu.Unlock()
+	s.resMu.Lock()
+	s.result.TerminalEvals++
+	if wl < s.result.BestWirelength {
+		s.result.BestWirelength = wl
+		s.result.BestAnchors = anchors
+	}
+	s.resMu.Unlock()
+	return s.Scaler.Reward(wl)
+}
+
+// backup propagates v along the selected path, reverting each edge's
+// virtual loss. Nodes are locked one at a time.
+func (s *Search) backup(path []edgeRef, v float64) {
+	for _, e := range path {
+		e.n.mu.Lock()
+		e.n.visits[e.k]++
+		e.n.value[e.k] += v
+		e.n.vloss[e.k]--
+		e.n.mu.Unlock()
+	}
+}
+
+// evalReq is one pending leaf evaluation.
+type evalReq struct {
+	sp, sa []float64
+	t      int
+	out    chan agent.Output
+}
+
+// evalBatcher coalesces concurrent leaf evaluations into single
+// EvaluateBatch passes. One dedicated goroutine blocks for the first
+// request, then drains — without waiting — whatever else is already
+// queued (capped at maxBatch, the worker count, which bounds the
+// possible concurrency). Because it never waits to fill a batch, a
+// lone request is evaluated immediately and the batcher can never
+// deadlock the search.
+type evalBatcher struct {
+	ag   *agent.Agent
+	req  chan *evalReq
+	done chan struct{}
+	max  int
+}
+
+func newEvalBatcher(ag *agent.Agent, maxBatch int) *evalBatcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &evalBatcher{
+		ag:   ag,
+		req:  make(chan *evalReq, maxBatch),
+		done: make(chan struct{}),
+		max:  maxBatch,
+	}
+	go b.loop()
+	return b
+}
+
+// eval submits one state and blocks for its output.
+func (b *evalBatcher) eval(sp, sa []float64, t int) agent.Output {
+	r := &evalReq{sp: sp, sa: sa, t: t, out: make(chan agent.Output, 1)}
+	b.req <- r
+	return <-r.out
+}
+
+// stop shuts the batcher down. No eval may be in flight or issued
+// afterwards (the search joins all workers before calling it).
+func (b *evalBatcher) stop() {
+	close(b.req)
+	<-b.done
+}
+
+func (b *evalBatcher) loop() {
+	defer close(b.done)
+	pending := make([]*evalReq, 0, b.max)
+	for {
+		r, ok := <-b.req
+		if !ok {
+			return
+		}
+		pending = append(pending[:0], r)
+		closed := false
+	drain:
+		for len(pending) < b.max {
+			select {
+			case r2, ok2 := <-b.req:
+				if !ok2 {
+					closed = true
+					break drain
+				}
+				pending = append(pending, r2)
+			default:
+				break drain
+			}
+		}
+		ins := make([]agent.BatchInput, len(pending))
+		for i, r2 := range pending {
+			ins[i] = agent.BatchInput{SP: r2.sp, SA: r2.sa, T: r2.t}
+		}
+		outs := b.ag.EvaluateBatch(ins)
+		for i, r2 := range pending {
+			r2.out <- outs[i]
+		}
+		if closed {
+			return
+		}
+	}
+}

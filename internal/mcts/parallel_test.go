@@ -1,0 +1,309 @@
+package mcts
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"macroplace/internal/agent"
+)
+
+// TestSequentialGoldenValueNet pins the Workers=1 search bit-for-bit
+// to the pre-parallelism implementation: these values were captured
+// from the sequential-only revision of this package on the identical
+// configuration. If this test fails, the Workers=1 path is no longer
+// the same search — the parallel refactor's core compatibility
+// promise.
+func TestSequentialGoldenValueNet(t *testing.T) {
+	env, wl := cornerEnv()
+	s := New(Config{Gamma: 16, Seed: 1, Workers: 1}, untrained(), wl, testScaler())
+	res := s.Run(env)
+	if want := []int{0, 11, 2}; !reflect.DeepEqual(res.Anchors, want) {
+		t.Errorf("anchors = %v, want %v", res.Anchors, want)
+	}
+	if res.Wirelength != 7 {
+		t.Errorf("wirelength = %v, want 7", res.Wirelength)
+	}
+	if want := []int{0, 11, 4}; !reflect.DeepEqual(res.BestAnchors, want) {
+		t.Errorf("best anchors = %v, want %v", res.BestAnchors, want)
+	}
+	if res.BestWirelength != 6 {
+		t.Errorf("best wirelength = %v, want 6", res.BestWirelength)
+	}
+	if res.Explorations != 48 || res.TerminalEvals != 5 {
+		t.Errorf("explorations/terminal = %d/%d, want 48/5", res.Explorations, res.TerminalEvals)
+	}
+}
+
+// TestSequentialGoldenRollout is the same pin for Rollout mode, whose
+// RNG consumption pattern is part of the contract.
+func TestSequentialGoldenRollout(t *testing.T) {
+	env, wl := cornerEnv()
+	s := New(Config{Gamma: 8, Seed: 4, Mode: Rollout, Workers: 1}, untrained(), wl, testScaler())
+	res := s.Run(env)
+	if want := []int{0, 4, 12}; !reflect.DeepEqual(res.Anchors, want) {
+		t.Errorf("anchors = %v, want %v", res.Anchors, want)
+	}
+	if res.Wirelength != 4 {
+		t.Errorf("wirelength = %v, want 4", res.Wirelength)
+	}
+	if want := []int{0, 1, 0}; !reflect.DeepEqual(res.BestAnchors, want) {
+		t.Errorf("best anchors = %v, want %v", res.BestAnchors, want)
+	}
+	if res.BestWirelength != 1 {
+		t.Errorf("best wirelength = %v, want 1", res.BestWirelength)
+	}
+	if res.Explorations != 24 || res.TerminalEvals != 23 {
+		t.Errorf("explorations/terminal = %d/%d, want 24/23", res.Explorations, res.TerminalEvals)
+	}
+}
+
+// TestRolloutRNGSequence pins the xorshift stream: any change to the
+// generator silently reshuffles every Rollout-mode result, so the raw
+// sequence is part of the determinism contract.
+func TestRolloutRNGSequence(t *testing.T) {
+	r := rolloutRNG{s: 6}
+	want := []uint64{
+		6493618566, 6917957923746380165, 6505058164714682422,
+		10224128199878004934, 17552190736972984807, 4679539684239733316,
+		16930558607984493728, 7109333143536377513,
+	}
+	for i, w := range want {
+		if got := r.next(); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+	// The zero state must self-seed, not emit zeros forever.
+	z := rolloutRNG{}
+	if got := z.next(); got != 15860402102123842989 {
+		t.Errorf("zero-seed first draw = %d, want 15860402102123842989", got)
+	}
+}
+
+// TestParallelLegalAndCloseToSequential: at every worker count the
+// search must return a complete, legal allocation whose quality is
+// statistically equivalent to the sequential search. Virtual loss
+// perturbs exploration order, so exact equality is not expected; on
+// the corner objective (random mean 9, optimum 3) "equivalent" means
+// staying within the band the sequential searches of mcts_test.go
+// also land in.
+func TestParallelLegalAndCloseToSequential(t *testing.T) {
+	env, wl := cornerEnv()
+	seq := New(Config{Gamma: 32, Seed: 3, Workers: 1}, untrained(), wl, testScaler()).Run(env)
+	for _, workers := range []int{2, 4, 8} {
+		for trial := 0; trial < 3; trial++ {
+			s := New(Config{Gamma: 32, Seed: int64(3 + trial), Workers: workers}, untrained(), wl, testScaler())
+			res := s.Run(env)
+			if len(res.Anchors) != 3 {
+				t.Fatalf("workers=%d: anchors = %v", workers, res.Anchors)
+			}
+			for _, a := range res.Anchors {
+				if a < 0 || a >= env.G.NumCells() {
+					t.Fatalf("workers=%d: illegal anchor %d", workers, a)
+				}
+			}
+			if res.Wirelength != wl(res.Anchors) {
+				t.Fatalf("workers=%d: reported wirelength mismatch", workers)
+			}
+			if res.BestWirelength > res.Wirelength {
+				t.Fatalf("workers=%d: best %v worse than committed %v", workers, res.BestWirelength, res.Wirelength)
+			}
+			if res.Explorations != 3*32 {
+				t.Fatalf("workers=%d: explorations = %d, want 96 (ticket loss)", workers, res.Explorations)
+			}
+			if math.Abs(res.Wirelength-seq.Wirelength) > 4 {
+				t.Errorf("workers=%d trial %d: wirelength %v too far from sequential %v",
+					workers, trial, res.Wirelength, seq.Wirelength)
+			}
+		}
+	}
+}
+
+// TestParallelRolloutMode: the traditional-rollout ablation must also
+// survive parallel execution (distinct per-worker RNG streams, oracle
+// serialization).
+func TestParallelRolloutMode(t *testing.T) {
+	env, wl := cornerEnv()
+	s := New(Config{Gamma: 16, Seed: 5, Mode: Rollout, Workers: 4}, untrained(), wl, testScaler())
+	res := s.Run(env)
+	if len(res.Anchors) != 3 {
+		t.Fatalf("anchors = %v", res.Anchors)
+	}
+	if res.Explorations != 48 {
+		t.Errorf("explorations = %d, want 48", res.Explorations)
+	}
+	// Every exploration in rollout mode either plays out a fresh leaf
+	// (one oracle call) or re-hits a cached terminal, so terminal evals
+	// are bounded by explorations but must be plentiful.
+	if res.TerminalEvals == 0 || res.TerminalEvals > res.Explorations {
+		t.Errorf("terminal evals = %d vs %d explorations", res.TerminalEvals, res.Explorations)
+	}
+}
+
+// TestParallelOracleAccounting: every real placement evaluation is one
+// serialized oracle call; the final trace adds exactly one. This must
+// hold regardless of interleaving — it is how the paper's
+// runtime-reduction claim is measured.
+func TestParallelOracleAccounting(t *testing.T) {
+	env, wl := cornerEnv()
+	var mu sync.Mutex
+	calls := 0
+	counting := func(a []int) float64 {
+		// The search serializes oracle calls; the lock makes the test
+		// itself race-clean even if that contract were broken (the
+		// count comparison below would then flag it, and -race flags
+		// unserialized calls through the unsynchronized cornerEnv
+		// closure state in the stress test).
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return wl(a)
+	}
+	s := New(Config{Gamma: 12, Seed: 6, Workers: 4}, untrained(), counting, testScaler())
+	res := s.Run(env)
+	if calls != res.TerminalEvals+1 {
+		t.Errorf("oracle calls = %d, want TerminalEvals+1 = %d", calls, res.TerminalEvals+1)
+	}
+	if res.TerminalEvals >= res.Explorations/2 {
+		t.Errorf("terminal evals %d vs explorations %d — batched value-net mode must still avoid placements",
+			res.TerminalEvals, res.Explorations)
+	}
+}
+
+// TestParallelStress is the dedicated race-detector workload: many
+// workers on a tiny exploration budget maximise contention on the
+// shared tree (expansion claims, virtual-loss counters, the batcher,
+// the terminal cache). Run it with `go test -race`.
+func TestParallelStress(t *testing.T) {
+	for _, mode := range []EvalMode{ValueNet, Rollout} {
+		for trial := 0; trial < 4; trial++ {
+			env, wl := cornerEnv()
+			var mu sync.Mutex
+			oracleBusy := false
+			serialWL := func(a []int) float64 {
+				// Assert the single-goroutine oracle contract.
+				mu.Lock()
+				if oracleBusy {
+					mu.Unlock()
+					panic("mcts: concurrent WirelengthFunc calls")
+				}
+				oracleBusy = true
+				mu.Unlock()
+				v := wl(a)
+				mu.Lock()
+				oracleBusy = false
+				mu.Unlock()
+				return v
+			}
+			// Workers deliberately exceeds Gamma: the cap must keep
+			// surplus goroutines from starting.
+			s := New(Config{Gamma: 6, Seed: int64(trial), Mode: mode, Workers: 16}, untrained(), serialWL, testScaler())
+			res := s.Run(env)
+			if len(res.Anchors) != 3 || res.Explorations != 18 {
+				t.Fatalf("mode=%v trial=%d: anchors=%v explorations=%d",
+					mode, trial, res.Anchors, res.Explorations)
+			}
+		}
+	}
+}
+
+// TestParallelVirtualLossReverted (white box): after a step's barrier
+// every in-flight marker must be gone — leaked virtual loss would
+// permanently depress an edge's Q and skew all later steps.
+func TestParallelVirtualLossReverted(t *testing.T) {
+	env, wl := cornerEnv()
+	s := New(Config{Gamma: 24, Seed: 8, Workers: 4}, untrained(), wl, testScaler())
+	res := s.Run(env)
+	if len(res.Anchors) != 3 {
+		t.Fatal("incomplete run")
+	}
+	// Re-run the first step manually and inspect the tree.
+	s2 := New(Config{Gamma: 24, Seed: 8, Workers: 4}, untrained(), wl, testScaler())
+	s2.result = Result{BestWirelength: math.Inf(1)}
+	s2.vlossVal = s2.Scaler.VirtualLoss()
+	s2.batch = newEvalBatcher(s2.Agent, 4)
+	defer s2.batch.stop()
+	e := env.Clone()
+	e.Reset()
+	root := &node{env: e}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wk := &workerState{rnd: rolloutRNG{s: uint64(id + 1)}}
+			for i := 0; i < 6; i++ {
+				s2.exploreParallel(root, wk)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var walk func(n *node)
+	walk = func(n *node) {
+		for k := range n.vloss {
+			if n.vloss[k] != 0 {
+				t.Fatalf("leaked virtual loss %d on an edge", n.vloss[k])
+			}
+			if n.children[k] != nil {
+				walk(n.children[k])
+			}
+		}
+	}
+	walk(root)
+	// All 24 tickets must have landed as real visits on the root —
+	// minus the one pass that expanded the root itself (empty path,
+	// no edge visit), exactly like the sequential accounting.
+	total := 0
+	for _, v := range root.visits {
+		total += v
+	}
+	if total != 23 {
+		t.Errorf("root visits = %d, want 23 (24 passes, 1 root expansion)", total)
+	}
+}
+
+// TestBatcherCoalesces (white box): concurrent eval calls must come
+// back correct, and a lone request must not wait for company.
+func TestBatcherCoalesces(t *testing.T) {
+	ag := untrained()
+	b := newEvalBatcher(ag, 8)
+	defer b.stop()
+	env, _ := cornerEnv()
+	env.Reset()
+	sp, sa, tt := env.SP(), env.Avail(), env.T()
+	want := ag.EvaluateBatch([]agent.BatchInput{{SP: sp, SA: sa, T: tt}})[0]
+
+	// Lone request (must return promptly, not deadlock).
+	got := b.eval(sp, sa, tt)
+	if got.Value != want.Value {
+		t.Fatalf("lone eval value %v != %v", got.Value, want.Value)
+	}
+
+	// Concurrent burst: all replies must be bit-identical to the
+	// single-state evaluation regardless of how they were batched.
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := b.eval(sp, sa, tt)
+			if o.Value != want.Value {
+				errs <- "batched value diverged"
+				return
+			}
+			for j := range o.Probs {
+				if o.Probs[j] != want.Probs[j] {
+					errs <- "batched probs diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,188 @@
+package nn
+
+import "math"
+
+// Batched inference kernels.
+//
+// The training path (Forward/Backward) keeps per-layer caches and is
+// therefore stateful: one goroutine, one sample at a time. The batched
+// kernels below are the inference-only counterparts used by the MCTS
+// evaluation batcher: they are pure functions of the layer weights —
+// no caches, no BatchNorm running-statistic updates — so they are safe
+// to call concurrently, and they coalesce a whole batch into single
+// MatMul calls large enough to engage the parallel matmul kernel.
+//
+// Batched feature maps are stored channel-major over the batch:
+// element (c, b, i) of a [C, B, H*W] map lives at x[(c*B+b)*hw + i].
+// This layout keeps every per-channel operation (convolution bias,
+// BatchNorm, the im2col rows) contiguous and makes the batched
+// convolution a single [Cout × Cin·K²] · [Cin·K² × B·H·W] product.
+//
+// Per sample, every kernel performs the same float32 operations in the
+// same order as its sequential Forward counterpart, so a batched
+// evaluation is bit-identical to evaluating each sample alone (the
+// MCTS determinism tests rely on this).
+
+// ForwardBatch applies the convolution to a batch of [Cin, H, W]
+// feature maps in channel-major batch layout. It is pure: the backward
+// caches of Forward are untouched.
+func (c *Conv2D) ForwardBatch(x []float32, batch, h, w int) []float32 {
+	hw := h * w
+	if len(x) < c.Cin*batch*hw {
+		panic("nn: Conv2D.ForwardBatch input too small")
+	}
+	ck := c.Cin * c.K * c.K
+	cols := make([]float32, ck*batch*hw)
+	im2colBatch(cols, x, c.Cin, batch, h, w, c.K, c.Pad)
+
+	out := make([]float32, c.Cout*batch*hw)
+	MatMul(out, c.Weight.W, cols, c.Cout, ck, batch*hw)
+	bhw := batch * hw
+	for co := 0; co < c.Cout; co++ {
+		b := c.Bias.W[co]
+		row := out[co*bhw : (co+1)*bhw]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return out
+}
+
+// im2colBatch lowers a channel-major batch [Cin, B, H*W] into
+// cols[Cin*K*K, B*H*W]: sample b of row r occupies columns
+// [b*hw, (b+1)*hw), so the per-sample columns are exactly the ones
+// im2col produces for that sample alone.
+func im2colBatch(cols, x []float32, cin, batch, h, w, k, pad int) {
+	hw := h * w
+	bhw := batch * hw
+	row := 0
+	for ci := 0; ci < cin; ci++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				for b := 0; b < batch; b++ {
+					xc := x[(ci*batch+b)*hw : (ci*batch+b+1)*hw]
+					dst := cols[row*bhw+b*hw : row*bhw+(b+1)*hw]
+					for oy := 0; oy < h; oy++ {
+						iy := oy + ky - pad
+						base := oy * w
+						if iy < 0 || iy >= h {
+							for ox := 0; ox < w; ox++ {
+								dst[base+ox] = 0
+							}
+							continue
+						}
+						ib := iy * w
+						for ox := 0; ox < w; ox++ {
+							ix := ox + kx - pad
+							if ix < 0 || ix >= w {
+								dst[base+ox] = 0
+							} else {
+								dst[base+ox] = xc[ib+ix]
+							}
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// ForwardBatch normalises a channel-major batch with the same
+// per-sample spatial statistics the training-mode Forward uses (the
+// batch dimension is 1 throughout the sequential code, so statistics
+// always come from one sample's H×W extent). Unlike Forward it never
+// touches RunMean/RunVar, which keeps it pure and concurrency-safe;
+// the per-sample outputs are identical because training-mode outputs
+// never depend on the running statistics.
+func (bn *BatchNorm2D) ForwardBatch(x []float32, batch, hw int) []float32 {
+	if len(x) < bn.C*batch*hw {
+		panic("nn: BatchNorm2D.ForwardBatch input too small")
+	}
+	out := make([]float32, bn.C*batch*hw)
+	n := float32(hw)
+	for c := 0; c < bn.C; c++ {
+		g, b := bn.Gamma.W[c], bn.Beta.W[c]
+		for s := 0; s < batch; s++ {
+			xc := x[(c*batch+s)*hw : (c*batch+s+1)*hw]
+			var mean, varv float32
+			for _, v := range xc {
+				mean += v
+			}
+			mean /= n
+			for _, v := range xc {
+				d := v - mean
+				varv += d * d
+			}
+			varv /= n
+			// Same float64 round trip as the sequential Forward so the
+			// batched output is bit-identical per sample.
+			inv := 1 / float32(math.Sqrt(float64(varv+bn.Eps)))
+			oc := out[(c*batch+s)*hw : (c*batch+s+1)*hw]
+			for i, v := range xc {
+				// Same association as Forward (g·x̂ + b with
+				// x̂ = (v−mean)·inv): float multiplication is not
+				// associative and the contract is bit-identity.
+				oc[i] = g*((v-mean)*inv) + b
+			}
+		}
+	}
+	return out
+}
+
+// ReLUBatch rectifies in place and returns x (pure w.r.t. layer
+// state: no backward mask is recorded).
+func ReLUBatch(x []float32) []float32 {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	return x
+}
+
+// ForwardBatch applies the residual block to a channel-major batch.
+func (b *ResBlock) ForwardBatch(x []float32, batch, h, w int) []float32 {
+	hw := h * w
+	out := b.Conv1.ForwardBatch(x, batch, h, w)
+	out = b.BN1.ForwardBatch(out, batch, hw)
+	ReLUBatch(out)
+	out = b.Conv2.ForwardBatch(out, batch, h, w)
+	out = b.BN2.ForwardBatch(out, batch, hw)
+	for i := range out {
+		out[i] += x[i]
+	}
+	return ReLUBatch(out)
+}
+
+// Apply computes W·x + b without recording the backward cache: the
+// pure single-sample counterpart of Forward, with the identical
+// accumulation order.
+func (l *Linear) Apply(x []float32) []float32 {
+	if len(x) != l.In {
+		panic("nn: Linear.Apply input length mismatch")
+	}
+	out := make([]float32, l.Out)
+	for o := 0; o < l.Out; o++ {
+		row := l.Weight.W[o*l.In : (o+1)*l.In]
+		s := l.Bias.W[o]
+		for i, v := range x {
+			s += row[i] * v
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// At returns row id of the table (clamped like Lookup) without
+// recording the gradient target. The slice aliases the weights: it is
+// read-only.
+func (e *Embedding) At(id int) []float32 {
+	if id < 0 {
+		id = 0
+	}
+	if id >= e.N {
+		id = e.N - 1
+	}
+	return e.Weight.W[id*e.D : (id+1)*e.D]
+}

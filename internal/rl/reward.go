@@ -99,3 +99,17 @@ func (s Scaler) Bounds() (lo, hi float64) {
 	}
 	return lo, hi
 }
+
+// VirtualLoss returns the reward charged to an in-flight edge by the
+// tree-parallel MCTS (applied on selection, reverted on backup): the
+// calibration lower bound, i.e. the most pessimistic reward random
+// play has produced. On the all-positive scale of Eq. (9) a naive
+// virtual "loss" of 0 would be far below any achievable reward and
+// would over-diversify the workers into uniform search; the
+// calibrated bound makes an in-flight path look exactly as bad as the
+// worst real outcome, which is the standard virtual-loss contract on
+// a bounded reward scale.
+func (s Scaler) VirtualLoss() float64 {
+	lo, _ := s.Bounds()
+	return lo
+}

@@ -13,6 +13,11 @@ import (
 // anchor grid per group, in placement order) and returns its
 // wirelength. In the full pipeline this runs macro legalization plus
 // cell placement on the coarsened netlist (Alg. 1 line 7–8).
+//
+// Implementations need not be safe for concurrent use: every caller
+// in this repository — the trainer, greedy play, and the parallel
+// MCTS (which serializes oracle calls behind a mutex) — invokes it
+// from one goroutine at a time.
 type WirelengthFunc func(anchors []int) float64
 
 // Config tunes the Actor–Critic pre-training stage.

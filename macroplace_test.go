@@ -145,8 +145,10 @@ func TestMidScaleOrdering(t *testing.T) {
 		Zeta:  16,
 		Agent: AgentConfig{Zeta: 16, Channels: 16, ResBlocks: 2, Seed: 2},
 		RL:    RLConfig{Episodes: 80, Seed: 3},
-		MCTS:  MCTSConfig{Gamma: 24, Seed: 4},
-		Seed:  1,
+		// Sequential search: the 1.05×RL-only threshold below is
+		// calibrated against the deterministic committed path.
+		MCTS: MCTSConfig{Gamma: 24, Seed: 4, Workers: 1},
+		Seed: 1,
 	}
 	res, err := Place(d, opts)
 	if err != nil {

@@ -1,0 +1,35 @@
+#!/bin/sh
+# check.sh — the full local gate: formatting, vet, build, and the test
+# suite under the race detector. CI and pre-commit both run this; a
+# clean exit is the bar for merging.
+#
+# Usage: scripts/check.sh [-short]
+#   -short   passes -short to go test (skips the heavier integration
+#            cases; the race pass still covers the parallel search)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+fi
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race $short ./...
+
+echo "OK"
