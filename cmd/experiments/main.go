@@ -7,6 +7,11 @@
 //	experiments -run all -preset quick
 //	experiments -run fig4,tableIII -preset standard
 //	experiments -run tableII -scale 0.1 -episodes 200
+//	experiments -run tableIII -timeout 10m
+//
+// SIGINT/SIGTERM or -timeout interrupt the sweep gracefully: finished
+// benchmark rows are rendered before exiting, and the benchmark in
+// flight completes with its best-so-far placement.
 //
 // Absolute numbers differ from the paper (the substrate is a CPU
 // simulator, not the authors' testbed); the comparisons' shape — who
@@ -15,10 +20,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"macroplace/internal/experiments"
 )
@@ -38,13 +47,23 @@ func main() {
 		verbose  = flag.Bool("v", false, "log per-benchmark progress to stderr")
 		csvdir   = flag.String("csvdir", "", "also write machine-readable CSV artifacts into this directory")
 		extended = flag.Bool("extended", false, "add the beyond-paper baselines (SA, SA-B*tree, MinCut) to Table II")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry finished rows are rendered and the run stops (0 = none)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := experiments.Quick()
 	if *preset == "standard" {
 		cfg = experiments.Standard()
 	}
+	cfg.Context = ctx
 	if *scale > 0 {
 		cfg.Scale = *scale
 	}
@@ -85,6 +104,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", what, err)
 		os.Exit(1)
 	}
+	interrupted := func(err error) bool {
+		return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	}
 	saveCSV := func(result any) {
 		if *csvdir == "" {
 			return
@@ -95,60 +117,67 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+	// finish renders what an experiment produced — complete or partial
+	// — then exits with the conventional SIGINT code when the context
+	// was cancelled; any other error is fatal before rendering.
+	finish := func(what string, err error, render func()) {
+		if err != nil && !interrupted(err) {
+			fail(what, err)
+		}
+		render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s interrupted (%v) — results above are partial\n", what, err)
+			os.Exit(130)
+		}
+	}
 
 	if all || want["fig4"] {
 		res, err := experiments.Figure4(cfg)
-		if err != nil {
-			fail("fig4", err)
-		}
-		saveCSV(res)
-		experiments.WriteFig4(out, res)
-		fmt.Fprintln(out)
+		finish("fig4", err, func() {
+			saveCSV(res)
+			experiments.WriteFig4(out, res)
+			fmt.Fprintln(out)
+		})
 	}
 	if all || want["fig5"] {
 		res, err := experiments.Figure5(cfg, nil)
-		if err != nil {
-			fail("fig5", err)
-		}
-		saveCSV(res)
-		experiments.WriteFig5(out, res)
-		fmt.Fprintln(out)
+		finish("fig5", err, func() {
+			saveCSV(res)
+			experiments.WriteFig5(out, res)
+			fmt.Fprintln(out)
+		})
 	}
 	if all || want["tableII"] {
 		tab, err := experiments.TableII(cfg)
-		if err != nil {
-			fail("tableII", err)
-		}
-		saveCSV(tab)
-		experiments.WriteTable(out, tab)
-		fmt.Fprintln(out)
+		finish("tableII", err, func() {
+			saveCSV(tab)
+			experiments.WriteTable(out, tab)
+			fmt.Fprintln(out)
+		})
 	}
 	if all || want["tableIII"] {
 		tab, err := experiments.TableIII(cfg)
-		if err != nil {
-			fail("tableIII", err)
-		}
-		saveCSV(tab)
-		experiments.WriteTable(out, tab)
-		fmt.Fprintln(out)
+		finish("tableIII", err, func() {
+			saveCSV(tab)
+			experiments.WriteTable(out, tab)
+			fmt.Fprintln(out)
+		})
 	}
 	if all || want["tableIV"] {
 		rows, err := experiments.TableIV(cfg)
-		if err != nil {
-			fail("tableIV", err)
-		}
-		saveCSV(rows)
-		experiments.WriteTableIV(out, rows)
-		fmt.Fprintln(out)
+		finish("tableIV", err, func() {
+			saveCSV(rows)
+			experiments.WriteTableIV(out, rows)
+			fmt.Fprintln(out)
+		})
 	}
 	if all || want["alphasweep"] {
 		res, err := experiments.AlphaSweep(cfg, nil)
-		if err != nil {
-			fail("alphasweep", err)
-		}
-		saveCSV(res)
-		experiments.WriteAlphaSweep(out, res)
-		fmt.Fprintln(out)
+		finish("alphasweep", err, func() {
+			saveCSV(res)
+			experiments.WriteAlphaSweep(out, res)
+			fmt.Fprintln(out)
+		})
 	}
 	if all || want["ablations"] {
 		type ab struct {
@@ -162,12 +191,11 @@ func main() {
 			{"order", experiments.AblationOrder},
 		} {
 			res, err := a.fn(cfg)
-			if err != nil {
-				fail("ablation "+a.name, err)
-			}
-			saveCSV(res)
-			experiments.WriteAblation(out, res)
-			fmt.Fprintln(out)
+			finish("ablation "+a.name, err, func() {
+				saveCSV(res)
+				experiments.WriteAblation(out, res)
+				fmt.Fprintln(out)
+			})
 		}
 	}
 }

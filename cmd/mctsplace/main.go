@@ -4,44 +4,75 @@
 // final HPWL. With -out it writes the placed design back as Bookshelf
 // files.
 //
+// The run layer is fault-tolerant: SIGINT/SIGTERM or -timeout stop the
+// flow gracefully — the search commits its best-so-far allocation and
+// the result is still a complete legal placement (marked interrupted).
+// With -checkpoint the search progress is saved crash-safely every
+// -checkpoint-every commit steps; -resume continues from that file.
+//
 // Usage:
 //
 //	mctsplace -bench ibm01 -scale 0.05 -episodes 120 -gamma 24
 //	mctsplace -aux path/to/ibm01.aux -out placed/ -episodes 200
+//	mctsplace -bench ibm06 -timeout 2m -svg anytime.svg
+//	mctsplace -bench ibm06 -checkpoint search.json -checkpoint-every 2
+//	mctsplace -bench ibm06 -checkpoint search.json -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"macroplace"
 )
 
 func main() {
 	var (
-		aux       = flag.String("aux", "", "Bookshelf .aux file to place")
-		bench     = flag.String("bench", "", "synthetic benchmark name (ibm01..ibm18, cir1..cir6)")
-		scale     = flag.Float64("scale", 0.05, "synthetic benchmark scale (1 = paper-sized)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		zeta      = flag.Int("zeta", 16, "grid resolution ζ")
-		episodes  = flag.Int("episodes", 120, "RL pre-training episodes")
-		gamma     = flag.Int("gamma", 24, "MCTS explorations per macro group")
-		workers   = flag.Int("workers", 0, "parallel MCTS workers (0 = all CPUs, 1 = sequential/deterministic)")
-		channels  = flag.Int("channels", 16, "agent tower width (paper: 128)")
-		resblocks = flag.Int("resblocks", 2, "agent tower depth (paper: 10)")
-		out       = flag.String("out", "", "directory to write the placed design as Bookshelf files")
-		svg       = flag.String("svg", "", "file to render the final placement as SVG")
-		saveAgent = flag.String("saveagent", "", "file to checkpoint the pre-trained agent to")
-		loadAgent = flag.String("loadagent", "", "agent checkpoint to load (skips RL pre-training)")
+		aux        = flag.String("aux", "", "Bookshelf .aux file to place")
+		bench      = flag.String("bench", "", "synthetic benchmark name (ibm01..ibm18, cir1..cir6)")
+		scale      = flag.Float64("scale", 0.05, "synthetic benchmark scale (1 = paper-sized)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		zeta       = flag.Int("zeta", 16, "grid resolution ζ")
+		episodes   = flag.Int("episodes", 120, "RL pre-training episodes")
+		gamma      = flag.Int("gamma", 24, "MCTS explorations per macro group")
+		workers    = flag.Int("workers", 0, "parallel MCTS workers (0 = all CPUs, 1 = sequential/deterministic)")
+		channels   = flag.Int("channels", 16, "agent tower width (paper: 128)")
+		resblocks  = flag.Int("resblocks", 2, "agent tower depth (paper: 10)")
+		out        = flag.String("out", "", "directory to write the placed design as Bookshelf files")
+		svg        = flag.String("svg", "", "file to render the final placement as SVG")
+		saveAgent  = flag.String("saveagent", "", "file to checkpoint the pre-trained agent to")
+		loadAgent  = flag.String("loadagent", "", "agent checkpoint to load (skips RL pre-training)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget; on expiry the flow returns its best-so-far placement (0 = none)")
+		checkpoint = flag.String("checkpoint", "", "file to save crash-safe MCTS search snapshots to")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "commit steps between search snapshots")
+		resume     = flag.Bool("resume", false, "resume the MCTS stage from the -checkpoint file")
 	)
 	flag.Parse()
 
-	d, err := loadDesign(*aux, *bench, *scale, *seed)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mctsplace:", err)
 		os.Exit(1)
+	}
+
+	// SIGINT/SIGTERM cancel the context; every stage degrades
+	// gracefully instead of dying mid-write (the anytime property).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	d, err := loadDesign(*aux, *bench, *scale, *seed)
+	if err != nil {
+		fail(err)
 	}
 	stats := d.Stats()
 	fmt.Printf("design %s: %d movable macros, %d pre-placed, %d pads, %d cells, %d nets\n",
@@ -54,43 +85,80 @@ func main() {
 	opts.MCTS.Gamma = *gamma
 	opts.MCTS.Workers = *workers
 	opts.Agent = macroplace.AgentConfig{Zeta: *zeta, Channels: *channels, ResBlocks: *resblocks, Seed: *seed + 100}
+	opts.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mctsplace: "+format+"\n", args...)
+	}
+	if *checkpoint != "" {
+		every := *ckptEvery
+		if every < 1 {
+			every = 1
+		}
+		commits := 0
+		opts.SearchSnapshot = func(sn macroplace.SearchSnapshot) {
+			commits++
+			if commits%every != 0 {
+				return
+			}
+			if err := macroplace.SaveSearchSnapshot(*checkpoint, sn); err != nil {
+				fmt.Fprintln(os.Stderr, "mctsplace: checkpoint:", err)
+			}
+		}
+	}
 
 	p, err := macroplace.NewPlacer(d, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mctsplace:", err)
-		os.Exit(1)
+		fail(err)
 	}
+	if *resume {
+		if *checkpoint == "" {
+			fail(fmt.Errorf("-resume requires -checkpoint"))
+		}
+		if err := p.Preprocess(); err != nil {
+			fail(err)
+		}
+		snap, err := macroplace.LoadSearchSnapshot(*checkpoint)
+		if err != nil {
+			fail(fmt.Errorf("resume: %w", err))
+		}
+		if err := snap.Check(p.Env); err != nil {
+			fail(fmt.Errorf("resume: snapshot does not fit this design/config: %w", err))
+		}
+		p.Opts.SearchResume = snap
+		fmt.Printf("resuming search from %s (%d/%d groups committed)\n",
+			*checkpoint, len(snap.Committed), p.Env.NumSteps())
+	}
+
 	var res *macroplace.Result
+	start := time.Now()
 	if *loadAgent != "" {
 		// Pre-trained agent: skip RL, search directly.
 		if err := p.Preprocess(); err != nil {
-			fmt.Fprintln(os.Stderr, "mctsplace:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		ag, err := macroplace.LoadAgent(*loadAgent)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mctsplace:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		p.Agent.CopyWeightsFrom(ag)
-		search := p.RunMCTS()
-		final, err := p.Finalize(search.Anchors)
+		search := p.RunMCTSContext(ctx)
+		final, err := p.FinalizeContext(ctx, search.Anchors)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mctsplace:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		res = &macroplace.Result{Final: final, RLFinal: final, Search: search, Times: p.Times()}
 	} else {
-		res, err = p.Place()
+		res, err = p.PlaceContext(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mctsplace:", err)
-			os.Exit(1)
+			fail(err)
 		}
+	}
+	if res.Search.Interrupted || ctx.Err() != nil {
+		fmt.Printf("interrupted after %s (%v): reporting best-so-far placement\n",
+			time.Since(start).Round(time.Millisecond), context.Cause(ctx))
 	}
 	if *saveAgent != "" {
 		if err := p.Agent.SaveFile(*saveAgent); err != nil {
-			fmt.Fprintln(os.Stderr, "mctsplace:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("saved agent checkpoint to %s\n", *saveAgent)
 	}
@@ -100,6 +168,9 @@ func main() {
 	fmt.Printf("macro overlap:  %.6g\n", res.Final.MacroOverlap)
 	fmt.Printf("explorations:   %d (terminal placements: %d)\n",
 		res.Search.Explorations, res.Search.TerminalEvals)
+	if res.Search.WorkerPanics > 0 {
+		fmt.Printf("recovered:      %d worker panics\n", res.Search.WorkerPanics)
+	}
 	fmt.Printf("stage times:    preprocess=%s pretrain=%s mcts=%s finalize=%s\n",
 		res.Times.Preprocess.Round(1e6), res.Times.Pretrain.Round(1e6),
 		res.Times.MCTS.Round(1e6), res.Times.Finalize.Round(1e6))
@@ -108,15 +179,13 @@ func main() {
 
 	if *out != "" {
 		if err := macroplace.WriteBookshelf(p.Work, *out, d.Name); err != nil {
-			fmt.Fprintln(os.Stderr, "mctsplace:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("wrote %s/%s.{nodes,nets,pl,scl,aux}\n", *out, d.Name)
 	}
 	if *svg != "" {
 		if err := macroplace.SaveSVG(*svg, p.Work, macroplace.SVGOptions{ShowGrid: true, Zeta: *zeta}); err != nil {
-			fmt.Fprintln(os.Stderr, "mctsplace:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *svg)
 	}

@@ -2,8 +2,9 @@
 // The same benchmark is placed twice — once with the paper's pure
 // wirelength objective, once with RUDY congestion blended into the
 // allocation cost — and the resulting quality reports are compared.
-// The pre-trained agent from the first run is checkpointed to disk and
-// could be reloaded to skip pre-training on later runs.
+// The pre-trained agent from the first run is checkpointed to disk —
+// crash-safely, via a temp-file-and-rename under the hood — and then
+// reloaded to search again without re-training.
 //
 // Run with:
 //
@@ -53,7 +54,10 @@ func main() {
 	fmt.Printf("%-24s %14.4g %14.4g\n", "mean congestion", base.MeanCongestion, aware.MeanCongestion)
 	fmt.Printf("%-24s %14.4g %14.4g\n", "macro overlap", base.MacroOverlap, aware.MacroOverlap)
 
-	// Checkpoint the pre-trained agent for later searches.
+	// Checkpoint the pre-trained agent for later searches. SaveFile
+	// writes atomically (temp file + fsync + rename), so a crash or
+	// kill mid-write can never corrupt an existing checkpoint — the
+	// previous generation survives intact.
 	dir, err := os.MkdirTemp("", "macroplace-agent")
 	if err != nil {
 		log.Fatal(err)
@@ -64,5 +68,15 @@ func main() {
 	}
 	fi, _ := os.Stat(ckpt)
 	fmt.Printf("\nsaved pre-trained agent to %s (%d bytes)\n", ckpt, fi.Size())
-	fmt.Println("reload with macroplace.LoadAgent to search without re-training.")
+
+	// Reload it and search again — no re-training needed. LoadAgent
+	// rejects truncated or corrupted files, so a bad checkpoint fails
+	// loudly here instead of silently degrading the search.
+	reloaded, err := macroplace.LoadAgent(ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	search := macroplace.SearchWithAgent(placer, reloaded, placer.Opts.MCTS)
+	fmt.Printf("search with reloaded agent: WL=%.4g (%d groups placed)\n",
+		search.Wirelength, len(search.Anchors))
 }

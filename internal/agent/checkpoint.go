@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"macroplace/internal/atomicio"
 )
 
 // checkpointMagic identifies agent checkpoint files.
@@ -61,8 +63,13 @@ func Load(r io.Reader) (*Agent, error) {
 	var cfg [5]int64
 	for i := range cfg {
 		if err := binary.Read(br, binary.LittleEndian, &cfg[i]); err != nil {
-			return nil, fmt.Errorf("agent: %w", err)
+			return nil, fmt.Errorf("agent: truncated checkpoint header: %w", err)
 		}
+	}
+	// A corrupt or truncated header decodes into arbitrary dimensions;
+	// bound them before New allocates zeta²-sized tensors from garbage.
+	if err := validateShape(cfg); err != nil {
+		return nil, err
 	}
 	a := New(Config{
 		Zeta: int(cfg[0]), Channels: int(cfg[1]), ResBlocks: int(cfg[2]),
@@ -71,12 +78,15 @@ func Load(r io.Reader) (*Agent, error) {
 	readInto := func(dst []float32, what string) error {
 		var n int64
 		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-			return fmt.Errorf("agent: %s: %w", what, err)
+			return fmt.Errorf("agent: %s: truncated checkpoint: %w", what, err)
 		}
 		if int(n) != len(dst) {
 			return fmt.Errorf("agent: %s has %d values, want %d (architecture mismatch)", what, n, len(dst))
 		}
-		return binary.Read(br, binary.LittleEndian, dst)
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return fmt.Errorf("agent: %s: truncated checkpoint: %w", what, err)
+		}
+		return nil
 	}
 	for _, p := range a.params {
 		if err := readInto(p.W, p.Name); err != nil {
@@ -91,20 +101,42 @@ func Load(r io.Reader) (*Agent, error) {
 			return nil, err
 		}
 	}
+	// Save writes nothing after the last BatchNorm slice, so any
+	// remaining byte means the file is not a checkpoint this Load
+	// understands (e.g. a concatenation or version skew).
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("agent: trailing data after checkpoint payload")
+	}
 	return a, nil
 }
 
-// SaveFile writes a checkpoint to path.
-func (a *Agent) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("agent: %w", err)
+// validateShape bounds the decoded header dimensions. The limits are
+// far above any configuration this repository builds (paper shape:
+// ζ=16, 128 channels, 10 blocks) but small enough that a corrupted
+// header cannot demand gigabyte allocations.
+func validateShape(cfg [5]int64) error {
+	check := func(what string, v int64, lo, hi int64) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("agent: checkpoint %s=%d outside [%d, %d] (corrupt header?)", what, v, lo, hi)
+		}
+		return nil
 	}
-	if err := a.Save(f); err != nil {
-		f.Close()
+	if err := check("zeta", cfg[0], 1, 1024); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := check("channels", cfg[1], 1, 8192); err != nil {
+		return err
+	}
+	if err := check("resblocks", cfg[2], 0, 1024); err != nil {
+		return err
+	}
+	return check("maxsteps", cfg[3], 1, 1<<20)
+}
+
+// SaveFile writes a checkpoint to path atomically: a crash mid-write
+// leaves any previous checkpoint at path intact (see atomicio).
+func (a *Agent) SaveFile(path string) error {
+	return atomicio.WriteFile(path, a.Save)
 }
 
 // LoadFile reads a checkpoint from path.

@@ -1,0 +1,79 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadRejectsEveryTruncation cuts a valid checkpoint at every
+// 64-byte boundary and asserts Load returns an error — never a panic,
+// never a silently zero-weight agent.
+func TestLoadRejectsEveryTruncation(t *testing.T) {
+	a := testAgent()
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut += 64 {
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes loaded without error", cut, len(data))
+		}
+	}
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full checkpoint failed to load: %v", err)
+	}
+}
+
+func TestLoadRejectsTrailingData(t *testing.T) {
+	a := testAgent()
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0)
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing byte should be rejected, got %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptHeaderDimensions(t *testing.T) {
+	// Magic followed by an absurd zeta must fail validation instead of
+	// attempting a multi-gigabyte allocation.
+	var buf bytes.Buffer
+	buf.WriteString(checkpointMagic)
+	for _, v := range []int64{1 << 40, 8, 1, 4, 0} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "zeta") {
+		t.Errorf("corrupt zeta should be rejected, got %v", err)
+	}
+}
+
+// TestSaveFileAtomicReplacement overwrites an existing checkpoint and
+// verifies no temporary debris is left next to it.
+func TestSaveFileAtomicReplacement(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "agent.ckpt")
+	a := testAgent()
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("re-saved checkpoint does not load: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want just the checkpoint", len(entries))
+	}
+}

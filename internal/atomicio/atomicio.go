@@ -1,0 +1,60 @@
+// Package atomicio provides crash-safe file replacement for every
+// checkpoint and result artifact in this repository. A bare os.Create
+// truncates the destination before the first byte is written, so a
+// crash (or an injected fault) mid-write destroys the previous good
+// generation; WriteFile instead stages the content in a temporary file
+// in the same directory, fsyncs it, and renames it over the
+// destination, so the destination always holds either the old complete
+// content or the new complete content — never a torn mixture.
+//
+// scripts/check.sh enforces that production checkpoint/result writers
+// go through this package rather than calling os.Create directly.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The content is staged in a temporary sibling file, flushed with
+// Sync, closed, and renamed onto path; on any error (including one
+// returned by write itself) the temporary file is removed and path is
+// left untouched.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for pre-rendered content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

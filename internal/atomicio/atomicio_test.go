@@ -1,0 +1,77 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFileBytes(path, []byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("gen2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "gen2" {
+		t.Errorf("content = %q, want gen2", got)
+	}
+}
+
+func TestWriteFileKeepsOldContentOnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := WriteFileBytes(path, []byte("previous generation")); err != nil {
+		t.Fatal(err)
+	}
+	// A writer that emits partial content and then fails models a crash
+	// mid-write: the destination must still hold the previous
+	// generation in full.
+	boom := errors.New("disk gone")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("half-written gar")); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped disk error", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "previous generation" {
+		t.Errorf("destination corrupted: %q", got)
+	}
+}
+
+func TestWriteFileCleansUpTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	_ = WriteFile(path, func(w io.Writer) error { return fmt.Errorf("fail") })
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("stale temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteFileMissingDirErrors(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Error("expected error for missing parent directory")
+	}
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -71,6 +72,18 @@ type Options struct {
 	CommittedPathOnly bool
 	// Seed drives every random stream in the flow.
 	Seed int64
+	// SearchSnapshot, when set (and MCTSRestarts <= 1 — restarts would
+	// interleave incompatible prefixes), receives a progress snapshot
+	// after every MCTS commit step; pair with mcts.SaveSnapshot for
+	// crash-safe search checkpoints.
+	SearchSnapshot func(mcts.Snapshot)
+	// SearchResume, when set (and MCTSRestarts <= 1), resumes the MCTS
+	// stage from a previously saved snapshot.
+	SearchResume *mcts.Snapshot
+	// Logf receives diagnostic lines from the fault-tolerant layers
+	// (recovered search panics, trainer watchdog actions). Nil
+	// discards them.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) normalize() Options {
@@ -300,9 +313,17 @@ func (p *Placer) anchorOverflow(anchors []int) float64 {
 // Pretrain runs the RL stage (Alg. 1 lines 3–10) and returns the
 // trainer for inspection of history and snapshots.
 func (p *Placer) Pretrain() *rl.Trainer {
+	return p.PretrainContext(context.Background())
+}
+
+// PretrainContext is Pretrain under a context: cancellation stops
+// training between episodes, leaving the agent with the last
+// completed update — still a usable (if less trained) search guide.
+func (p *Placer) PretrainContext(ctx context.Context) *rl.Trainer {
 	start := time.Now()
 	p.Trainer = rl.NewTrainer(p.Opts.RL, p.Agent, p.Env.Clone(), p.EvalAnchors)
-	p.Trainer.Run()
+	p.Trainer.Logf = p.Opts.Logf
+	p.Trainer.RunContext(ctx)
 	p.times.Pretrain = time.Since(start)
 	return p.Trainer
 }
@@ -313,6 +334,14 @@ func (p *Placer) Pretrain() *rl.Trainer {
 // returns the one whose committed allocation scores best under the
 // fast oracle (restart statistics are summed).
 func (p *Placer) RunMCTS() mcts.Result {
+	return p.RunMCTSContext(context.Background())
+}
+
+// RunMCTSContext is RunMCTS under a context: each restart's search
+// observes the context (an interrupted search still returns a
+// complete allocation — see mcts.RunContext), and remaining restarts
+// are skipped once the context is cancelled.
+func (p *Placer) RunMCTSContext(ctx context.Context) mcts.Result {
 	start := time.Now()
 	scaler := rl.Scaler{Max: 1, Min: 0, Avg: 0.5, Alpha: 0.75}
 	if p.Trainer != nil {
@@ -326,13 +355,24 @@ func (p *Placer) RunMCTS() mcts.Result {
 	for k := 0; k < restarts; k++ {
 		cfg := p.Opts.MCTS
 		cfg.Seed = p.Opts.MCTS.Seed + int64(k)*7919
-		res := mcts.New(cfg, p.Agent, p.EvalAnchors, scaler).Run(p.Env)
+		s := mcts.New(cfg, p.Agent, p.EvalAnchors, scaler)
+		s.Logf = p.Opts.Logf
+		if restarts == 1 {
+			s.OnSnapshot = p.Opts.SearchSnapshot
+			s.Resume = p.Opts.SearchResume
+		}
+		res := s.RunContext(ctx, p.Env)
 		if k == 0 {
 			best = res
+			if ctx.Err() != nil {
+				break
+			}
 			continue
 		}
 		explorations := best.Explorations + res.Explorations
 		evals := best.TerminalEvals + res.TerminalEvals
+		panics := best.WorkerPanics + res.WorkerPanics
+		interrupted := best.Interrupted || res.Interrupted
 		if res.Wirelength < best.Wirelength {
 			keepBest := best.BestAnchors
 			keepBestWL := best.BestWirelength
@@ -347,6 +387,11 @@ func (p *Placer) RunMCTS() mcts.Result {
 		}
 		best.Explorations = explorations
 		best.TerminalEvals = evals
+		best.WorkerPanics = panics
+		best.Interrupted = interrupted
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	p.times.MCTS = time.Since(start)
 	return best
@@ -356,6 +401,14 @@ func (p *Placer) RunMCTS() mcts.Result {
 // (Alg. 1 lines 15–16): macro legalization per Sec. II-B, then the
 // final cell placement on the complete netlist.
 func (p *Placer) Finalize(anchors []int) (FinalResult, error) {
+	return p.FinalizeContext(context.Background(), anchors)
+}
+
+// FinalizeContext is Finalize under a context: macro legalization
+// always completes (macro legality is non-negotiable), while the
+// final cell placement commits whatever iterations it finished — a
+// coarser but complete cell placement.
+func (p *Placer) FinalizeContext(ctx context.Context, anchors []int) (FinalResult, error) {
 	start := time.Now()
 	res, err := legalize.Macros(legalize.Input{
 		Design:     p.Work,
@@ -368,10 +421,10 @@ func (p *Placer) Finalize(anchors []int) (FinalResult, error) {
 	if err != nil {
 		return FinalResult{}, err
 	}
-	gplace.Place(p.Work, gplace.Config{
+	gplace.New(p.Work, gplace.Config{
 		Mode:       gplace.MoveCells,
 		Iterations: p.Opts.FinalPlaceIterations,
-	})
+	}).PlaceContext(ctx)
 	out := FinalResult{
 		HPWL:         p.Work.HPWL(),
 		MacroOverlap: res.Overlap,
@@ -392,21 +445,32 @@ func (p *Placer) Finalize(anchors []int) (FinalResult, error) {
 
 // Place runs the complete flow and returns the consolidated result.
 func (p *Placer) Place() (*Result, error) {
+	return p.PlaceContext(context.Background())
+}
+
+// PlaceContext is Place under a context. Cancellation degrades the
+// flow instead of aborting it: training stops at the last completed
+// episode, the search commits its best-so-far allocation, and cell
+// placement keeps its finished iterations — the returned result is
+// always a complete legal placement. Only a cancellation arriving
+// before preprocessing yields an error-free but effectively untrained
+// flow, which is still well-defined (greedy over the fresh network).
+func (p *Placer) PlaceContext(ctx context.Context) (*Result, error) {
 	if p.Env == nil {
 		if err := p.Preprocess(); err != nil {
 			return nil, err
 		}
 	}
-	trainer := p.Pretrain()
+	trainer := p.PretrainContext(ctx)
 
 	// RL-only result (greedy policy), for the comparisons of Fig. 5.
 	rlAnchors, _ := rl.PlayGreedy(p.Agent, p.Env.Clone(), p.EvalAnchors)
-	rlFinal, err := p.Finalize(rlAnchors)
+	rlFinal, err := p.FinalizeContext(ctx, rlAnchors)
 	if err != nil {
 		return nil, err
 	}
 
-	search := p.RunMCTS()
+	search := p.RunMCTSContext(ctx)
 	anchors := search.Anchors
 	if !p.Opts.CommittedPathOnly {
 		// Candidate selection under the fast oracle: the committed
@@ -426,7 +490,7 @@ func (p *Placer) Place() (*Result, error) {
 		consider(search.BestAnchors)
 		consider(rlAnchors)
 	}
-	final, err := p.Finalize(anchors)
+	final, err := p.FinalizeContext(ctx, anchors)
 	if err != nil {
 		return nil, err
 	}

@@ -57,6 +57,9 @@ func AblationGrouping(cfg Config) (*AblationResult, error) {
 	// grid and both arms would degenerate to singletons.
 	cfg.Zeta = 8
 	for _, grouped := range []bool{true, false} {
+		if err := cfg.ctx().Err(); err != nil {
+			return res, err
+		}
 		d, err := ablationDesign(cfg)
 		if err != nil {
 			return nil, err
@@ -109,8 +112,11 @@ func AblationRollout(cfg Config) (*AblationResult, error) {
 	if err := p.Preprocess(); err != nil {
 		return nil, err
 	}
-	p.Pretrain()
+	p.PretrainContext(cfg.ctx())
 	for _, mode := range []mcts.EvalMode{mcts.ValueNet, mcts.Rollout} {
+		if err := cfg.ctx().Err(); err != nil {
+			return res, err
+		}
 		name := "value-net (paper)"
 		if mode == mcts.Rollout {
 			name = "random rollout"
@@ -151,8 +157,11 @@ func AblationPUCT(cfg Config) (*AblationResult, error) {
 	if err := p.Preprocess(); err != nil {
 		return nil, err
 	}
-	p.Pretrain()
+	p.PretrainContext(cfg.ctx())
 	for _, c := range []float64{0.3, 1.05, 2.0, 4.0} {
+		if err := cfg.ctx().Err(); err != nil {
+			return res, err
+		}
 		p.Opts.MCTS.C = c
 		start := time.Now()
 		search := p.RunMCTS()
@@ -178,6 +187,9 @@ func AblationOrder(cfg Config) (*AblationResult, error) {
 	cfg = cfg.normalize()
 	res := &AblationResult{Title: "Ablation — placement order: area-sorted (paper) vs shuffled"}
 	for _, shuffle := range []bool{false, true} {
+		if err := cfg.ctx().Err(); err != nil {
+			return res, err
+		}
 		d, err := ablationDesign(cfg)
 		if err != nil {
 			return nil, err

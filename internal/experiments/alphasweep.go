@@ -40,6 +40,9 @@ func AlphaSweep(cfg Config, alphas []float64) (*AlphaSweepResult, error) {
 	const benchName = "ibm06"
 	res := &AlphaSweepResult{Benchmark: benchName}
 	for i, alpha := range alphas {
+		if err := cfg.ctx().Err(); err != nil {
+			return res, err
+		}
 		d, err := cfg.ibmDesign(benchName, 300)
 		if err != nil {
 			return nil, err
@@ -58,7 +61,12 @@ func AlphaSweep(cfg Config, alphas []float64) (*AlphaSweepResult, error) {
 		if err := p.Preprocess(); err != nil {
 			return nil, err
 		}
-		tr := p.Pretrain()
+		tr := p.PretrainContext(cfg.ctx())
+		if len(tr.History) == 0 {
+			// Cancelled before any episode: the point's means would be
+			// 0/0; return what is complete.
+			return res, cfg.ctx().Err()
+		}
 		pt := AlphaPoint{Alpha: alpha}
 		n := len(tr.History)
 		for _, st := range tr.History {

@@ -3,9 +3,12 @@ package experiments
 import (
 	"encoding/csv"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"macroplace/internal/atomicio"
 )
 
 // SaveCSV writes machine-readable artifacts for one experiment result
@@ -100,17 +103,17 @@ func SaveCSV(dir string, result any) (string, error) {
 	}
 
 	path := filepath.Join(dir, name)
-	f, err := os.Create(path)
+	// Atomic replacement: re-running an experiment must never leave a
+	// half-written CSV where a previous complete artifact stood.
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.WriteAll(rows); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
-		return "", fmt.Errorf("experiments: %w", err)
-	}
-	w := csv.NewWriter(f)
-	if err := w.WriteAll(rows); err != nil {
-		f.Close()
-		return "", fmt.Errorf("experiments: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return "", fmt.Errorf("experiments: %w", err)
+		return "", err
 	}
 	return path, nil
 }

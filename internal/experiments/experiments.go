@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -57,6 +58,12 @@ type Config struct {
 	ExtendedBaselines bool
 	// Log receives progress lines (nil: silent).
 	Log io.Writer
+	// Context, when non-nil, makes the drivers interruptible: it is
+	// checked between benchmarks and threaded into each benchmark's
+	// flow. On cancellation a driver returns the rows completed so far
+	// together with the context's error, so partial results can still
+	// be rendered and saved.
+	Context context.Context
 }
 
 // Quick returns a configuration sized for CI: tiny benchmarks, short
@@ -118,6 +125,14 @@ func (c Config) normalize() Config {
 		c.Cir = gen.CirNames()
 	}
 	return c
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 func (c Config) logf(format string, args ...any) {

@@ -61,6 +61,9 @@ func Figure4(cfg Config) (*Fig4Result, error) {
 	const benchName = "ibm10"
 	res := &Fig4Result{Benchmark: benchName}
 	for _, mode := range []rl.RewardMode{rl.Shaped, rl.ShapedNoAlpha, rl.NegWL} {
+		if err := cfg.ctx().Err(); err != nil {
+			return res, err
+		}
 		d, err := cfg.ibmDesign(benchName, 40)
 		if err != nil {
 			return nil, err
@@ -74,7 +77,7 @@ func Figure4(cfg Config) (*Fig4Result, error) {
 		if err := p.Preprocess(); err != nil {
 			return nil, err
 		}
-		tr := p.Pretrain()
+		tr := p.PretrainContext(cfg.ctx())
 		s := Fig4Series{Mode: mode}
 		for _, st := range tr.History {
 			s.Rewards = append(s.Rewards, st.Reward)
@@ -153,6 +156,9 @@ func Figure5(cfg Config, benchmarks []string) ([]*Fig5Result, error) {
 	}
 	var out []*Fig5Result
 	for bi, bench := range benchmarks {
+		if err := cfg.ctx().Err(); err != nil {
+			return out, err
+		}
 		d, err := cfg.ibmDesign(bench, int64(50+bi))
 		if err != nil {
 			return nil, err
@@ -166,13 +172,13 @@ func Figure5(cfg Config, benchmarks []string) ([]*Fig5Result, error) {
 		if err := p.Preprocess(); err != nil {
 			return nil, err
 		}
-		tr := p.Pretrain()
+		tr := p.PretrainContext(cfg.ctx())
 
 		res := &Fig5Result{Benchmark: bench}
 		for _, snap := range tr.Snapshots {
 			_, rlWL := rl.PlayGreedy(snap.Agent, p.Env.Clone(), p.EvalAnchors)
 			search := mcts.New(opts.MCTS, snap.Agent, p.EvalAnchors, tr.Scaler)
-			sres := search.Run(p.Env)
+			sres := search.RunContext(cfg.ctx(), p.Env)
 			// Match the full flow (core.Place): the better of the
 			// committed path and the best terminal evaluated during
 			// exploration.

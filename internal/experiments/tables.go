@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -47,13 +48,15 @@ func (t *Table) Normalized(reference string) map[string]float64 {
 }
 
 // runOurs executes the full paper flow and returns the final HPWL and
-// the MCTS stage duration.
-func runOurs(d *netlist.Design, opts core.Options) (float64, time.Duration, error) {
+// the MCTS stage duration. A cancelled context degrades the flow
+// (shorter training, best-so-far search) but still yields a complete
+// placement — see core.PlaceContext.
+func runOurs(ctx context.Context, d *netlist.Design, opts core.Options) (float64, time.Duration, error) {
 	p, err := core.New(d, opts)
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := p.Place()
+	res, err := p.PlaceContext(ctx)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -74,6 +77,9 @@ func TableII(cfg Config) (*Table, error) {
 		t.Methods = []string{"SA", "SA-B*tree", "MinCut", "SE", "DREAMPlace", "Ours"}
 	}
 	for bi, bench := range cfg.Cir {
+		if err := cfg.ctx().Err(); err != nil {
+			return t, err
+		}
 		seed := int64(60 + bi*7)
 		d, err := cfg.cirDesign(bench, seed)
 		if err != nil {
@@ -101,7 +107,7 @@ func TableII(cfg Config) (*Table, error) {
 		row.HPWL["DREAMPlace"] = dp.HPWL
 		cfg.logf("tableII %s DREAMPlace=%.4g", bench, dp.HPWL)
 
-		ours, mctsTime, err := runOurs(d, cfg.coreOptions(seed+1))
+		ours, mctsTime, err := runOurs(cfg.ctx(), d, cfg.coreOptions(seed+1))
 		if err != nil {
 			return nil, err
 		}
@@ -123,6 +129,9 @@ func TableIII(cfg Config) (*Table, error) {
 		Methods: []string{"CT", "MaskPlace", "RePlAce", "Ours"},
 	}
 	for bi, bench := range cfg.IBM {
+		if err := cfg.ctx().Err(); err != nil {
+			return t, err
+		}
 		seed := int64(80 + bi*7)
 		d, err := cfg.ibmDesign(bench, seed)
 		if err != nil {
@@ -149,7 +158,7 @@ func TableIII(cfg Config) (*Table, error) {
 		row.HPWL["RePlAce"] = rp.HPWL
 		cfg.logf("tableIII %s RePlAce=%.4g", bench, rp.HPWL)
 
-		ours, mctsTime, err := runOurs(d, cfg.coreOptions(seed+2))
+		ours, mctsTime, err := runOurs(cfg.ctx(), d, cfg.coreOptions(seed+2))
 		if err != nil {
 			return nil, err
 		}
@@ -175,12 +184,15 @@ func TableIV(cfg Config) ([]TableIVRow, error) {
 	cfg = cfg.normalize()
 	var rows []TableIVRow
 	for bi, bench := range cfg.IBM {
+		if err := cfg.ctx().Err(); err != nil {
+			return rows, err
+		}
 		seed := int64(120 + bi*7)
 		d, err := cfg.ibmDesign(bench, seed)
 		if err != nil {
 			return nil, err
 		}
-		_, mctsTime, err := runOurs(d, cfg.coreOptions(seed+1))
+		_, mctsTime, err := runOurs(cfg.ctx(), d, cfg.coreOptions(seed+1))
 		if err != nil {
 			return nil, err
 		}

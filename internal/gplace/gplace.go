@@ -16,6 +16,7 @@
 package gplace
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -86,6 +87,10 @@ type Result struct {
 	// Overflow is the final total bin-area overflow divided by the
 	// total movable area; 0 means perfectly spread.
 	Overflow float64
+	// Interrupted reports that PlaceContext returned before exhausting
+	// its iteration budget; the committed positions are the last
+	// completed iteration's (complete and in-region, but less spread).
+	Interrupted bool
 }
 
 // Placer carries reusable state for placing one design repeatedly
@@ -142,6 +147,14 @@ func (p *Placer) NumMovable() int { return len(p.movable) }
 // Place runs the full global-placement loop and writes final positions
 // into the design.
 func (p *Placer) Place() Result {
+	return p.PlaceContext(context.Background())
+}
+
+// PlaceContext is Place under a context: cancellation is observed
+// between iterations, and the positions reached so far are committed
+// — a partially-spread placement is coarse but complete and legal,
+// never half-written. Result.Interrupted marks the early return.
+func (p *Placer) PlaceContext(ctx context.Context) Result {
 	d := p.d
 	nv := len(p.movable)
 	if nv == 0 {
@@ -155,7 +168,12 @@ func (p *Placer) Place() Result {
 	}
 
 	var overflow float64
+	done := 0
 	for it := 0; it < p.cfg.Iterations; it++ {
+		if ctx.Err() != nil {
+			p.commit()
+			return Result{HPWL: d.HPWL(), Iterations: done, Overflow: overflow, Interrupted: true}
+		}
 		anchorW := 0.0
 		if it > 0 {
 			// Geometric growth (SimPL-style): by the final rounds the
@@ -165,9 +183,10 @@ func (p *Placer) Place() Result {
 		}
 		p.solveQuadratic(anchorW)
 		overflow = p.spread()
+		done++
 	}
 	p.commit()
-	return Result{HPWL: d.HPWL(), Iterations: p.cfg.Iterations, Overflow: overflow}
+	return Result{HPWL: d.HPWL(), Iterations: done, Overflow: overflow}
 }
 
 // PlaceQuadraticOnly runs a single unconstrained quadratic solve (no

@@ -15,6 +15,7 @@
 package mcts
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -24,6 +25,15 @@ import (
 	"macroplace/internal/grid"
 	"macroplace/internal/rl"
 )
+
+// Evaluator abstracts the pre-trained network the search queries:
+// Forward serves the sequential path, EvaluateBatch the parallel
+// batcher. *agent.Agent implements it; internal/faults wraps one to
+// inject evaluator failures for the recovery tests.
+type Evaluator interface {
+	Forward(sp, sa []float64, t int) agent.Output
+	EvaluateBatch(in []agent.BatchInput) []agent.Output
+}
 
 // EvalMode selects how non-terminal nodes are evaluated.
 type EvalMode int
@@ -97,6 +107,15 @@ type Result struct {
 	// stays far below Explorations in ValueNet mode).
 	Explorations  int
 	TerminalEvals int
+	// Interrupted reports that the context was cancelled (or its
+	// deadline expired) before the full exploration budget was spent;
+	// Anchors is then the best allocation committable from the
+	// statistics gathered so far — still complete and legal.
+	Interrupted bool
+	// WorkerPanics counts exploration passes the parallel search
+	// abandoned after recovering a worker panic or evaluator fault
+	// (zero in a healthy run).
+	WorkerPanics int
 }
 
 // Node expansion states. A node is created nodeNew; in the parallel
@@ -149,9 +168,21 @@ func (n *node) expanded() bool { return n.state == nodeExpanded }
 // Search runs the MCTS stage for one pre-trained agent.
 type Search struct {
 	Cfg    Config
-	Agent  *agent.Agent
+	Agent  Evaluator
 	WL     rl.WirelengthFunc
 	Scaler rl.Scaler
+
+	// OnSnapshot, when set, receives a progress Snapshot after every
+	// commit step — the tree is quiescent during the call. Callers use
+	// it to persist crash-safe search checkpoints (see SaveSnapshot).
+	OnSnapshot func(Snapshot)
+	// Resume, when set, replays a previously committed prefix before
+	// searching, continuing an interrupted run. Validate foreign
+	// snapshots with Snapshot.Check first; an illegal prefix panics.
+	Resume *Snapshot
+	// Logf receives diagnostic lines (recovered worker panics,
+	// degradation notices). Nil discards them.
+	Logf func(format string, args ...any)
 
 	rnd rolloutRNG
 
@@ -188,34 +219,101 @@ func (r *rolloutRNG) intn(n int) int { return int(r.next() % uint64(n)) }
 // New builds a search over env's episode, evaluated by wl and scaled
 // by scaler (normally the trainer's calibrated scaler so MCTS rewards
 // are comparable with RL rewards, as in Fig. 5).
-func New(cfg Config, ag *agent.Agent, wl rl.WirelengthFunc, scaler rl.Scaler) *Search {
+func New(cfg Config, ev Evaluator, wl rl.WirelengthFunc, scaler rl.Scaler) *Search {
 	cfg = cfg.Normalize()
-	return &Search{Cfg: cfg, Agent: ag, WL: wl, Scaler: scaler, rnd: rolloutRNG{s: uint64(cfg.Seed) + 1}}
+	return &Search{Cfg: cfg, Agent: ev, WL: wl, Scaler: scaler, rnd: rolloutRNG{s: uint64(cfg.Seed) + 1}}
 }
 
 // Run executes Alg. 1 lines 11–15 on a fresh clone of env and returns
 // the committed allocation and statistics.
 func (s *Search) Run(env *grid.Env) Result {
+	return s.RunContext(context.Background(), env)
+}
+
+// RunContext is Run under a context: cancellation or an expired
+// deadline is observed between exploration passes, after which the
+// remaining macro groups are committed from the statistics gathered so
+// far — the anytime property: the Result is always a complete legal
+// allocation, marked Interrupted when the budget was cut short. With a
+// background context the search is byte-for-byte the same as Run.
+func (s *Search) RunContext(ctx context.Context, env *grid.Env) Result {
 	if s.Cfg.Workers > 1 {
-		return s.runParallel(env)
+		return s.runParallel(ctx, env)
 	}
 	s.result = Result{BestWirelength: math.Inf(1)}
 	e := env.Clone()
 	e.Reset()
+	t0, committed := s.applyResume(e)
 	root := &node{env: e}
 	steps := e.NumSteps()
 
-	for t := 0; t < steps; t++ {
+	for t := t0; t < steps; t++ {
 		for i := 0; i < s.Cfg.Gamma; i++ {
+			if ctx.Err() != nil {
+				return s.finishInterrupted(root)
+			}
 			s.explore(root)
 			s.result.Explorations++
 		}
-		root = s.commit(root)
-		if root == nil {
-			panic("mcts: no child to commit to")
+		var act int
+		root, act = s.commit(root)
+		committed = append(committed, act)
+		if s.OnSnapshot != nil {
+			s.OnSnapshot(s.snapshotNow(committed))
 		}
 	}
 	return s.finishRun(root)
+}
+
+// applyResume replays the Resume snapshot's committed prefix onto the
+// fresh episode env and restores the carried statistics. Returns the
+// step index to continue from and the prefix (for further snapshots).
+func (s *Search) applyResume(e *grid.Env) (t0 int, committed []int) {
+	snap := s.Resume
+	if snap == nil {
+		return 0, nil
+	}
+	for _, a := range snap.Committed {
+		if err := e.Step(a); err != nil {
+			panic(fmt.Sprintf("mcts: resume snapshot replays illegal action %d: %v (validate with Snapshot.Check)", a, err))
+		}
+	}
+	s.result.Explorations = snap.Explorations
+	s.result.TerminalEvals = snap.TerminalEvals
+	s.result.WorkerPanics = snap.WorkerPanics
+	if len(snap.BestAnchors) > 0 {
+		s.result.BestAnchors = append([]int(nil), snap.BestAnchors...)
+		s.result.BestWirelength = snap.BestWirelength
+	}
+	return len(snap.Committed), append([]int(nil), snap.Committed...)
+}
+
+// finishInterrupted commits the remaining steps without spending any
+// further exploration budget (each commit of an unexpanded node costs
+// one forced exploration) and returns the completed best-so-far
+// result.
+func (s *Search) finishInterrupted(root *node) Result {
+	for !root.env.Done() {
+		root, _ = s.commit(root)
+	}
+	s.result.Interrupted = true
+	return s.finishRun(root)
+}
+
+// snapshotNow captures resumable progress; callers must ensure the
+// tree is quiescent (between commit steps).
+func (s *Search) snapshotNow(committed []int) Snapshot {
+	snap := Snapshot{
+		Committed:     append([]int(nil), committed...),
+		Explorations:  s.result.Explorations,
+		TerminalEvals: s.result.TerminalEvals,
+		WorkerPanics:  s.result.WorkerPanics,
+	}
+	if len(s.result.BestAnchors) > 0 {
+		snap.BestAnchors = append([]int(nil), s.result.BestAnchors...)
+		snap.BestWirelength = s.result.BestWirelength
+	}
+	return snap
 }
 
 // finishRun traces the committed terminal node into the result
@@ -237,14 +335,22 @@ func (s *Search) finishRun(root *node) Result {
 }
 
 // commit picks the most-visited child and descends, reusing the
-// subtree. Ties cascade to Q, then to the policy prior: at small
-// exploration budgets many children carry a single visit each, and
-// falling back to the prior makes the committed move degrade
-// gracefully toward the greedy policy instead of an arbitrary index.
-func (s *Search) commit(n *node) *node {
+// subtree; it also returns the committed action so drivers can record
+// the prefix for snapshots. Ties cascade to Q, then to the policy
+// prior: at small exploration budgets many children carry a single
+// visit each, and falling back to the prior makes the committed move
+// degrade gracefully toward the greedy policy instead of an arbitrary
+// index.
+func (s *Search) commit(n *node) (*node, int) {
 	if !n.expanded() {
-		// γ = 0 or all explorations ended below: force an expansion.
-		s.explore(n)
+		// γ = 0, all explorations ended below, or an interrupted search
+		// is completing its committed path: force an expansion. If the
+		// evaluator is faulted out (injected panics, poisoned weights),
+		// fall back to the first legal action — the committed path must
+		// stay complete and legal even with a dead network.
+		if !s.safeExplore(n) {
+			return s.commitFallback(n)
+		}
 	}
 	best := -1
 	better := func(k, b int) bool {
@@ -274,7 +380,45 @@ func (s *Search) commit(n *node) *node {
 		}
 		s.child(n, best)
 	}
-	return n.children[best]
+	return n.children[best], n.actions[best]
+}
+
+// safeExplore runs one sequential exploration pass, converting a
+// panic (an evaluator fault) into a counted failure. Only the commit
+// path uses it: the regular exploration loops let genuine bugs
+// surface in sequential mode and use explorePass's recovery in
+// parallel mode.
+func (s *Search) safeExplore(n *node) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.result.WorkerPanics++
+			if s.Logf != nil {
+				s.Logf("mcts: recovered panic during forced expansion: %v", r)
+			}
+			ok = false
+		}
+	}()
+	s.explore(n)
+	return true
+}
+
+// commitFallback commits the first legal action of n without any
+// network involvement — the last-resort degradation that keeps an
+// interrupted, fault-ridden search returning a complete allocation.
+func (s *Search) commitFallback(n *node) (*node, int) {
+	env := n.env
+	ncells := env.G.NumCells()
+	for a := 0; a < ncells; a++ {
+		if !env.InBounds(a) {
+			continue
+		}
+		e := env.Clone()
+		if err := e.Step(a); err != nil {
+			continue
+		}
+		return &node{env: e}, a
+	}
+	panic("mcts: non-terminal node with no legal action to commit")
 }
 
 func q(n *node, k int) float64 {
@@ -373,7 +517,14 @@ func (s *Search) policyOf(env *grid.Env, probs []float32) (actions []int, prior 
 			continue
 		}
 		actions = append(actions, a)
-		prior = append(prior, float64(probs[a]))
+		p := float64(probs[a])
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			// A poisoned policy head must not poison the priors: drop
+			// the weight, keep the action (the uniform fallback below
+			// covers an all-bad output).
+			p = 0
+		}
+		prior = append(prior, p)
 	}
 	if len(actions) == 0 {
 		panic("mcts: non-terminal node with no in-bounds action")
@@ -382,7 +533,7 @@ func (s *Search) policyOf(env *grid.Env, probs []float32) (actions []int, prior 
 	for _, p := range prior {
 		sum += p
 	}
-	if sum <= 0 {
+	if sum <= 0 || math.IsInf(sum, 0) {
 		u := 1 / float64(len(prior))
 		for i := range prior {
 			prior[i] = u
@@ -398,10 +549,12 @@ func (s *Search) policyOf(env *grid.Env, probs []float32) (actions []int, prior 
 // clampValue clamps the critic into the calibrated reward range: an
 // untrained value head can emit arbitrary magnitudes, and any estimate
 // that outbids every achievable terminal reward would make the search
-// chase phantoms instead of real placements.
+// chase phantoms instead of real placements. A NaN estimate (poisoned
+// network) pins to the lower bound — the pessimistic choice, so the
+// search routes around the fault instead of through it.
 func (s *Search) clampValue(v float64) float64 {
 	lo, hi := s.Scaler.Bounds()
-	if v < lo {
+	if math.IsNaN(v) || v < lo {
 		v = lo
 	}
 	if v > hi {

@@ -194,7 +194,7 @@ func TestTreeReuseAcrossCommits(t *testing.T) {
 	for i := 0; i < s.Cfg.Gamma; i++ {
 		s.explore(root)
 	}
-	next := s.commit(root)
+	next, _ := s.commit(root)
 	if next == nil {
 		t.Fatal("commit returned nil")
 	}

@@ -1,6 +1,7 @@
 package mcts
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -26,7 +27,9 @@ import (
 //   - Expansion is claimed: the first worker to reach a nodeNew leaf
 //     flips it to nodeExpanding and evaluates it outside the lock;
 //     later arrivals wait on the node's cond until the claimer
-//     publishes the expansion (nodeExpanded) and broadcasts.
+//     publishes the expansion (nodeExpanded) and broadcasts. A waiter
+//     that wakes to find the node back at nodeNew (the claimer
+//     panicked and unclaimed it) claims the expansion itself.
 //   - All agent evaluations go through an evalBatcher: a dedicated
 //     goroutine that drains whatever requests are pending — never
 //     waiting to fill a batch, so it cannot deadlock — and evaluates
@@ -36,8 +39,31 @@ import (
 //     (WirelengthFunc is documented single-goroutine), and the shared
 //     Result fields behind resMu. Lock order: node.mu → wlMu → resMu.
 //
+// Fault isolation: every exploration pass runs under explorePass's
+// recover. A panic — whether a worker bug or an injected evaluator
+// fault — abandons only that pass: its virtual losses are reverted,
+// any expansion claim is released (back to nodeNew, waiters woken),
+// the panic is counted in Result.WorkerPanics, and no committed
+// statistic is touched. Every lock a pass holds across fallible code
+// is released by defer, so a panicking pass can never strand a mutex.
+// A worker that fails workerMaxFails consecutive passes retires; if
+// every worker retires, the driver tops the step up on the calling
+// goroutine so the search degrades to sequential instead of dying.
+// A batched evaluation that panics is retried request-by-request, so
+// one poisoned input fails only its own pass, not the whole batch.
+//
 // Between commit steps the tree is quiescent (WaitGroup barrier), so
 // commit and finishRun reuse the sequential code unchanged.
+
+// workerMaxFails is the number of consecutive recovered panics after
+// which a worker retires (a systematically failing worker would
+// otherwise spin on the ticket counter, starving useful passes).
+const workerMaxFails = 8
+
+// seqTopUpFactor caps the driver's sequential top-up at
+// seqTopUpFactor×γ attempts per commit step, bounding the time spent
+// against an evaluator that fails on every call.
+const seqTopUpFactor = 2
 
 // edgeRef records one selected edge of an exploration path.
 type edgeRef struct {
@@ -49,16 +75,23 @@ type edgeRef struct {
 // worker owns a rollout RNG seeded from Cfg.Seed and its worker index,
 // so Rollout mode needs no RNG lock (sequences differ from the
 // sequential search's, which is inherent to parallel rollouts).
+// fails counts consecutive recovered panics; at workerMaxFails the
+// worker retires for the rest of the search.
 type workerState struct {
-	rnd rolloutRNG
+	rnd     rolloutRNG
+	fails   int
+	retired bool
 }
 
 // runParallel is the Workers>1 counterpart of Run: the same
 // steps × (γ explorations, commit) schedule, with each step's γ
 // explorations distributed over the workers by an atomic ticket
-// counter (exactly γ passes happen, regardless of how the scheduler
-// interleaves the workers).
-func (s *Search) runParallel(env *grid.Env) Result {
+// counter. In a healthy run exactly γ passes complete per step;
+// passes abandoned by recovered panics are re-attempted (by the
+// workers while tickets remain, then sequentially by the driver), so
+// the exploration budget degrades only when the evaluator is
+// persistently broken.
+func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 	s.result = Result{BestWirelength: math.Inf(1)}
 	s.vlossVal = s.Scaler.VirtualLoss()
 	workers := s.Cfg.Workers
@@ -73,6 +106,7 @@ func (s *Search) runParallel(env *grid.Env) Result {
 
 	e := env.Clone()
 	e.Reset()
+	t0, committed := s.applyResume(e)
 	root := &node{env: e}
 	steps := e.NumSteps()
 
@@ -81,61 +115,160 @@ func (s *Search) runParallel(env *grid.Env) Result {
 		wks[i] = &workerState{rnd: rolloutRNG{s: uint64(s.Cfg.Seed) + 1 + uint64(i+1)*0x9E3779B97F4A7C15}}
 	}
 
-	for t := 0; t < steps; t++ {
-		var tickets int64
+	for t := t0; t < steps; t++ {
+		if ctx.Err() != nil {
+			return s.finishInterrupted(root)
+		}
+		var tickets, okPasses int64
 		var wg sync.WaitGroup
-		wg.Add(workers)
 		for _, wk := range wks {
+			if wk.retired {
+				continue
+			}
+			wg.Add(1)
 			go func(wk *workerState) {
 				defer wg.Done()
 				for atomic.AddInt64(&tickets, 1) <= int64(s.Cfg.Gamma) {
-					s.exploreParallel(root, wk)
+					if ctx.Err() != nil {
+						return
+					}
+					if s.explorePass(root, wk) {
+						atomic.AddInt64(&okPasses, 1)
+						wk.fails = 0
+					} else if wk.fails++; wk.fails >= workerMaxFails {
+						wk.retired = true
+						if s.Logf != nil {
+							s.Logf("mcts: worker retired after %d consecutive recovered panics", wk.fails)
+						}
+						return
+					}
 				}
 			}(wk)
 		}
 		wg.Wait()
-		s.result.Explorations += s.Cfg.Gamma
-		root = s.commit(root)
-		if root == nil {
-			panic("mcts: no child to commit to")
+
+		// Tree is quiescent from here to the end of the loop body.
+		if ctx.Err() != nil {
+			s.result.Explorations += int(okPasses)
+			return s.finishInterrupted(root)
+		}
+		// Sequential top-up: recovered panics (or a fully retired
+		// worker pool) left the step short of its γ budget; re-attempt
+		// on this goroutine, bounded so a dead evaluator cannot hang
+		// the search.
+		for n := 0; okPasses < int64(s.Cfg.Gamma) && n < seqTopUpFactor*s.Cfg.Gamma; n++ {
+			if ctx.Err() != nil {
+				break
+			}
+			if s.explorePass(root, wks[0]) {
+				okPasses++
+			}
+		}
+		s.result.Explorations += int(okPasses)
+
+		var act int
+		root, act = s.commit(root)
+		committed = append(committed, act)
+		if s.OnSnapshot != nil {
+			s.OnSnapshot(s.snapshotNow(committed))
 		}
 	}
 	return s.finishRun(root)
 }
 
-// exploreParallel is one selection→expansion→evaluation→backup pass
-// under the tree-parallel protocol.
-func (s *Search) exploreParallel(root *node, wk *workerState) {
+// explorePass is one selection→expansion→evaluation→backup pass under
+// the tree-parallel protocol. It reports whether the pass completed;
+// a panic anywhere in the pass (worker bug or injected evaluator
+// fault) is recovered here: the path's virtual losses are reverted,
+// an unpublished expansion claim is released, the panic is counted,
+// and false is returned. No lock is held across fallible code without
+// a defer, so the recovery never runs against a stranded mutex.
+func (s *Search) explorePass(root *node, wk *workerState) (ok bool) {
 	var path []edgeRef
+	var claimed *node
+	defer func() {
+		if r := recover(); r != nil {
+			if claimed != nil {
+				s.unclaim(claimed)
+			}
+			s.revertVloss(path)
+			s.notePanic(r)
+			ok = false
+		}
+	}()
+
 	cur := root
 	for {
-		cur.mu.Lock()
+		// env is immutable after node creation, so Done needs no lock.
 		if cur.env.Done() {
-			v := s.terminalValueLocked(cur)
-			cur.mu.Unlock()
+			v := s.terminalValue(cur)
 			s.backup(path, v)
-			return
+			return true
 		}
-		if cur.state == nodeNew {
-			cur.state = nodeExpanding
-			cur.mu.Unlock()
-			v := s.expandParallel(cur, wk)
-			s.backup(path, v)
-			return
-		}
-		for cur.state == nodeExpanding {
-			if cur.cond == nil {
-				cur.cond = sync.NewCond(&cur.mu)
+		next := func() *node {
+			cur.mu.Lock()
+			defer cur.mu.Unlock()
+			for cur.state == nodeExpanding {
+				if cur.cond == nil {
+					cur.cond = sync.NewCond(&cur.mu)
+				}
+				cur.cond.Wait()
 			}
-			cur.cond.Wait()
+			if cur.state == nodeNew {
+				// Claim the expansion (possibly re-claiming after a
+				// previous claimer panicked and unclaimed).
+				cur.state = nodeExpanding
+				return nil
+			}
+			k := s.selectEdgeVL(cur)
+			s.childLocked(cur, k)
+			cur.vloss[k]++
+			path = append(path, edgeRef{cur, k})
+			return cur.children[k]
+		}()
+		if next == nil {
+			claimed = cur
+			v := s.expandParallel(cur, wk)
+			claimed = nil
+			s.backup(path, v)
+			return true
 		}
-		k := s.selectEdgeVL(cur)
-		s.childLocked(cur, k)
-		cur.vloss[k]++
-		next := cur.children[k]
-		cur.mu.Unlock()
-		path = append(path, edgeRef{cur, k})
 		cur = next
+	}
+}
+
+// unclaim releases a claimed-but-unpublished expansion after its
+// claimer panicked: the node returns to nodeNew so the next arriving
+// (or cond-parked) worker claims it afresh.
+func (s *Search) unclaim(n *node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == nodeExpanding {
+		n.state = nodeNew
+	}
+	if n.cond != nil {
+		n.cond.Broadcast()
+	}
+}
+
+// revertVloss undoes the virtual losses of an abandoned pass without
+// contributing visits — the tree statistics end exactly as if the
+// pass had never started.
+func (s *Search) revertVloss(path []edgeRef) {
+	for _, e := range path {
+		e.n.mu.Lock()
+		e.n.vloss[e.k]--
+		e.n.mu.Unlock()
+	}
+}
+
+// notePanic records one recovered pass failure.
+func (s *Search) notePanic(r any) {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	s.result.WorkerPanics++
+	if s.Logf != nil {
+		s.Logf("mcts: recovered worker panic: %v", r)
 	}
 }
 
@@ -184,36 +317,53 @@ func (s *Search) childLocked(n *node, k int) {
 	n.children[k] = &node{env: e}
 }
 
-// terminalValueLocked returns the cached terminal reward of n,
-// evaluating the real placement on first visit. Caller holds n.mu;
-// the WL oracle and shared result are taken in lock order.
-func (s *Search) terminalValueLocked(n *node) float64 {
+// terminalValue returns the cached terminal reward of n, evaluating
+// the real placement on first visit. Locks are deferred so a
+// panicking oracle (fault injection) unwinds cleanly.
+func (s *Search) terminalValue(n *node) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if !n.termEvaled {
 		anchors := n.env.Anchors()
-		s.wlMu.Lock()
-		wl := s.WL(anchors)
-		s.wlMu.Unlock()
+		wl := s.oracleParallel(anchors)
 		n.termWL = wl
 		n.termReward = s.Scaler.Reward(wl)
 		n.termEvaled = true
-		s.resMu.Lock()
-		s.result.TerminalEvals++
-		if wl < s.result.BestWirelength {
-			s.result.BestWirelength = wl
-			s.result.BestAnchors = anchors
-		}
-		s.resMu.Unlock()
+		s.recordTerminal(wl, anchors)
 	}
 	return n.termReward
+}
+
+// oracleParallel serializes one wirelength evaluation behind wlMu.
+func (s *Search) oracleParallel(anchors []int) float64 {
+	s.wlMu.Lock()
+	defer s.wlMu.Unlock()
+	return s.WL(anchors)
+}
+
+// recordTerminal updates the shared terminal counters/best under resMu.
+func (s *Search) recordTerminal(wl float64, anchors []int) {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	s.result.TerminalEvals++
+	if wl < s.result.BestWirelength {
+		s.result.BestWirelength = wl
+		s.result.BestAnchors = anchors
+	}
 }
 
 // expandParallel evaluates and publishes a claimed leaf. The agent
 // evaluation (and in Rollout mode the random playout) runs with no
 // node lock held; the expansion is then published under n.mu and any
-// workers parked on the claim are woken.
+// workers parked on the claim are woken. An evaluator fault surfaces
+// as a panic and unwinds to explorePass's recover, which releases the
+// claim.
 func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 	env := n.env
-	out := s.batch.eval(env.SP(), env.Avail(), env.T())
+	out, err := s.batch.eval(env.SP(), env.Avail(), env.T())
+	if err != nil {
+		panic(err)
+	}
 	actions, prior := s.policyOf(env, out.Probs)
 
 	var v float64
@@ -224,6 +374,7 @@ func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 	}
 
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.actions, n.prior = actions, prior
 	n.visits = make([]int, len(actions))
 	n.value = make([]float64, len(actions))
@@ -234,7 +385,6 @@ func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 	if n.cond != nil {
 		n.cond.Broadcast()
 	}
-	n.mu.Unlock()
 	return v
 }
 
@@ -255,16 +405,8 @@ func (s *Search) rolloutParallel(env *grid.Env, wk *workerState) float64 {
 		}
 	}
 	anchors := e.Anchors()
-	s.wlMu.Lock()
-	wl := s.WL(anchors)
-	s.wlMu.Unlock()
-	s.resMu.Lock()
-	s.result.TerminalEvals++
-	if wl < s.result.BestWirelength {
-		s.result.BestWirelength = wl
-		s.result.BestAnchors = anchors
-	}
-	s.resMu.Unlock()
+	wl := s.oracleParallel(anchors)
+	s.recordTerminal(wl, anchors)
 	return s.Scaler.Reward(wl)
 }
 
@@ -280,11 +422,18 @@ func (s *Search) backup(path []edgeRef, v float64) {
 	}
 }
 
+// evalResp is the outcome of one batched evaluation: the output, or
+// the error a recovered evaluator panic was converted to.
+type evalResp struct {
+	out agent.Output
+	err error
+}
+
 // evalReq is one pending leaf evaluation.
 type evalReq struct {
 	sp, sa []float64
 	t      int
-	out    chan agent.Output
+	out    chan evalResp
 }
 
 // evalBatcher coalesces concurrent leaf evaluations into single
@@ -294,19 +443,25 @@ type evalReq struct {
 // possible concurrency). Because it never waits to fill a batch, a
 // lone request is evaluated immediately and the batcher can never
 // deadlock the search.
+//
+// Fault isolation: an EvaluateBatch panic is recovered and the batch
+// is retried one request at a time, so a single poisoned input fails
+// only its own request; every queued request always receives a
+// response (output or error) — a faulty evaluator can never strand a
+// parked worker.
 type evalBatcher struct {
-	ag   *agent.Agent
+	ev   Evaluator
 	req  chan *evalReq
 	done chan struct{}
 	max  int
 }
 
-func newEvalBatcher(ag *agent.Agent, maxBatch int) *evalBatcher {
+func newEvalBatcher(ev Evaluator, maxBatch int) *evalBatcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
 	b := &evalBatcher{
-		ag:   ag,
+		ev:   ev,
 		req:  make(chan *evalReq, maxBatch),
 		done: make(chan struct{}),
 		max:  maxBatch,
@@ -315,11 +470,13 @@ func newEvalBatcher(ag *agent.Agent, maxBatch int) *evalBatcher {
 	return b
 }
 
-// eval submits one state and blocks for its output.
-func (b *evalBatcher) eval(sp, sa []float64, t int) agent.Output {
-	r := &evalReq{sp: sp, sa: sa, t: t, out: make(chan agent.Output, 1)}
+// eval submits one state and blocks for its output or the error a
+// recovered evaluator panic was converted to.
+func (b *evalBatcher) eval(sp, sa []float64, t int) (agent.Output, error) {
+	r := &evalReq{sp: sp, sa: sa, t: t, out: make(chan evalResp, 1)}
 	b.req <- r
-	return <-r.out
+	resp := <-r.out
+	return resp.out, resp.err
 }
 
 // stop shuts the batcher down. No eval may be in flight or issued
@@ -352,16 +509,53 @@ func (b *evalBatcher) loop() {
 				break drain
 			}
 		}
-		ins := make([]agent.BatchInput, len(pending))
-		for i, r2 := range pending {
-			ins[i] = agent.BatchInput{SP: r2.sp, SA: r2.sa, T: r2.t}
-		}
-		outs := b.ag.EvaluateBatch(ins)
-		for i, r2 := range pending {
-			r2.out <- outs[i]
-		}
+		b.serve(pending)
 		if closed {
 			return
 		}
 	}
+}
+
+// serve answers every pending request: one batched pass when it
+// succeeds, otherwise request-by-request so only the genuinely faulty
+// inputs fail.
+func (b *evalBatcher) serve(pending []*evalReq) {
+	outs, err := b.tryBatch(pending)
+	if err == nil {
+		for i, r := range pending {
+			r.out <- evalResp{out: outs[i]}
+		}
+		return
+	}
+	if len(pending) == 1 {
+		pending[0].out <- evalResp{err: err}
+		return
+	}
+	for _, r := range pending {
+		o, rerr := b.tryBatch([]*evalReq{r})
+		resp := evalResp{err: rerr}
+		if rerr == nil {
+			resp = evalResp{out: o[0]}
+		}
+		r.out <- resp
+	}
+}
+
+// tryBatch runs one EvaluateBatch pass, converting a panic (injected
+// fault or evaluator bug) into an error.
+func (b *evalBatcher) tryBatch(pending []*evalReq) (outs []agent.Output, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs, err = nil, fmt.Errorf("mcts: evaluator panic: %v", r)
+		}
+	}()
+	ins := make([]agent.BatchInput, len(pending))
+	for i, r := range pending {
+		ins[i] = agent.BatchInput{SP: r.sp, SA: r.sa, T: r.t}
+	}
+	outs = b.ev.EvaluateBatch(ins)
+	if len(outs) != len(ins) {
+		return nil, fmt.Errorf("mcts: EvaluateBatch returned %d outputs for %d inputs", len(outs), len(ins))
+	}
+	return outs, nil
 }

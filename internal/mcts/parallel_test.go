@@ -234,7 +234,7 @@ func TestParallelVirtualLossReverted(t *testing.T) {
 			defer wg.Done()
 			wk := &workerState{rnd: rolloutRNG{s: uint64(id + 1)}}
 			for i := 0; i < 6; i++ {
-				s2.exploreParallel(root, wk)
+				s2.explorePass(root, wk)
 			}
 		}(w)
 	}
@@ -275,7 +275,10 @@ func TestBatcherCoalesces(t *testing.T) {
 	want := ag.EvaluateBatch([]agent.BatchInput{{SP: sp, SA: sa, T: tt}})[0]
 
 	// Lone request (must return promptly, not deadlock).
-	got := b.eval(sp, sa, tt)
+	got, err := b.eval(sp, sa, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Value != want.Value {
 		t.Fatalf("lone eval value %v != %v", got.Value, want.Value)
 	}
@@ -288,7 +291,11 @@ func TestBatcherCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			o := b.eval(sp, sa, tt)
+			o, err := b.eval(sp, sa, tt)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
 			if o.Value != want.Value {
 				errs <- "batched value diverged"
 				return

@@ -1,0 +1,87 @@
+package mcts
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"macroplace/internal/atomicio"
+	"macroplace/internal/grid"
+)
+
+// Snapshot is the resumable progress of a search: the committed action
+// prefix plus the carried statistics. It is emitted through
+// Search.OnSnapshot after every commit step (when the tree is
+// quiescent) and consumed through Search.Resume. The tree itself is
+// not serialized — on resume the prefix is replayed and the subtree
+// statistics are rebuilt by fresh exploration, which keeps the format
+// a few hundred bytes regardless of design size.
+type Snapshot struct {
+	// Committed is the sequence of grid-cell actions committed so far,
+	// in step order.
+	Committed []int `json:"committed"`
+	// Explorations / TerminalEvals / WorkerPanics carry the result
+	// counters across the interruption.
+	Explorations  int `json:"explorations"`
+	TerminalEvals int `json:"terminal_evals"`
+	WorkerPanics  int `json:"worker_panics,omitempty"`
+	// BestAnchors / BestWirelength carry the best terminal state seen
+	// before the interruption. Empty BestAnchors means none was seen
+	// yet; BestWirelength is then 0 (JSON cannot represent +Inf).
+	BestAnchors    []int   `json:"best_anchors,omitempty"`
+	BestWirelength float64 `json:"best_wirelength,omitempty"`
+}
+
+// Check validates the snapshot against a fresh episode of env without
+// mutating it: every committed action must be a legal step in
+// sequence, and there must be room left to continue. Call this before
+// trusting a snapshot loaded from disk.
+func (sn *Snapshot) Check(env *grid.Env) error {
+	e := env.Clone()
+	e.Reset()
+	steps := e.NumSteps()
+	if len(sn.Committed) > steps {
+		return fmt.Errorf("mcts: snapshot commits %d steps, episode has %d", len(sn.Committed), steps)
+	}
+	for i, a := range sn.Committed {
+		if err := e.Step(a); err != nil {
+			return fmt.Errorf("mcts: snapshot action %d (cell %d) is illegal: %w", i, a, err)
+		}
+	}
+	if sn.Explorations < 0 || sn.TerminalEvals < 0 || sn.WorkerPanics < 0 {
+		return fmt.Errorf("mcts: snapshot has negative counters")
+	}
+	return nil
+}
+
+// SaveSnapshot writes the snapshot to path with atomic replacement: a
+// crash mid-write leaves the previous snapshot intact, so a resume
+// never sees a torn file.
+func SaveSnapshot(path string, sn Snapshot) error {
+	return atomicio.WriteFileBytes(path, mustJSON(sn))
+}
+
+func mustJSON(sn Snapshot) []byte {
+	data, err := json.MarshalIndent(sn, "", "  ")
+	if err != nil {
+		// Snapshot contains only ints and finite floats; Marshal cannot
+		// fail on it unless the struct itself grows an unmarshalable
+		// field, which is a programming error.
+		panic(fmt.Sprintf("mcts: snapshot marshal: %v", err))
+	}
+	return append(data, '\n')
+}
+
+// LoadSnapshot reads a snapshot previously written by SaveSnapshot.
+// Callers should Check it against their env before resuming from it.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mcts: %w", err)
+	}
+	var sn Snapshot
+	if err := json.Unmarshal(data, &sn); err != nil {
+		return nil, fmt.Errorf("mcts: corrupt snapshot %s: %w", path, err)
+	}
+	return &sn, nil
+}

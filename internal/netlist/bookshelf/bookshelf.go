@@ -12,12 +12,14 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"macroplace/internal/atomicio"
 	"macroplace/internal/geom"
 	"macroplace/internal/netlist"
 )
@@ -164,11 +166,14 @@ func readNodes(d *netlist.Design, r io.Reader) error {
 			return fmt.Errorf("line %d: malformed node %q", sc.line, ln)
 		}
 		w, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
+		if err != nil || !finiteNonNegative(w) {
+			// ParseFloat accepts "NaN" and "Inf"; a non-finite or
+			// negative dimension would poison every downstream area and
+			// bounding-box computation, so reject it here.
 			return fmt.Errorf("line %d: bad width %q", sc.line, fields[1])
 		}
 		h, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
+		if err != nil || !finiteNonNegative(h) {
 			return fmt.Errorf("line %d: bad height %q", sc.line, fields[2])
 		}
 		n := netlist.Node{Name: fields[0], W: w, H: h, Kind: netlist.Cell}
@@ -252,11 +257,11 @@ func readPl(d *netlist.Design, r io.Reader) error {
 			return fmt.Errorf("line %d: unknown node %q", sc.line, fields[0])
 		}
 		x, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
+		if err != nil || !finite(x) {
 			return fmt.Errorf("line %d: bad x %q", sc.line, fields[1])
 		}
 		y, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
+		if err != nil || !finite(y) {
 			return fmt.Errorf("line %d: bad y %q", sc.line, fields[2])
 		}
 		d.Nodes[idx].X, d.Nodes[idx].Y = x, y
@@ -301,16 +306,17 @@ func readScl(r io.Reader) (geom.Rect, error) {
 				continue
 			}
 			if v, ok := parseKV(ln, "Coordinate"); ok {
-				coord, _ = strconv.ParseFloat(firstField(v), 64)
+				coord = finiteOrZero(firstField(v))
 			} else if v, ok := parseKV(ln, "Height"); ok {
-				height, _ = strconv.ParseFloat(firstField(v), 64)
+				height = finiteOrZero(firstField(v))
 			} else if strings.HasPrefix(ln, "SubrowOrigin") {
-				// "SubrowOrigin : x NumSites : n"
+				// "SubrowOrigin : x NumSites : n". A trailing ':' with no
+				// value after it is malformed but must not crash.
 				fields := strings.Fields(ln)
 				for i, f := range fields {
-					if f == ":" && i > 0 {
+					if f == ":" && i > 0 && i+1 < len(fields) {
 						val, err := strconv.ParseFloat(fields[i+1], 64)
-						if err != nil {
+						if err != nil || !finite(val) {
 							continue
 						}
 						switch fields[i-1] {
@@ -327,7 +333,11 @@ func readScl(r io.Reader) (geom.Rect, error) {
 	if box.Count() == 0 {
 		return geom.Rect{}, fmt.Errorf("no CoreRow records found")
 	}
-	return box.Rect(), nil
+	rect := box.Rect()
+	if !finite(rect.Lx) || !finite(rect.Ly) || !finite(rect.Ux) || !finite(rect.Uy) {
+		return geom.Rect{}, fmt.Errorf("non-finite core region %+v", rect)
+	}
+	return rect, nil
 }
 
 func firstField(s string) string {
@@ -336,6 +346,20 @@ func firstField(s string) string {
 		return ""
 	}
 	return f[0]
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func finiteNonNegative(v float64) bool { return finite(v) && v >= 0 }
+
+// finiteOrZero parses s as a float and returns it when finite, else 0
+// (lenient numeric fields of the .scl reader).
+func finiteOrZero(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || !finite(v) {
+		return 0
+	}
+	return v
 }
 
 // defaultRegion derives a placement region from the node positions and
@@ -408,20 +432,15 @@ func Write(d *netlist.Design, dir, base string) error {
 		return fmt.Errorf("bookshelf: %w", err)
 	}
 	write := func(ext string, fn func(w *bufio.Writer) error) error {
-		f, err := os.Create(filepath.Join(dir, base+ext))
-		if err != nil {
-			return fmt.Errorf("bookshelf: %w", err)
-		}
-		w := bufio.NewWriter(f)
-		if err := fn(w); err != nil {
-			f.Close()
-			return err
-		}
-		if err := w.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		// Atomic per-file replacement (see atomicio): an interrupted
+		// Write never leaves a torn .nodes/.nets/... on disk.
+		return atomicio.WriteFile(filepath.Join(dir, base+ext), func(out io.Writer) error {
+			w := bufio.NewWriter(out)
+			if err := fn(w); err != nil {
+				return err
+			}
+			return w.Flush()
+		})
 	}
 
 	if err := write(".nodes", func(w *bufio.Writer) error {

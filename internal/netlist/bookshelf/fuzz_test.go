@@ -1,0 +1,68 @@
+package bookshelf
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"macroplace/internal/gen"
+	"macroplace/internal/netlist"
+)
+
+// FuzzParse throws arbitrary bytes at every reader of the package.
+// The contract under test: malformed input produces an error (or a
+// partially-filled design), never a panic, an index overflow, or a
+// design with non-finite geometry. The seed corpus is drawn from the
+// benchmark generator so mutations start from realistic well-formed
+// files rather than random noise.
+func FuzzParse(f *testing.F) {
+	d, err := gen.IBM("ibm01", 0.02, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dir := f.TempDir()
+	if err := Write(d, dir, "seed"); err != nil {
+		f.Fatal(err)
+	}
+	for _, ext := range []string{".nodes", ".nets", ".pl", ".scl", ".aux"} {
+		data, err := os.ReadFile(filepath.Join(dir, "seed"+ext))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("SubrowOrigin :\nCoreRow\nCoordinate : NaN\nEnd\n"))
+	f.Add([]byte("a Inf -Inf\nb 1 1 terminal\n"))
+	f.Add([]byte("NetDegree : 2 n0\n\ta B :\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := &netlist.Design{Name: "fuzz"}
+		if err := readNodes(fz, bytes.NewReader(data)); err == nil {
+			for i := range fz.Nodes {
+				n := &fz.Nodes[i]
+				if math.IsNaN(n.W) || math.IsInf(n.W, 0) || n.W < 0 ||
+					math.IsNaN(n.H) || math.IsInf(n.H, 0) || n.H < 0 {
+					t.Fatalf("accepted node with bad dims: %+v", n)
+				}
+			}
+		}
+		_ = readNets(fz, bytes.NewReader(data))
+		if err := readPl(fz, bytes.NewReader(data)); err == nil {
+			for i := range fz.Nodes {
+				n := &fz.Nodes[i]
+				if math.IsNaN(n.X) || math.IsInf(n.X, 0) || math.IsNaN(n.Y) || math.IsInf(n.Y, 0) {
+					t.Fatalf("accepted node with non-finite position: %+v", n)
+				}
+			}
+		}
+		if region, err := readScl(bytes.NewReader(data)); err == nil {
+			for _, v := range []float64{region.Lx, region.Ly, region.Ux, region.Uy} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-finite region %+v", region)
+				}
+			}
+		}
+	})
+}

@@ -1,7 +1,9 @@
 package rl
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"macroplace/internal/agent"
 	"macroplace/internal/grid"
@@ -77,6 +79,17 @@ type Snapshot struct {
 	Agent   *agent.Agent
 }
 
+// FaultStats counts the watchdog interventions of one training run.
+// All zeros in a healthy run.
+type FaultStats struct {
+	// SkippedEpisodes counts episodes discarded before entering an
+	// update batch because their wirelength or reward was NaN/Inf.
+	SkippedEpisodes int
+	// Restores counts weight restores from the last good state after
+	// an update poisoned the network (NaN/Inf parameters).
+	Restores int
+}
+
 // Trainer runs the pre-training stage on one environment.
 type Trainer struct {
 	Cfg    Config
@@ -91,8 +104,22 @@ type Trainer struct {
 	// untrained agent, when SnapshotEvery > 0).
 	Snapshots []Snapshot
 
+	// Faults reports the NaN/Inf watchdog's interventions.
+	Faults FaultStats
+	// Interrupted reports that RunContext returned early because its
+	// context was cancelled; the agent holds the weights of the last
+	// completed episode.
+	Interrupted bool
+	// Logf receives diagnostic lines (skipped episodes, weight
+	// restores). Nil discards them.
+	Logf func(format string, args ...any)
+
 	opt *nn.Adam
 	rnd *rng.RNG
+
+	// lastGood is a weight copy taken after every healthy update; the
+	// watchdog restores it when an update poisons the network.
+	lastGood *agent.Agent
 }
 
 // NewTrainer wires a trainer. The env is reset internally; the agent
@@ -205,6 +232,22 @@ func PlayGreedy(ag *agent.Agent, env *grid.Env, wl WirelengthFunc) ([]int, float
 // Actor–Critic update every UpdateEvery episodes (Alg. 1 line 9). It
 // calibrates first if Calibrate was not called.
 func (tr *Trainer) Run() {
+	tr.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancellation is observed between
+// episodes, after which the trainer returns with Interrupted set and
+// the agent holding the last completed state — already usable for
+// search. With a background context training is byte-for-byte the
+// same as Run.
+//
+// A NaN/Inf watchdog guards the loop: an episode whose oracle or
+// reward is non-finite is recorded in History but never enters an
+// update batch (Faults.SkippedEpisodes), and an update that leaves
+// any parameter non-finite is rolled back by restoring the last good
+// weights and a fresh optimizer (Faults.Restores) — poisoned Adam
+// moments must not survive the restore.
+func (tr *Trainer) RunContext(ctx context.Context) {
 	if tr.Scaler.Max == 0 && tr.Scaler.Min == 0 {
 		tr.Calibrate()
 	}
@@ -215,6 +258,10 @@ func (tr *Trainer) Run() {
 	sampler := tr.rnd.Split("actions")
 
 	for ep := 1; ep <= tr.Cfg.Episodes; ep++ {
+		if ctx.Err() != nil {
+			tr.Interrupted = true
+			return
+		}
 		env := tr.Env
 		env.Reset()
 		var steps []step
@@ -232,15 +279,63 @@ func (tr *Trainer) Run() {
 		w := tr.WL(env.Anchors())
 		r := tr.Scaler.Reward(w)
 		tr.History = append(tr.History, EpisodeStat{Episode: ep, Wirelength: w, Reward: r})
-		batch = append(batch, episodeRecord{steps: steps, reward: r})
+		if isFinite(w) && isFinite(r) {
+			batch = append(batch, episodeRecord{steps: steps, reward: r})
+		} else {
+			tr.Faults.SkippedEpisodes++
+			tr.logf("rl: episode %d skipped (wirelength %v, reward %v)", ep, w, r)
+		}
 
 		if len(batch) >= tr.Cfg.UpdateEvery || ep == tr.Cfg.Episodes {
-			tr.update(batch)
+			tr.guardedUpdate(batch, ep)
 			batch = batch[:0]
 		}
 		if tr.Cfg.SnapshotEvery > 0 && ep%tr.Cfg.SnapshotEvery == 0 {
 			tr.Snapshots = append(tr.Snapshots, Snapshot{Episode: ep, Agent: tr.Agent.Clone()})
 		}
+	}
+}
+
+// guardedUpdate applies one batched update under the watchdog: the
+// pre-update weights are kept (lazily, as the last good copy) and
+// restored if the update leaves any parameter NaN/Inf. The restore
+// also rebuilds the optimizer — Adam's moment estimates were computed
+// from the poisoned gradients and would re-poison the next step.
+func (tr *Trainer) guardedUpdate(batch []episodeRecord, ep int) {
+	if len(batch) == 0 {
+		return
+	}
+	if tr.lastGood == nil {
+		tr.lastGood = tr.Agent.Clone()
+	}
+	tr.update(batch)
+	if agentHealthy(tr.Agent) {
+		tr.lastGood.CopyWeightsFrom(tr.Agent)
+		return
+	}
+	tr.Faults.Restores++
+	tr.logf("rl: update at episode %d poisoned the network; restoring last good weights", ep)
+	tr.Agent.CopyWeightsFrom(tr.lastGood)
+	tr.opt = nn.NewAdam(tr.Agent.Params(), float32(tr.Cfg.LR))
+}
+
+// agentHealthy reports whether every parameter of ag is finite.
+func agentHealthy(ag *agent.Agent) bool {
+	for _, p := range ag.Params() {
+		for _, v := range p.W {
+			if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func (tr *Trainer) logf(format string, args ...any) {
+	if tr.Logf != nil {
+		tr.Logf(format, args...)
 	}
 }
 

@@ -1,0 +1,120 @@
+package rl
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"macroplace/internal/agent"
+)
+
+// TestTrainerSkipsNaNEpisodes: a flaky oracle that returns NaN for
+// some episodes must not poison the batch — training completes, the
+// skips are counted, and the agent stays finite.
+func TestTrainerSkipsNaNEpisodes(t *testing.T) {
+	env, wl := testEnv()
+	calls := 0
+	flaky := func(anchors []int) float64 {
+		calls++
+		if calls%3 == 0 {
+			return math.NaN()
+		}
+		return wl(anchors)
+	}
+	ag := agent.New(agent.Config{Zeta: 4, Channels: 4, ResBlocks: 1, MaxSteps: 4, Seed: 2})
+	tr := NewTrainer(Config{Episodes: 24, UpdateEvery: 8, CalibrationEpisodes: 6, Seed: 3}, ag, env, wl)
+	tr.Calibrate() // calibrate on the healthy oracle
+	tr.WL = flaky
+	tr.Run()
+	if tr.Faults.SkippedEpisodes == 0 {
+		t.Fatal("NaN episodes were not skipped")
+	}
+	if len(tr.History) != 24 {
+		t.Fatalf("history = %d entries, want all 24 (skipped episodes stay recorded)", len(tr.History))
+	}
+	if !agentHealthy(tr.Agent) {
+		t.Fatal("agent weights went non-finite despite the skip watchdog")
+	}
+}
+
+// TestTrainerRestoresFromPoisonedUpdate (white box): once the network
+// holds a NaN parameter, the next update cannot heal it — the
+// watchdog must detect the poisoned weights and restore the last good
+// copy within one update, with a fresh optimizer.
+func TestTrainerRestoresFromPoisonedUpdate(t *testing.T) {
+	tr := testTrainer(Config{Episodes: 8, UpdateEvery: 8, CalibrationEpisodes: 6, Seed: 4})
+	tr.Run()
+	if tr.Faults.Restores != 0 {
+		t.Fatalf("healthy run restored %d times", tr.Faults.Restores)
+	}
+
+	// Poison one weight, then force another update through the guard.
+	goodW0 := tr.Agent.Params()[0].W[0]
+	tr.Agent.Params()[0].W[0] = float32(math.NaN())
+	oldOpt := tr.opt
+	tr.Cfg.Episodes = 16
+	tr.Run() // continues training the same (now poisoned) agent
+	if tr.Faults.Restores == 0 {
+		t.Fatal("poisoned update did not trigger a restore")
+	}
+	if !agentHealthy(tr.Agent) {
+		t.Fatal("agent still non-finite after restore")
+	}
+	if got := tr.Agent.Params()[0].W[0]; math.IsNaN(float64(got)) {
+		t.Fatalf("poisoned weight survived the restore: %v (last good was %v)", got, goodW0)
+	}
+	if tr.opt == oldOpt {
+		t.Fatal("optimizer was not rebuilt — poisoned Adam moments would re-poison the next step")
+	}
+}
+
+// TestTrainerRunContextCancellation: a cancelled context stops
+// training between episodes with Interrupted set; a background
+// context matches Run exactly.
+func TestTrainerRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := testTrainer(Config{Episodes: 30, UpdateEvery: 10, CalibrationEpisodes: 6, Seed: 5})
+	tr.RunContext(ctx)
+	if !tr.Interrupted {
+		t.Fatal("cancelled training not marked Interrupted")
+	}
+	if len(tr.History) != 0 {
+		t.Fatalf("cancelled-before-start training ran %d episodes", len(tr.History))
+	}
+
+	// Cancel mid-run via the oracle.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	env, wl := testEnv()
+	calls := 0
+	cancelling := func(anchors []int) float64 {
+		calls++
+		if calls == 15 {
+			cancel2()
+		}
+		return wl(anchors)
+	}
+	ag := agent.New(agent.Config{Zeta: 4, Channels: 4, ResBlocks: 1, MaxSteps: 4, Seed: 2})
+	tr2 := NewTrainer(Config{Episodes: 50, UpdateEvery: 10, CalibrationEpisodes: 6, Seed: 6}, ag, env, cancelling)
+	tr2.RunContext(ctx2)
+	if !tr2.Interrupted {
+		t.Fatal("mid-run cancellation not marked Interrupted")
+	}
+	if len(tr2.History) == 0 || len(tr2.History) >= 50 {
+		t.Fatalf("history = %d episodes, want partial progress", len(tr2.History))
+	}
+
+	// Background context must equal Run for the same seed.
+	a := testTrainer(Config{Episodes: 12, UpdateEvery: 6, CalibrationEpisodes: 6, Seed: 7})
+	a.Run()
+	b := testTrainer(Config{Episodes: 12, UpdateEvery: 6, CalibrationEpisodes: 6, Seed: 7})
+	b.RunContext(context.Background())
+	if len(a.History) != len(b.History) {
+		t.Fatal("RunContext(Background) diverged from Run")
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("episode %d diverged: %+v vs %+v", i, a.History[i], b.History[i])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the solvers' behavior on degenerate inputs the
+// placement pipeline can produce under faults: non-SPD or NaN-poisoned
+// Laplacians (a macro with NaN coordinates feeds NaN weights into the
+// star model) and contradictory legalization programs. The contract:
+// finish fast, report failure honestly, never emit NaN or loop forever.
+
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCGIndefiniteMatrixBailsOut(t *testing.T) {
+	// Negative diagonal: p·Ap goes non-positive on the first iteration
+	// and CG must stop rather than diverge.
+	n := 4
+	m := NewSparseSym(n)
+	for i := 0; i < n; i++ {
+		m.AddDiag(i, -1)
+	}
+	b := []float64{1, 1, 1, 1}
+	x := make([]float64, n)
+	res := CG(m, x, b, 1e-9, 100)
+	if res.Converged {
+		t.Error("indefinite system reported as converged")
+	}
+	if res.Iterations > 1 {
+		t.Errorf("bailout took %d iterations, want 1", res.Iterations)
+	}
+	if !finiteVec(x) {
+		t.Errorf("bailout left non-finite x: %v", x)
+	}
+}
+
+func TestCGZeroMatrixBailsOut(t *testing.T) {
+	// All-zero matrix: pap == 0 exactly. The Jacobi guard replaces the
+	// zero diagonal, but the A-product is still zero.
+	n := 3
+	m := NewSparseSym(n)
+	b := []float64{1, 2, 3}
+	x := make([]float64, n)
+	res := CG(m, x, b, 1e-9, 50)
+	if res.Converged {
+		t.Error("singular zero system reported as converged")
+	}
+	if !finiteVec(x) {
+		t.Errorf("bailout left non-finite x: %v", x)
+	}
+}
+
+func TestCGNaNMatrixBailsOut(t *testing.T) {
+	// A NaN entry makes every inner product NaN; the IsNaN(pap) branch
+	// must terminate the iteration instead of running maxIter rounds of
+	// NaN arithmetic and returning garbage as "converged".
+	n := 3
+	m := NewSparseSym(n)
+	for i := 0; i < n; i++ {
+		m.AddDiag(i, 2)
+	}
+	m.Add(0, 1, math.NaN())
+	b := []float64{1, 1, 1}
+	x := make([]float64, n)
+	res := CG(m, x, b, 1e-9, 1000)
+	if res.Converged {
+		t.Error("NaN system reported as converged")
+	}
+	if res.Iterations > 1 {
+		t.Errorf("NaN bailout took %d iterations, want 1", res.Iterations)
+	}
+}
+
+func TestLPUnboundedAfterPhase1(t *testing.T) {
+	// minimize -x s.t. x >= 1: feasible (phase 1 runs because of the
+	// negative RHS) but unbounded below in phase 2.
+	lp := LP{C: []float64{-1}, A: [][]float64{{-1}}, B: []float64{-1}}
+	if _, _, err := lp.Solve(); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestLPInfeasibleEqualityPair(t *testing.T) {
+	// x = 1 and x = 2, each as an opposing inequality pair — the shape
+	// the legalizer emits for pinned macros; contradictions must come
+	// back as ErrInfeasible, not as a garbage placement.
+	lp := LP{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}, {1}, {-1}},
+		B: []float64{1, -1, 2, -2},
+	}
+	if _, _, err := lp.Solve(); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}

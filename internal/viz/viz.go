@@ -8,8 +8,8 @@ package viz
 import (
 	"fmt"
 	"io"
-	"os"
 
+	"macroplace/internal/atomicio"
 	"macroplace/internal/metrics"
 	"macroplace/internal/netlist"
 )
@@ -131,15 +131,9 @@ func WriteSVG(w io.Writer, d *netlist.Design, opts Options) error {
 	return err
 }
 
-// SaveSVG renders the design into a file.
+// SaveSVG renders the design into a file (atomically replaced).
 func SaveSVG(path string, d *netlist.Design, opts Options) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("viz: %w", err)
-	}
-	if err := WriteSVG(f, d, opts); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteSVG(w, d, opts)
+	})
 }

@@ -24,6 +24,8 @@
 package macroplace
 
 import (
+	"context"
+
 	"macroplace/internal/agent"
 	"macroplace/internal/baseline"
 	"macroplace/internal/core"
@@ -68,6 +70,11 @@ type MCTSConfig = mcts.Config
 // SearchResult carries the MCTS search statistics.
 type SearchResult = mcts.Result
 
+// SearchSnapshot is the resumable progress of an MCTS search, emitted
+// through Options.SearchSnapshot after every commit step and consumed
+// through Options.SearchResume. Persist with SaveSearchSnapshot.
+type SearchSnapshot = mcts.Snapshot
+
 // Agent is the Actor–Critic network guiding the search.
 type Agent = agent.Agent
 
@@ -96,11 +103,19 @@ func GreedyRL(p *Placer, ag *Agent) ([]int, float64) {
 // arbitrary agent snapshot (e.g. a partially-trained one), using the
 // trainer's calibrated reward scaler when available.
 func SearchWithAgent(p *Placer, ag *Agent, cfg MCTSConfig) SearchResult {
+	return SearchWithAgentContext(context.Background(), p, ag, cfg)
+}
+
+// SearchWithAgentContext is SearchWithAgent under a context: on
+// cancellation (or deadline expiry) the search commits the remaining
+// moves from the statistics gathered so far and returns a complete
+// legal allocation with Interrupted set — the anytime property.
+func SearchWithAgentContext(ctx context.Context, p *Placer, ag *Agent, cfg MCTSConfig) SearchResult {
 	scaler := rl.Scaler{Max: 1, Min: 0, Avg: 0.5, Alpha: 0.75}
 	if p.Trainer != nil {
 		scaler = p.Trainer.Scaler
 	}
-	return mcts.New(cfg, ag, p.EvalAnchors, scaler).Run(p.Env)
+	return mcts.New(cfg, ag, p.EvalAnchors, scaler).RunContext(ctx, p.Env)
 }
 
 // DefaultOptions returns a CPU-friendly configuration: ζ=16, a reduced
@@ -131,11 +146,33 @@ func NewPlacer(d *Design, opts Options) (*Placer, error) {
 // optimization, macro legalization, and final cell placement — and
 // returns the consolidated result.
 func Place(d *Design, opts Options) (*Result, error) {
+	return PlaceContext(context.Background(), d, opts)
+}
+
+// PlaceContext is Place under a context: cancellation (SIGINT, a
+// deadline) degrades each stage instead of aborting the flow —
+// training stops at the last completed episode, the search commits
+// its best-so-far allocation, cell placement keeps its finished
+// iterations — so the result is always a complete legal placement.
+func PlaceContext(ctx context.Context, d *Design, opts Options) (*Result, error) {
 	p, err := core.New(d, opts)
 	if err != nil {
 		return nil, err
 	}
-	return p.Place()
+	return p.PlaceContext(ctx)
+}
+
+// SaveSearchSnapshot persists a search snapshot with atomic
+// replacement (crash-safe: a kill mid-write keeps the previous file).
+func SaveSearchSnapshot(path string, sn SearchSnapshot) error {
+	return mcts.SaveSnapshot(path, sn)
+}
+
+// LoadSearchSnapshot reads a snapshot written by SaveSearchSnapshot.
+// Validate it against the flow's environment (Snapshot.Check) before
+// resuming from it.
+func LoadSearchSnapshot(path string) (*SearchSnapshot, error) {
+	return mcts.LoadSnapshot(path)
 }
 
 // Generate synthesises a benchmark from an explicit spec.

@@ -23,6 +23,22 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== atomic-write gate"
+# Checkpoint and result artifacts must be written through
+# internal/atomicio (temp file + fsync + rename) so a crash mid-write
+# never destroys the previous good generation. A bare os.Create in
+# production code is the tell-tale of a non-atomic writer; tests and
+# the atomicio package itself are exempt.
+bad=$(grep -rn "os\.Create(" --include="*.go" \
+        --exclude="*_test.go" \
+        cmd internal examples *.go 2>/dev/null \
+      | grep -v "^internal/atomicio/" || true)
+if [ -n "$bad" ]; then
+    echo "non-atomic writes found (use internal/atomicio instead of os.Create):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
 echo "== go vet"
 go vet ./...
 
