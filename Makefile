@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-short build test race bench fmt vet
+.PHONY: check check-short build test race bench bench-all bench-gate fmt vet
 
 check: ## gofmt + vet + build + race-detector test suite
 	scripts/check.sh
@@ -20,8 +20,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench: ## micro + table/figure benchmarks (quick preset)
+bench: ## search hot-path benchmark, recorded as BENCH_pr3.json
+	$(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+
+bench-all: ## micro + table/figure benchmarks (quick preset)
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+bench-gate: ## allocation-regression smoke gate (same script CI runs)
+	scripts/benchgate.sh
 
 fmt:
 	gofmt -w .

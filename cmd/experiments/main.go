@@ -48,8 +48,27 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "also write machine-readable CSV artifacts into this directory")
 		extended = flag.Bool("extended", false, "add the beyond-paper baselines (SA, SA-B*tree, MinCut) to Table II")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry finished rows are rendered and the run stops (0 = none)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -52,12 +52,29 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "file to save crash-safe MCTS search snapshots to")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "commit steps between search snapshots")
 		resume     = flag.Bool("resume", false, "resume the MCTS stage from the -checkpoint file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mctsplace:", err)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "mctsplace:", err)
+			}
+		}()
 	}
 
 	// SIGINT/SIGTERM cancel the context; every stage degrades
@@ -168,6 +185,11 @@ func main() {
 	fmt.Printf("macro overlap:  %.6g\n", res.Final.MacroOverlap)
 	fmt.Printf("explorations:   %d (terminal placements: %d)\n",
 		res.Search.Explorations, res.Search.TerminalEvals)
+	if total := res.Search.CacheHits + res.Search.CacheMisses; total > 0 {
+		fmt.Printf("eval cache:     %d hits / %d misses (%.1f%% hit rate)\n",
+			res.Search.CacheHits, res.Search.CacheMisses,
+			100*float64(res.Search.CacheHits)/float64(total))
+	}
 	if res.Search.WorkerPanics > 0 {
 		fmt.Printf("recovered:      %d worker panics\n", res.Search.WorkerPanics)
 	}

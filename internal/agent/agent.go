@@ -13,6 +13,7 @@ package agent
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"macroplace/internal/nn"
 	"macroplace/internal/rng"
@@ -96,6 +97,10 @@ type Agent struct {
 	fc3V   *nn.Linear
 
 	params []*nn.Param
+
+	// infPool recycles the inference workspaces of the pure batched
+	// path (see batch.go); the zero value is ready to use.
+	infPool sync.Pool
 
 	// forward caches for Backward
 	lastSA     []float32

@@ -13,6 +13,25 @@ type BatchInput struct {
 	T      int
 }
 
+// inferScratch carries the workspace arena of one in-flight inference
+// pass. Scratches are pooled per agent so concurrent EvaluateBatch
+// calls never share an arena, and a warm scratch makes a whole forward
+// pass allocation-free except for the returned Probs slices (which
+// outlive the call: the MCTS tree and the evaluation cache retain
+// them).
+type inferScratch struct {
+	ws nn.Workspace
+}
+
+func (a *Agent) getScratch() *inferScratch {
+	if sc, ok := a.infPool.Get().(*inferScratch); ok {
+		return sc
+	}
+	return &inferScratch{}
+}
+
+func (a *Agent) putScratch(sc *inferScratch) { a.infPool.Put(sc) }
+
 // EvaluateBatch runs both heads on a batch of states in one pass and
 // returns one Output per input, in order.
 //
@@ -26,9 +45,25 @@ type BatchInput struct {
 // alone; the whole batch flows through single MatMul calls big enough
 // to engage the nn package's parallel matmul kernel.
 func (a *Agent) EvaluateBatch(in []BatchInput) []Output {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]Output, len(in))
+	a.EvaluateBatchInto(in, out)
+	return out
+}
+
+// EvaluateBatchInto is EvaluateBatch writing into a caller-supplied
+// output slice (len(out) must equal len(in)): the batcher's reusable-
+// buffer entry point. Only the per-sample Probs slices are freshly
+// allocated — they outlive the call by contract.
+func (a *Agent) EvaluateBatchInto(in []BatchInput, out []Output) {
 	batch := len(in)
 	if batch == 0 {
-		return nil
+		return
+	}
+	if len(out) != batch {
+		panic(fmt.Sprintf("agent: EvaluateBatchInto got %d outputs for %d inputs", len(out), batch))
 	}
 	z := a.Cfg.Zeta
 	n := z * z
@@ -38,9 +73,13 @@ func (a *Agent) EvaluateBatch(in []BatchInput) []Output {
 				i, len(in[i].SP), len(in[i].SA), n))
 		}
 	}
+	sc := a.getScratch()
+	defer a.putScratch(sc)
+	ws := &sc.ws
+	ws.Reset()
 
 	// s_p as the single input channel, channel-major batch layout.
-	sp := make([]float32, batch*n)
+	sp := ws.Take(batch * n)
 	for b := range in {
 		dst := sp[b*n : (b+1)*n]
 		for i, v := range in[b].SP {
@@ -48,55 +87,65 @@ func (a *Agent) EvaluateBatch(in []BatchInput) []Output {
 		}
 	}
 
-	h := a.conv1.ForwardBatch(sp, batch, z, z)
-	h = a.bn1.ForwardBatch(h, batch, n)
-	nn.ReLUBatch(h)
+	h := a.conv1.ForwardBatchWS(ws, sp, batch, z, z, false)
+	h = a.bn1.ForwardBatchWS(ws, h, batch, n, true)
 	for _, rb := range a.tower {
-		h = rb.ForwardBatch(h, batch, z, z)
+		h = rb.ForwardBatchWS(ws, h, batch, z, z)
 	}
 	trunk := h // [Channels, batch, n]
 
 	// Policy head.
-	hp := a.convP.ForwardBatch(trunk, batch, z, z)
-	hp = a.bnP.ForwardBatch(hp, batch, n)
-	nn.ReLUBatch(hp)
-	outs := make([]Output, batch)
-	pin := make([]float32, 2*n)
+	hp := a.convP.ForwardBatchWS(ws, trunk, batch, z, z, false)
+	hp = a.bnP.ForwardBatchWS(ws, hp, batch, n, true)
+	pin := ws.Take(2 * n)
+	logits := ws.Take(n)
+	saF := ws.Take(n)
 	for b := range in {
 		// Gather sample b out of the channel-major layout: the flatten
 		// order (channel 0 then channel 1) matches Forward's.
 		copy(pin[:n], hp[b*n:(b+1)*n])
 		copy(pin[n:], hp[(batch+b)*n:(batch+b+1)*n])
-		logits := a.fcP.Apply(pin)
-		saF := make([]float32, n)
+		a.fcP.ApplyInto(logits, pin, false)
 		for i, v := range in[b].SA {
 			saF[i] = float32(v)
 		}
-		outs[b].Probs = nn.MaskedSoftmax(nil, logits, saF)
+		out[b].Probs = nn.MaskedSoftmax(nil, logits, saF)
 	}
 
 	// Value head: concat [trunk, s_p, posEmb(t)] channels per sample.
 	c := a.Cfg.Channels
-	comb := make([]float32, (c+2)*batch*n)
+	comb := ws.Take((c + 2) * batch * n)
 	copy(comb[:c*batch*n], trunk)
 	copy(comb[c*batch*n:(c+1)*batch*n], sp)
 	for b := range in {
 		copy(comb[(c+1)*batch*n+b*n:], a.posEmb.At(in[b].T))
 	}
-	hv := a.convV.ForwardBatch(comb, batch, z, z)
-	hv = a.bnV.ForwardBatch(hv, batch, n)
-	nn.ReLUBatch(hv)
+	hv := a.convV.ForwardBatchWS(ws, comb, batch, z, z, false)
+	hv = a.bnV.ForwardBatchWS(ws, hv, batch, n, true)
+	v1 := ws.Take(16)
+	v2 := ws.Take(n)
+	v3 := ws.Take(1)
 	for b := range in {
-		v := a.fc1V.Apply(hv[b*n : (b+1)*n])
-		nn.ReLUBatch(v)
-		v = a.fc2V.Apply(v)
-		nn.ReLUBatch(v)
-		v = a.fc3V.Apply(v)
-		val := v[0]
+		a.fc1V.ApplyInto(v1, hv[b*n:(b+1)*n], true)
+		a.fc2V.ApplyInto(v2, v1, true)
+		a.fc3V.ApplyInto(v3, v2, false)
+		val := v3[0]
 		if math.IsNaN(float64(val)) {
 			val = 0
 		}
-		outs[b].Value = val
+		out[b].Value = val
 	}
-	return outs
+}
+
+// EvalState runs both heads on a single state through the pure batched
+// kernels: the inference-path counterpart of Forward. The result is
+// bit-identical to Forward's (the batch kernels pin that per sample)
+// but it records no backward caches, leaves the BatchNorm running
+// statistics untouched, and — warm scratch arena aside — allocates
+// only the returned Probs slice. Safe for concurrent use.
+func (a *Agent) EvalState(sp, sa []float64, t int) Output {
+	in := [1]BatchInput{{SP: sp, SA: sa, T: t}}
+	var out [1]Output
+	a.EvaluateBatchInto(in[:], out[:])
+	return out[0]
 }

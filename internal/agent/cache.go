@@ -1,0 +1,303 @@
+package agent
+
+import (
+	"math"
+	"sync"
+)
+
+// CachedEvaluator wraps an Agent with an LRU cache over its inference
+// results, so repeated evaluations of the same placement state — the
+// MCTS root re-evaluated across restarts, the greedy-RL episode's
+// states re-reached by the search, transpositions where different
+// action orders produce the same occupancy map — skip the network
+// entirely.
+//
+// Keying is content-addressed: the 128-bit key hashes ⟨t, the float64
+// bit patterns of s_p and s_a⟩. An identical placement prefix always
+// reproduces identical s_p/s_a bits (the environment is deterministic),
+// so content keying subsumes keying by the action sequence — and it
+// additionally unifies true transpositions, which a prefix hash would
+// miss. Two distinct states collide only if two independent 64-bit
+// hashes collide simultaneously (~2⁻¹²⁸ per pair; with the ≤10⁵ states
+// of a search, negligible).
+//
+// A hit returns the stored Output. Probs is shared between the cache
+// and every caller: it is read-only by the same contract as Forward's
+// (the search and the greedy player only read it). Hits are
+// bit-identical to misses — the cache stores exactly what EvalState
+// returned, and EvalState is pinned bit-identical to Forward.
+//
+// Safe for concurrent use; the underlying evaluation runs outside the
+// lock, so parallel cache misses do not serialize the network.
+//
+// The cache assumes frozen weights: it must be created after
+// pre-training (or weight loading) and discarded if the agent trains
+// again — core.Placer wires this.
+type CachedEvaluator struct {
+	ag *Agent
+
+	mu   sync.Mutex
+	m    map[cacheKey]int32
+	ents []cacheEntry // intrusive LRU: index-linked, allocated once
+	cap  int
+	head int32 // most recently used, -1 when empty
+	tail int32 // least recently used, -1 when empty
+
+	hits, misses uint64
+}
+
+type cacheKey struct{ a, b uint64 }
+
+type cacheEntry struct {
+	key        cacheKey
+	out        Output
+	prev, next int32
+}
+
+// DefaultCacheSize is the entry capacity NewCachedEvaluator uses when
+// the caller passes capacity <= 0. One entry holds one ζ²-float32
+// Probs slice (1 KiB at ζ=16), so the default is a few MiB.
+const DefaultCacheSize = 4096
+
+// NewCachedEvaluator wraps ag with an LRU evaluation cache holding up
+// to capacity entries (DefaultCacheSize when capacity <= 0).
+func NewCachedEvaluator(ag *Agent, capacity int) *CachedEvaluator {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &CachedEvaluator{
+		ag:   ag,
+		m:    make(map[cacheKey]int32, capacity),
+		ents: make([]cacheEntry, 0, capacity),
+		cap:  capacity,
+		head: -1,
+		tail: -1,
+	}
+}
+
+// stateKey hashes ⟨t, s_p bits, s_a bits⟩ with two structurally
+// different 64-bit word hashes: FNV-1a over words, and an add-fold
+// with splitmix64-style avalanching. Lengths and t are folded in so
+// states of different shape never share a key.
+func stateKey(t int, sp, sa []float64) cacheKey {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+		mixMul1   = 0xbf58476d1ce4e5b9
+		mixMul2   = 0x94d049bb133111eb
+	)
+	h1 := uint64(fnvOffset)
+	h2 := uint64(0x2545f4914f6cdd1d)
+	mix := func(w uint64) {
+		h1 = (h1 ^ w) * fnvPrime
+		h2 += w + 0x9e3779b97f4a7c15
+		h2 = (h2 ^ (h2 >> 30)) * mixMul1
+		h2 = (h2 ^ (h2 >> 27)) * mixMul2
+		h2 ^= h2 >> 31
+	}
+	mix(uint64(t))
+	mix(uint64(len(sp))<<32 | uint64(len(sa)))
+	for _, v := range sp {
+		mix(math.Float64bits(v))
+	}
+	for _, v := range sa {
+		mix(math.Float64bits(v))
+	}
+	return cacheKey{a: h1, b: h2}
+}
+
+// Forward implements the sequential half of mcts.Evaluator: a cache
+// lookup, falling through to the pure EvalState path on a miss. Unlike
+// Agent.Forward it records no backward caches (searches never call
+// Backward).
+func (c *CachedEvaluator) Forward(sp, sa []float64, t int) Output {
+	key := stateKey(t, sp, sa)
+	c.mu.Lock()
+	if idx, ok := c.m[key]; ok {
+		c.touch(idx)
+		c.hits++
+		out := c.ents[idx].out
+		c.mu.Unlock()
+		return out
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	out := c.ag.EvalState(sp, sa, t)
+	c.mu.Lock()
+	c.insert(key, out)
+	c.mu.Unlock()
+	return out
+}
+
+// EvaluateBatch implements the batched half of mcts.Evaluator.
+func (c *CachedEvaluator) EvaluateBatch(in []BatchInput) []Output {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]Output, len(in))
+	c.EvaluateBatchInto(in, out)
+	return out
+}
+
+// EvaluateBatchInto resolves each input against the cache and runs the
+// network once over the misses only. Duplicate states inside one batch
+// (parallel workers racing to the same leaf) are evaluated once.
+func (c *CachedEvaluator) EvaluateBatchInto(in []BatchInput, out []Output) {
+	if len(out) != len(in) {
+		panic("agent: CachedEvaluator.EvaluateBatchInto length mismatch")
+	}
+	sc := c.getBatchScratch(len(in))
+	defer c.putBatchScratch(sc)
+
+	c.mu.Lock()
+	for i := range in {
+		sc.keys[i] = stateKey(in[i].T, in[i].SP, in[i].SA)
+		if idx, ok := c.m[sc.keys[i]]; ok {
+			c.touch(idx)
+			c.hits++
+			out[i] = c.ents[idx].out
+			continue
+		}
+		if first, dup := sc.seen[sc.keys[i]]; dup {
+			// Intra-batch duplicate: the first occurrence's evaluation
+			// will serve both. Counted as a hit — the network runs once.
+			c.hits++
+			sc.dups = append(sc.dups, [2]int32{int32(i), first})
+			continue
+		}
+		c.misses++
+		sc.seen[sc.keys[i]] = int32(i)
+		sc.miss = append(sc.miss, int32(i))
+		sc.sub = append(sc.sub, in[i])
+	}
+	c.mu.Unlock()
+
+	if len(sc.sub) > 0 {
+		sc.subOut = sc.subOut[:len(sc.sub)]
+		c.ag.EvaluateBatchInto(sc.sub, sc.subOut)
+		c.mu.Lock()
+		for j, i := range sc.miss {
+			out[i] = sc.subOut[j]
+			c.insert(sc.keys[i], sc.subOut[j])
+		}
+		c.mu.Unlock()
+	}
+	for _, d := range sc.dups {
+		out[d[0]] = out[d[1]]
+	}
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *CachedEvaluator) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the current number of cached entries.
+func (c *CachedEvaluator) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// touch moves entry idx to the LRU head. Caller holds mu.
+func (c *CachedEvaluator) touch(idx int32) {
+	if c.head == idx {
+		return
+	}
+	e := &c.ents[idx]
+	if e.prev >= 0 {
+		c.ents[e.prev].next = e.next
+	}
+	if e.next >= 0 {
+		c.ents[e.next].prev = e.prev
+	}
+	if c.tail == idx {
+		c.tail = e.prev
+	}
+	e.prev = -1
+	e.next = c.head
+	if c.head >= 0 {
+		c.ents[c.head].prev = idx
+	}
+	c.head = idx
+	if c.tail < 0 {
+		c.tail = idx
+	}
+}
+
+// insert adds (or refreshes) a cache entry, evicting the LRU tail at
+// capacity. Caller holds mu.
+func (c *CachedEvaluator) insert(key cacheKey, out Output) {
+	if idx, ok := c.m[key]; ok {
+		// A concurrent miss on the same state got here first; keep the
+		// stored Output (bit-identical anyway) and refresh recency.
+		c.touch(idx)
+		return
+	}
+	var idx int32
+	if len(c.ents) < c.cap {
+		c.ents = append(c.ents, cacheEntry{})
+		idx = int32(len(c.ents) - 1)
+	} else {
+		// Recycle the least recently used entry.
+		idx = c.tail
+		e := &c.ents[idx]
+		delete(c.m, e.key)
+		c.tail = e.prev
+		if c.tail >= 0 {
+			c.ents[c.tail].next = -1
+		} else {
+			c.head = -1
+		}
+	}
+	c.ents[idx] = cacheEntry{key: key, out: out, prev: -1, next: c.head}
+	if c.head >= 0 {
+		c.ents[c.head].prev = idx
+	}
+	c.head = idx
+	if c.tail < 0 {
+		c.tail = idx
+	}
+	c.m[key] = idx
+}
+
+// batchScratch carries the per-call buffers of EvaluateBatchInto.
+type batchScratch struct {
+	keys   []cacheKey
+	miss   []int32
+	dups   [][2]int32
+	sub    []BatchInput
+	subOut []Output
+	seen   map[cacheKey]int32
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{seen: make(map[cacheKey]int32, 16)}
+}}
+
+func (c *CachedEvaluator) getBatchScratch(n int) *batchScratch {
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.keys) < n {
+		sc.keys = make([]cacheKey, n)
+		sc.subOut = make([]Output, n)
+	}
+	sc.keys = sc.keys[:n]
+	sc.miss = sc.miss[:0]
+	sc.dups = sc.dups[:0]
+	sc.sub = sc.sub[:0]
+	sc.subOut = sc.subOut[:0]
+	for k := range sc.seen {
+		delete(sc.seen, k)
+	}
+	return sc
+}
+
+func (c *CachedEvaluator) putBatchScratch(sc *batchScratch) {
+	for i := range sc.sub {
+		sc.sub[i] = BatchInput{} // drop references to caller state
+	}
+	batchScratchPool.Put(sc)
+}

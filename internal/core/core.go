@@ -63,6 +63,14 @@ type Options struct {
 	// extension the paper's citations ([7], [15], [23]) motivate; 0
 	// reproduces the paper's pure-wirelength objective.
 	CongestionWeight float64
+	// EvalCacheSize bounds the LRU evaluation cache that the MCTS and
+	// greedy-playout stages share: repeated evaluations of the same
+	// placement state (search restarts, transpositions, the greedy
+	// episode's states re-reached by the search) skip the network. 0
+	// selects agent.DefaultCacheSize; negative disables the cache. The
+	// cache is built lazily after pre-training and dropped whenever
+	// training runs again (cached outputs assume frozen weights).
+	EvalCacheSize int
 	// CommittedPathOnly restricts the MCTS result to the committed
 	// search path, exactly as Alg. 1 line 15 traces it. By default the
 	// flow also considers the best terminal state evaluated during
@@ -166,9 +174,13 @@ type Placer struct {
 	// penalty.
 	baseUtil  []float64
 	groupArea float64
-	// utilScratch is reused by EvalAnchors.
+	// utilScratch and cmScratch are reused by EvalAnchors.
 	utilScratch []float64
-	times       StageTimes
+	cmScratch   *metrics.CongestionMap
+	// evalCache is the shared post-training evaluation cache (see
+	// Options.EvalCacheSize); nil until searchEvaluator builds it.
+	evalCache *agent.CachedEvaluator
+	times     StageTimes
 }
 
 // New clones the design and prepares a placer.
@@ -275,10 +287,27 @@ func (p *Placer) EvalAnchors(anchors []int) float64 {
 		cost *= 1 + 8*ratio
 	}
 	if p.Opts.CongestionWeight > 0 {
-		cm := metrics.RUDY(p.Coarse.Design, p.Opts.Zeta)
+		// Called once per reward evaluation; accumulate into the
+		// placer-owned map instead of allocating ζ² bins per call.
+		p.cmScratch = metrics.RUDYInto(p.cmScratch, p.Coarse.Design, p.Opts.Zeta)
+		cm := p.cmScratch
 		cost *= 1 + p.Opts.CongestionWeight*cm.OverflowRatio(2*cm.Mean())
 	}
 	return cost
+}
+
+// searchEvaluator returns the evaluator the search stages should
+// query: the shared LRU cache over the agent, built lazily so it only
+// ever caches post-training (frozen) weights. With EvalCacheSize < 0
+// the raw agent is returned.
+func (p *Placer) searchEvaluator() mcts.Evaluator {
+	if p.Opts.EvalCacheSize < 0 {
+		return p.Agent
+	}
+	if p.evalCache == nil {
+		p.evalCache = agent.NewCachedEvaluator(p.Agent, p.Opts.EvalCacheSize)
+	}
+	return p.evalCache
 }
 
 // anchorOverflow returns the grid-capacity overflow of an allocation
@@ -321,6 +350,9 @@ func (p *Placer) Pretrain() *rl.Trainer {
 // completed update — still a usable (if less trained) search guide.
 func (p *Placer) PretrainContext(ctx context.Context) *rl.Trainer {
 	start := time.Now()
+	// Training mutates the weights, so any cached evaluations are
+	// stale; searchEvaluator rebuilds the cache on next use.
+	p.evalCache = nil
 	p.Trainer = rl.NewTrainer(p.Opts.RL, p.Agent, p.Env.Clone(), p.EvalAnchors)
 	p.Trainer.Logf = p.Opts.Logf
 	p.Trainer.RunContext(ctx)
@@ -355,7 +387,7 @@ func (p *Placer) RunMCTSContext(ctx context.Context) mcts.Result {
 	for k := 0; k < restarts; k++ {
 		cfg := p.Opts.MCTS
 		cfg.Seed = p.Opts.MCTS.Seed + int64(k)*7919
-		s := mcts.New(cfg, p.Agent, p.EvalAnchors, scaler)
+		s := mcts.New(cfg, p.searchEvaluator(), p.EvalAnchors, scaler)
 		s.Logf = p.Opts.Logf
 		if restarts == 1 {
 			s.OnSnapshot = p.Opts.SearchSnapshot
@@ -372,6 +404,8 @@ func (p *Placer) RunMCTSContext(ctx context.Context) mcts.Result {
 		explorations := best.Explorations + res.Explorations
 		evals := best.TerminalEvals + res.TerminalEvals
 		panics := best.WorkerPanics + res.WorkerPanics
+		hits := best.CacheHits + res.CacheHits
+		misses := best.CacheMisses + res.CacheMisses
 		interrupted := best.Interrupted || res.Interrupted
 		if res.Wirelength < best.Wirelength {
 			keepBest := best.BestAnchors
@@ -388,6 +422,8 @@ func (p *Placer) RunMCTSContext(ctx context.Context) mcts.Result {
 		best.Explorations = explorations
 		best.TerminalEvals = evals
 		best.WorkerPanics = panics
+		best.CacheHits = hits
+		best.CacheMisses = misses
 		best.Interrupted = interrupted
 		if ctx.Err() != nil {
 			break
@@ -464,7 +500,10 @@ func (p *Placer) PlaceContext(ctx context.Context) (*Result, error) {
 	trainer := p.PretrainContext(ctx)
 
 	// RL-only result (greedy policy), for the comparisons of Fig. 5.
-	rlAnchors, _ := rl.PlayGreedy(p.Agent, p.Env.Clone(), p.EvalAnchors)
+	// Routed through the shared evaluation cache: the search's root
+	// explores the same opening states the greedy episode visits, so
+	// priming the cache here guarantees hits in RunMCTS below.
+	rlAnchors, _ := rl.PlayGreedyEval(p.searchEvaluator(), p.Env.Clone(), p.EvalAnchors)
 	rlFinal, err := p.FinalizeContext(ctx, rlAnchors)
 	if err != nil {
 		return nil, err

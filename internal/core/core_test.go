@@ -269,3 +269,71 @@ func TestMCTSRestartsNotWorse(t *testing.T) {
 		t.Errorf("4 restarts (%v) worse than 1 (%v)", four, one)
 	}
 }
+
+func TestEvalCacheServesFlowWithHits(t *testing.T) {
+	d := gen.Generate(gen.Spec{Name: "cacheflow", MovableMacros: 6, Cells: 120, Nets: 200, Seed: 61})
+	p, err := New(d, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Place()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The greedy episode primes the cache and the search re-reaches its
+	// states, so a default flow must record hits, not just misses.
+	if res.Search.CacheMisses == 0 {
+		t.Fatal("default flow recorded no cache misses — cache not wired in")
+	}
+	if res.Search.CacheHits == 0 {
+		t.Fatal("default flow recorded no cache hits")
+	}
+
+	// Disabling the cache must not change the committed allocation
+	// (sequential search, cache hits bit-identical to misses).
+	optsOff := testOptions()
+	optsOff.EvalCacheSize = -1
+	p2, err := New(d, optsOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p2.Place()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Search.CacheHits != 0 || res2.Search.CacheMisses != 0 {
+		t.Errorf("disabled cache reported traffic %d/%d", res2.Search.CacheHits, res2.Search.CacheMisses)
+	}
+	if len(res.Search.Anchors) != len(res2.Search.Anchors) {
+		t.Fatal("allocation lengths differ")
+	}
+	for i := range res.Search.Anchors {
+		if res.Search.Anchors[i] != res2.Search.Anchors[i] {
+			t.Fatalf("cached and uncached flows committed different allocations:\n  with cache: %v\n  without:    %v",
+				res.Search.Anchors, res2.Search.Anchors)
+		}
+	}
+	if res.Search.Wirelength != res2.Search.Wirelength {
+		t.Fatalf("wirelength diverged: %v vs %v", res.Search.Wirelength, res2.Search.Wirelength)
+	}
+}
+
+func TestPretrainInvalidatesEvalCache(t *testing.T) {
+	d := gen.Generate(gen.Spec{Name: "cacheinval", MovableMacros: 5, Cells: 100, Nets: 150, Seed: 62})
+	p, err := New(d, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Preprocess(); err != nil {
+		t.Fatal(err)
+	}
+	first := p.searchEvaluator()
+	if first != p.searchEvaluator() {
+		t.Fatal("searchEvaluator must be stable between trainings")
+	}
+	p.Pretrain()
+	second := p.searchEvaluator()
+	if first == second {
+		t.Fatal("training must drop the stale evaluation cache")
+	}
+}

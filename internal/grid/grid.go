@@ -14,6 +14,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"macroplace/internal/cluster"
 	"macroplace/internal/geom"
@@ -225,10 +226,46 @@ func (e *Env) Reset() {
 
 // Clone returns an independent copy (used by MCTS node expansion).
 func (e *Env) Clone() *Env {
-	cp := &Env{G: e.G, Shapes: e.Shapes, t: e.t}
-	cp.sp = append([]float64(nil), e.sp...)
-	cp.anchors = append([]int(nil), e.anchors...)
+	cp := &Env{}
+	e.CloneInto(cp)
 	return cp
+}
+
+// CloneInto makes dst an independent copy of e, reusing dst's slice
+// capacity when it suffices. dst must not be e and must not be in use
+// elsewhere; its previous contents are fully overwritten.
+func (e *Env) CloneInto(dst *Env) {
+	dst.G = e.G
+	dst.Shapes = e.Shapes
+	dst.t = e.t
+	dst.sp = append(dst.sp[:0], e.sp...)
+	dst.anchors = append(dst.anchors[:0], e.anchors...)
+}
+
+// Pool recycles Env clones. MCTS expands one clone per node and
+// discards whole subtrees at every commit; routing those through a
+// pool makes steady-state node expansion allocation-free. The zero
+// value is ready to use.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns a clone of src, recycling a pooled Env when available.
+func (pl *Pool) Get(src *Env) *Env {
+	if e, ok := pl.p.Get().(*Env); ok {
+		src.CloneInto(e)
+		return e
+	}
+	return src.Clone()
+}
+
+// Put returns e to the pool. The caller must not retain any reference
+// to e or to slices previously returned by its accessors' non-Into
+// forms aside from copies.
+func (pl *Pool) Put(e *Env) {
+	if e != nil {
+		pl.p.Put(e)
+	}
 }
 
 // T returns the current step (number of groups already placed).
@@ -246,8 +283,16 @@ func (e *Env) Anchor(i int) int { return e.anchors[i] }
 // Anchors returns a copy of all chosen anchors.
 func (e *Env) Anchors() []int { return append([]int(nil), e.anchors...) }
 
+// AnchorsInto appends all chosen anchors into dst[:0] and returns the
+// result: the reuse form of Anchors for hot paths.
+func (e *Env) AnchorsInto(dst []int) []int { return append(dst[:0], e.anchors...) }
+
 // SP returns a copy of the current utilization map s_p.
 func (e *Env) SP() []float64 { return append([]float64(nil), e.sp...) }
+
+// SPInto appends the current utilization map s_p into dst[:0] and
+// returns the result: the reuse form of SP for hot paths.
+func (e *Env) SPInto(dst []float64) []float64 { return append(dst[:0], e.sp...) }
 
 // InBounds reports whether anchoring the current group at grid action
 // keeps its footprint inside the partition.
@@ -265,13 +310,27 @@ func (e *Env) InBounds(action int) bool {
 // covered grids of (1 - s_m(gi)) · (1 - s_p(gi)); out-of-bounds
 // anchors score 0.
 func (e *Env) Avail() []float64 {
-	out := make([]float64, e.G.NumCells())
+	return e.AvailInto(make([]float64, e.G.NumCells()))
+}
+
+// AvailInto is Avail writing into a caller-supplied buffer (grown as
+// needed, resliced to ζ²): the reuse form for hot paths. The whole
+// buffer is rewritten, including the zero entries Avail leaves
+// untouched in its freshly allocated output.
+func (e *Env) AvailInto(dst []float64) []float64 {
+	n := e.G.NumCells()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
+	for i := range out {
+		out[i] = 0
+	}
 	if e.Done() {
 		return out
 	}
 	s := &e.Shapes[e.t]
-	n := float64(s.GW * s.GH)
-	inv := 1.0 / n
+	inv := 1.0 / float64(s.GW*s.GH)
 	for gy := 0; gy+s.GH <= e.G.Zeta; gy++ {
 		for gx := 0; gx+s.GW <= e.G.Zeta; gx++ {
 			// Geometric mean via log-sum for numerical stability.

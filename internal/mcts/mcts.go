@@ -116,6 +116,19 @@ type Result struct {
 	// abandoned after recovering a worker panic or evaluator fault
 	// (zero in a healthy run).
 	WorkerPanics int
+	// CacheHits / CacheMisses count the evaluation-cache lookups this
+	// search served from / added to the cache, when the evaluator
+	// exposes one (agent.CachedEvaluator). Both stay zero for a plain
+	// evaluator.
+	CacheHits, CacheMisses uint64
+}
+
+// cacheStatser is the optional interface through which the search
+// reads evaluation-cache counters (implemented by
+// agent.CachedEvaluator). The search records per-run deltas, so a
+// long-lived shared cache is fine.
+type cacheStatser interface {
+	Stats() (hits, misses uint64)
 }
 
 // Node expansion states. A node is created nodeNew; in the parallel
@@ -198,6 +211,14 @@ type Search struct {
 	resMu    sync.Mutex
 	vlossVal float64
 	batch    *evalBatcher
+
+	// scratch is the sequential driver's reusable pass memory (the
+	// parallel workers each carry their own in workerState). See
+	// arena.go.
+	scratch passScratch
+
+	// Evaluation-cache counters at run start, for per-run deltas.
+	cacheBaseHits, cacheBaseMisses uint64
 }
 
 // rolloutRNG is a tiny xorshift so Rollout mode stays deterministic
@@ -237,14 +258,15 @@ func (s *Search) Run(env *grid.Env) Result {
 // allocation, marked Interrupted when the budget was cut short. With a
 // background context the search is byte-for-byte the same as Run.
 func (s *Search) RunContext(ctx context.Context, env *grid.Env) Result {
+	s.captureCacheBase()
 	if s.Cfg.Workers > 1 {
 		return s.runParallel(ctx, env)
 	}
 	s.result = Result{BestWirelength: math.Inf(1)}
-	e := env.Clone()
+	e := cloneEnv(env)
 	e.Reset()
 	t0, committed := s.applyResume(e)
-	root := &node{env: e}
+	root := s.scratch.arena.newNode(e)
 	steps := e.NumSteps()
 
 	for t := t0; t < steps; t++ {
@@ -256,13 +278,23 @@ func (s *Search) RunContext(ctx context.Context, env *grid.Env) Result {
 			s.result.Explorations++
 		}
 		var act int
-		root, act = s.commit(root)
+		prev := root
+		root, act = s.commit(prev)
+		releaseDiscarded(prev, root)
 		committed = append(committed, act)
 		if s.OnSnapshot != nil {
 			s.OnSnapshot(s.snapshotNow(committed))
 		}
 	}
 	return s.finishRun(root)
+}
+
+// captureCacheBase records the evaluator's cache counters at run
+// start so Result carries this run's deltas.
+func (s *Search) captureCacheBase() {
+	if cs, ok := s.Agent.(cacheStatser); ok {
+		s.cacheBaseHits, s.cacheBaseMisses = cs.Stats()
+	}
 }
 
 // applyResume replays the Resume snapshot's committed prefix onto the
@@ -294,7 +326,9 @@ func (s *Search) applyResume(e *grid.Env) (t0 int, committed []int) {
 // result.
 func (s *Search) finishInterrupted(root *node) Result {
 	for !root.env.Done() {
-		root, _ = s.commit(root)
+		prev := root
+		root, _ = s.commit(prev)
+		releaseDiscarded(prev, root)
 	}
 	s.result.Interrupted = true
 	return s.finishRun(root)
@@ -331,6 +365,15 @@ func (s *Search) finishRun(root *node) Result {
 		s.result.BestAnchors = anchors
 		s.result.BestWirelength = wl
 	}
+	if cs, ok := s.Agent.(cacheStatser); ok {
+		h, m := cs.Stats()
+		s.result.CacheHits = h - s.cacheBaseHits
+		s.result.CacheMisses = m - s.cacheBaseMisses
+	}
+	// The committed terminal chain is the last subtree still holding
+	// envs; the result only carries copies, so recycle them for the
+	// next search.
+	releaseDiscarded(root, nil)
 	return s.result
 }
 
@@ -412,11 +455,12 @@ func (s *Search) commitFallback(n *node) (*node, int) {
 		if !env.InBounds(a) {
 			continue
 		}
-		e := env.Clone()
+		e := cloneEnv(env)
 		if err := e.Step(a); err != nil {
+			envPool.Put(e)
 			continue
 		}
-		return &node{env: e}, a
+		return s.scratch.arena.newNode(e), a
 	}
 	panic("mcts: non-terminal node with no legal action to commit")
 }
@@ -431,11 +475,8 @@ func q(n *node, k int) float64 {
 // explore performs one selection→expansion→evaluation→backpropagation
 // pass from n (Fig. 3). Sequential only.
 func (s *Search) explore(n *node) {
-	type edgeRef struct {
-		n *node
-		k int
-	}
-	var path []edgeRef
+	path := s.scratch.path[:0]
+	defer func() { s.scratch.path = path[:0] }()
 	cur := n
 	for cur.expanded() && !cur.env.Done() {
 		k := s.selectEdge(cur)
@@ -500,23 +541,35 @@ func (s *Search) child(n *node, k int) {
 	if n.children[k] != nil {
 		return
 	}
-	e := n.env.Clone()
+	e := cloneEnv(n.env)
 	if err := e.Step(n.actions[k]); err != nil {
+		envPool.Put(e)
 		panic(fmt.Sprintf("mcts: illegal expansion action: %v", err))
 	}
-	n.children[k] = &node{env: e}
+	n.children[k] = s.scratch.arena.newNode(e)
 }
 
-// policyOf enumerates the in-bounds actions of env and their
+// edgesOf enumerates the in-bounds actions of env and their
 // normalised priors from the agent output (uniform fallback when the
-// masked policy zeroed everything).
-func (s *Search) policyOf(env *grid.Env, probs []float32) (actions []int, prior []float64) {
+// masked policy zeroed everything), carving both slices out of ar.
+func (s *Search) edgesOf(env *grid.Env, probs []float32, ar *nodeArena) (actions []int, prior []float64) {
 	ncells := env.G.NumCells()
+	cnt := 0
+	for a := 0; a < ncells; a++ {
+		if env.InBounds(a) {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		panic("mcts: non-terminal node with no in-bounds action")
+	}
+	actions = ar.intSlice(cnt)
+	prior = ar.floatSlice(cnt)
+	i := 0
 	for a := 0; a < ncells; a++ {
 		if !env.InBounds(a) {
 			continue
 		}
-		actions = append(actions, a)
 		p := float64(probs[a])
 		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
 			// A poisoned policy head must not poison the priors: drop
@@ -524,10 +577,9 @@ func (s *Search) policyOf(env *grid.Env, probs []float32) (actions []int, prior 
 			// covers an all-bad output).
 			p = 0
 		}
-		prior = append(prior, p)
-	}
-	if len(actions) == 0 {
-		panic("mcts: non-terminal node with no in-bounds action")
+		actions[i] = a
+		prior[i] = p
+		i++
 	}
 	var sum float64
 	for _, p := range prior {
@@ -569,14 +621,17 @@ func (s *Search) clampValue(v float64) float64 {
 // only — the parallel search expands in exploreParallel.
 func (s *Search) expand(n *node) float64 {
 	env := n.env
-	sa := env.Avail()
-	out := s.Agent.Forward(env.SP(), sa, env.T())
+	sc := &s.scratch
+	sc.sa = env.AvailInto(sc.sa)
+	sc.sp = env.SPInto(sc.sp)
+	out := s.Agent.Forward(sc.sp, sc.sa, env.T())
 
-	n.actions, n.prior = s.policyOf(env, out.Probs)
-	n.visits = make([]int, len(n.actions))
-	n.value = make([]float64, len(n.actions))
-	n.vloss = make([]int, len(n.actions))
-	n.children = make([]*node, len(n.actions))
+	n.actions, n.prior = s.edgesOf(env, out.Probs, &sc.arena)
+	m := len(n.actions)
+	n.visits = sc.arena.intSlice(m)
+	n.value = sc.arena.floatSlice(m)
+	n.vloss = sc.arena.intSlice(m)
+	n.children = sc.arena.kidSlice(m)
 	n.state = nodeExpanded
 
 	if s.Cfg.Mode == Rollout {
@@ -590,15 +645,17 @@ func (s *Search) expand(n *node) float64 {
 // Sequential only: it draws from the search-wide RNG and updates the
 // result without locks.
 func (s *Search) rollout(env *grid.Env) float64 {
-	e := env.Clone()
+	e := cloneEnv(env)
+	defer envPool.Put(e)
 	ncells := e.G.NumCells()
 	for !e.Done() {
-		var legal []int
+		legal := s.scratch.legal[:0]
 		for a := 0; a < ncells; a++ {
 			if e.InBounds(a) {
 				legal = append(legal, a)
 			}
 		}
+		s.scratch.legal = legal
 		if err := e.Step(legal[s.rnd.intn(len(legal))]); err != nil {
 			panic(fmt.Sprintf("mcts: illegal rollout action: %v", err))
 		}

@@ -81,6 +81,9 @@ type workerState struct {
 	rnd     rolloutRNG
 	fails   int
 	retired bool
+	// sc is the worker's private pass scratch (path buffer, state
+	// buffers, legal-move list, node arena) — see arena.go.
+	sc passScratch
 }
 
 // runParallel is the Workers>1 counterpart of Run: the same
@@ -104,10 +107,10 @@ func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 		s.batch = nil
 	}()
 
-	e := env.Clone()
+	e := cloneEnv(env)
 	e.Reset()
 	t0, committed := s.applyResume(e)
-	root := &node{env: e}
+	root := s.scratch.arena.newNode(e)
 	steps := e.NumSteps()
 
 	wks := make([]*workerState, workers)
@@ -167,7 +170,9 @@ func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 		s.result.Explorations += int(okPasses)
 
 		var act int
-		root, act = s.commit(root)
+		prev := root
+		root, act = s.commit(prev)
+		releaseDiscarded(prev, root)
 		committed = append(committed, act)
 		if s.OnSnapshot != nil {
 			s.OnSnapshot(s.snapshotNow(committed))
@@ -184,7 +189,7 @@ func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 // and false is returned. No lock is held across fallible code without
 // a defer, so the recovery never runs against a stranded mutex.
 func (s *Search) explorePass(root *node, wk *workerState) (ok bool) {
-	var path []edgeRef
+	path := wk.sc.path[:0]
 	var claimed *node
 	defer func() {
 		if r := recover(); r != nil {
@@ -195,6 +200,7 @@ func (s *Search) explorePass(root *node, wk *workerState) (ok bool) {
 			s.notePanic(r)
 			ok = false
 		}
+		wk.sc.path = path[:0]
 	}()
 
 	cur := root
@@ -221,7 +227,7 @@ func (s *Search) explorePass(root *node, wk *workerState) (ok bool) {
 				return nil
 			}
 			k := s.selectEdgeVL(cur)
-			s.childLocked(cur, k)
+			s.childLocked(cur, k, &wk.sc.arena)
 			cur.vloss[k]++
 			path = append(path, edgeRef{cur, k})
 			return cur.children[k]
@@ -303,18 +309,19 @@ func (s *Search) selectEdgeVL(n *node) int {
 	return best
 }
 
-// childLocked materialises child k of n. Caller holds n.mu, which
-// makes the lazy creation race-free; the clone/step work on the new
-// child's private env.
-func (s *Search) childLocked(n *node, k int) {
+// childLocked materialises child k of n out of the calling worker's
+// arena. Caller holds n.mu, which makes the lazy creation race-free;
+// the clone/step work on the new child's private env.
+func (s *Search) childLocked(n *node, k int, ar *nodeArena) {
 	if n.children[k] != nil {
 		return
 	}
-	e := n.env.Clone()
+	e := cloneEnv(n.env)
 	if err := e.Step(n.actions[k]); err != nil {
+		envPool.Put(e)
 		panic(fmt.Sprintf("mcts: illegal expansion action: %v", err))
 	}
-	n.children[k] = &node{env: e}
+	n.children[k] = ar.newNode(e)
 }
 
 // terminalValue returns the cached terminal reward of n, evaluating
@@ -360,11 +367,18 @@ func (s *Search) recordTerminal(wl float64, anchors []int) {
 // claim.
 func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 	env := n.env
-	out, err := s.batch.eval(env.SP(), env.Avail(), env.T())
+	wk.sc.sp = env.SPInto(wk.sc.sp)
+	wk.sc.sa = env.AvailInto(wk.sc.sa)
+	out, err := s.batch.eval(wk.sc.sp, wk.sc.sa, env.T())
 	if err != nil {
 		panic(err)
 	}
-	actions, prior := s.policyOf(env, out.Probs)
+	actions, prior := s.edgesOf(env, out.Probs, &wk.sc.arena)
+	m := len(actions)
+	visits := wk.sc.arena.intSlice(m)
+	value := wk.sc.arena.floatSlice(m)
+	vloss := wk.sc.arena.intSlice(m)
+	children := wk.sc.arena.kidSlice(m)
 
 	var v float64
 	if s.Cfg.Mode == Rollout {
@@ -376,10 +390,10 @@ func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.actions, n.prior = actions, prior
-	n.visits = make([]int, len(actions))
-	n.value = make([]float64, len(actions))
-	n.vloss = make([]int, len(actions))
-	n.children = make([]*node, len(actions))
+	n.visits = visits
+	n.value = value
+	n.vloss = vloss
+	n.children = children
 	n.eval = v
 	n.state = nodeExpanded
 	if n.cond != nil {
@@ -391,15 +405,17 @@ func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 // rolloutParallel is rollout with the worker's private RNG and the
 // shared oracle/result taken under their locks.
 func (s *Search) rolloutParallel(env *grid.Env, wk *workerState) float64 {
-	e := env.Clone()
+	e := cloneEnv(env)
+	defer envPool.Put(e)
 	ncells := e.G.NumCells()
 	for !e.Done() {
-		var legal []int
+		legal := wk.sc.legal[:0]
 		for a := 0; a < ncells; a++ {
 			if e.InBounds(a) {
 				legal = append(legal, a)
 			}
 		}
+		wk.sc.legal = legal
 		if err := e.Step(legal[wk.rnd.intn(len(legal))]); err != nil {
 			panic(fmt.Sprintf("mcts: illegal rollout action: %v", err))
 		}
@@ -429,11 +445,25 @@ type evalResp struct {
 	err error
 }
 
-// evalReq is one pending leaf evaluation.
+// evalReq is one pending leaf evaluation. Requests are pooled: the
+// response channel (capacity 1, always drained by eval) is created
+// once per pooled object and reused.
 type evalReq struct {
 	sp, sa []float64
 	t      int
 	out    chan evalResp
+}
+
+var evalReqPool = sync.Pool{New: func() any {
+	return &evalReq{out: make(chan evalResp, 1)}
+}}
+
+// batchIntoEvaluator is the optional interface through which the
+// batcher reuses its output buffer across batches (*agent.Agent and
+// *agent.CachedEvaluator implement it; fault-injection wrappers
+// usually don't and fall back to EvaluateBatch).
+type batchIntoEvaluator interface {
+	EvaluateBatchInto(in []agent.BatchInput, out []agent.Output)
 }
 
 // evalBatcher coalesces concurrent leaf evaluations into single
@@ -451,9 +481,14 @@ type evalReq struct {
 // parked worker.
 type evalBatcher struct {
 	ev   Evaluator
+	into batchIntoEvaluator // non-nil when ev supports buffer reuse
 	req  chan *evalReq
 	done chan struct{}
 	max  int
+
+	// Reused by the loop goroutine only.
+	ins  []agent.BatchInput
+	outs []agent.Output
 }
 
 func newEvalBatcher(ev Evaluator, maxBatch int) *evalBatcher {
@@ -466,16 +501,21 @@ func newEvalBatcher(ev Evaluator, maxBatch int) *evalBatcher {
 		done: make(chan struct{}),
 		max:  maxBatch,
 	}
+	b.into, _ = ev.(batchIntoEvaluator)
 	go b.loop()
 	return b
 }
 
 // eval submits one state and blocks for its output or the error a
-// recovered evaluator panic was converted to.
+// recovered evaluator panic was converted to. sp and sa are only read
+// until eval returns, so callers may pass reusable scratch buffers.
 func (b *evalBatcher) eval(sp, sa []float64, t int) (agent.Output, error) {
-	r := &evalReq{sp: sp, sa: sa, t: t, out: make(chan evalResp, 1)}
+	r := evalReqPool.Get().(*evalReq)
+	r.sp, r.sa, r.t = sp, sa, t
 	b.req <- r
 	resp := <-r.out
+	r.sp, r.sa = nil, nil
+	evalReqPool.Put(r)
 	return resp.out, resp.err
 }
 
@@ -542,16 +582,27 @@ func (b *evalBatcher) serve(pending []*evalReq) {
 }
 
 // tryBatch runs one EvaluateBatch pass, converting a panic (injected
-// fault or evaluator bug) into an error.
+// fault or evaluator bug) into an error. The input buffer — and, when
+// the evaluator supports EvaluateBatchInto, the output buffer — is
+// reused across batches; only the loop goroutine calls this.
 func (b *evalBatcher) tryBatch(pending []*evalReq) (outs []agent.Output, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			outs, err = nil, fmt.Errorf("mcts: evaluator panic: %v", r)
 		}
 	}()
-	ins := make([]agent.BatchInput, len(pending))
+	if cap(b.ins) < len(pending) {
+		b.ins = make([]agent.BatchInput, len(pending))
+		b.outs = make([]agent.Output, len(pending))
+	}
+	ins := b.ins[:len(pending)]
 	for i, r := range pending {
 		ins[i] = agent.BatchInput{SP: r.sp, SA: r.sa, T: r.t}
+	}
+	if b.into != nil {
+		outs = b.outs[:len(pending)]
+		b.into.EvaluateBatchInto(ins, outs)
+		return outs, nil
 	}
 	outs = b.ev.EvaluateBatch(ins)
 	if len(outs) != len(ins) {

@@ -27,10 +27,31 @@ type CongestionMap struct {
 // HPWL/(w·h) uniformly over its bounding box. Higher values flag
 // likely routing congestion.
 func RUDY(d *netlist.Design, bins int) *CongestionMap {
+	return RUDYInto(nil, d, bins)
+}
+
+// RUDYInto is RUDY accumulating into a caller-owned CongestionMap, so
+// per-step congestion evaluation inside a search reuses one demand
+// buffer instead of allocating bins² floats per call. A nil cm (or one
+// whose Demand cannot hold bins²) is (re)allocated; otherwise cm is
+// reconfigured for this design and fully overwritten.
+func RUDYInto(cm *CongestionMap, d *netlist.Design, bins int) *CongestionMap {
 	if bins <= 0 {
 		bins = 32
 	}
-	cm := &CongestionMap{Bins: bins, Region: d.Region, Demand: make([]float64, bins*bins)}
+	if cm == nil {
+		cm = &CongestionMap{}
+	}
+	cm.Bins = bins
+	cm.Region = d.Region
+	if cap(cm.Demand) < bins*bins {
+		cm.Demand = make([]float64, bins*bins)
+	} else {
+		cm.Demand = cm.Demand[:bins*bins]
+		for i := range cm.Demand {
+			cm.Demand[i] = 0
+		}
+	}
 	bw := d.Region.W() / float64(bins)
 	bh := d.Region.H() / float64(bins)
 	if bw <= 0 || bh <= 0 {

@@ -246,3 +246,36 @@ func TestReportStringGolden(t *testing.T) {
 		t.Errorf("zero String() = %q, want %q", got, wantZero)
 	}
 }
+
+func TestRUDYIntoMatchesRUDYAndReusesBuffer(t *testing.T) {
+	d := &netlist.Design{Region: geom.NewRect(0, 0, 32, 32)}
+	a := d.AddNode(netlist.Node{Name: "a", Kind: netlist.Cell, X: 4, Y: 4})
+	b := d.AddNode(netlist.Node{Name: "b", Kind: netlist.Cell, X: 12, Y: 12})
+	d.AddNet(netlist.Net{Name: "n", Pins: []netlist.Pin{{Node: a}, {Node: b}}})
+
+	want := RUDY(d, 8)
+	// Seed the reused map with stale garbage from a different shape:
+	// every bin must be rewritten, not accumulated into.
+	cm := &CongestionMap{Bins: 3, Demand: make([]float64, 128)}
+	for i := range cm.Demand {
+		cm.Demand[i] = 99
+	}
+	got := RUDYInto(cm, d, 8)
+	if got != cm {
+		t.Fatal("RUDYInto must return the map it was given")
+	}
+	if got.Bins != want.Bins || len(got.Demand) != len(want.Demand) {
+		t.Fatalf("shape %d/%d, want %d/%d", got.Bins, len(got.Demand), want.Bins, len(want.Demand))
+	}
+	for i := range want.Demand {
+		if got.Demand[i] != want.Demand[i] {
+			t.Fatalf("Demand[%d] = %v, want %v", i, got.Demand[i], want.Demand[i])
+		}
+	}
+	if &got.Demand[0] != &cm.Demand[0] {
+		t.Error("RUDYInto reallocated a buffer with sufficient capacity")
+	}
+	if nilGot := RUDYInto(nil, d, 8); nilGot == nil || nilGot.Demand[1*8+1] != want.Demand[1*8+1] {
+		t.Error("RUDYInto(nil, ...) must allocate and fill a fresh map")
+	}
+}

@@ -22,29 +22,37 @@ import "math"
 // same order as its sequential Forward counterpart, so a batched
 // evaluation is bit-identical to evaluating each sample alone (the
 // MCTS determinism tests rely on this).
+//
+// Every kernel comes in two forms: a WS variant that draws its
+// intermediate buffers from a Workspace arena (zero heap allocations
+// once the arena is warm), and the original allocating form, kept as a
+// thin nil-workspace wrapper. Fused epilogues (the convolution bias,
+// the ReLU after BatchNorm, the residual add+ReLU) sweep the output
+// once instead of once per epilogue; each fused form performs the
+// identical float operations in the identical order, so fusion is
+// invisible at the bit level.
 
 // ForwardBatch applies the convolution to a batch of [Cin, H, W]
 // feature maps in channel-major batch layout. It is pure: the backward
 // caches of Forward are untouched.
 func (c *Conv2D) ForwardBatch(x []float32, batch, h, w int) []float32 {
+	return c.ForwardBatchWS(nil, x, batch, h, w, false)
+}
+
+// ForwardBatchWS is ForwardBatch with the im2col and output buffers
+// drawn from ws (nil ws allocates) and an optional fused ReLU on the
+// biased output.
+func (c *Conv2D) ForwardBatchWS(ws *Workspace, x []float32, batch, h, w int, relu bool) []float32 {
 	hw := h * w
 	if len(x) < c.Cin*batch*hw {
 		panic("nn: Conv2D.ForwardBatch input too small")
 	}
 	ck := c.Cin * c.K * c.K
-	cols := make([]float32, ck*batch*hw)
+	cols := ws.Take(ck * batch * hw)
 	im2colBatch(cols, x, c.Cin, batch, h, w, c.K, c.Pad)
 
-	out := make([]float32, c.Cout*batch*hw)
-	MatMul(out, c.Weight.W, cols, c.Cout, ck, batch*hw)
-	bhw := batch * hw
-	for co := 0; co < c.Cout; co++ {
-		b := c.Bias.W[co]
-		row := out[co*bhw : (co+1)*bhw]
-		for i := range row {
-			row[i] += b
-		}
-	}
+	out := ws.Take(c.Cout * batch * hw)
+	MatMulBias(out, c.Weight.W, cols, c.Bias.W, c.Cout, ck, batch*hw, relu)
 	return out
 }
 
@@ -96,10 +104,17 @@ func im2colBatch(cols, x []float32, cin, batch, h, w, k, pad int) {
 // the per-sample outputs are identical because training-mode outputs
 // never depend on the running statistics.
 func (bn *BatchNorm2D) ForwardBatch(x []float32, batch, hw int) []float32 {
+	return bn.ForwardBatchWS(nil, x, batch, hw, false)
+}
+
+// ForwardBatchWS is ForwardBatch with the output drawn from ws (nil ws
+// allocates) and an optional fused ReLU: max(0, ·) of the identical
+// normalised value, bit-identical to a separate ReLUBatch sweep.
+func (bn *BatchNorm2D) ForwardBatchWS(ws *Workspace, x []float32, batch, hw int, relu bool) []float32 {
 	if len(x) < bn.C*batch*hw {
 		panic("nn: BatchNorm2D.ForwardBatch input too small")
 	}
-	out := make([]float32, bn.C*batch*hw)
+	out := ws.Take(bn.C * batch * hw)
 	n := float32(hw)
 	for c := 0; c < bn.C; c++ {
 		g, b := bn.Gamma.W[c], bn.Beta.W[c]
@@ -123,7 +138,11 @@ func (bn *BatchNorm2D) ForwardBatch(x []float32, batch, hw int) []float32 {
 				// Same association as Forward (g·x̂ + b with
 				// x̂ = (v−mean)·inv): float multiplication is not
 				// associative and the contract is bit-identity.
-				oc[i] = g*((v-mean)*inv) + b
+				o := g*((v-mean)*inv) + b
+				if relu && o < 0 {
+					o = 0
+				}
+				oc[i] = o
 			}
 		}
 	}
@@ -141,37 +160,64 @@ func ReLUBatch(x []float32) []float32 {
 	return x
 }
 
+// AddReLUBatch computes out[i] = max(0, out[i]+x[i]) in place: the
+// residual-block skip connection with its ReLU fused into one sweep.
+func AddReLUBatch(out, x []float32) []float32 {
+	for i, v := range out {
+		v += x[i]
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
 // ForwardBatch applies the residual block to a channel-major batch.
 func (b *ResBlock) ForwardBatch(x []float32, batch, h, w int) []float32 {
+	return b.ForwardBatchWS(nil, x, batch, h, w)
+}
+
+// ForwardBatchWS is ForwardBatch over a Workspace, with the first
+// BN+ReLU and the skip add+ReLU fused.
+func (b *ResBlock) ForwardBatchWS(ws *Workspace, x []float32, batch, h, w int) []float32 {
 	hw := h * w
-	out := b.Conv1.ForwardBatch(x, batch, h, w)
-	out = b.BN1.ForwardBatch(out, batch, hw)
-	ReLUBatch(out)
-	out = b.Conv2.ForwardBatch(out, batch, h, w)
-	out = b.BN2.ForwardBatch(out, batch, hw)
-	for i := range out {
-		out[i] += x[i]
-	}
-	return ReLUBatch(out)
+	out := b.Conv1.ForwardBatchWS(ws, x, batch, h, w, false)
+	out = b.BN1.ForwardBatchWS(ws, out, batch, hw, true)
+	out = b.Conv2.ForwardBatchWS(ws, out, batch, h, w, false)
+	out = b.BN2.ForwardBatchWS(ws, out, batch, hw, false)
+	return AddReLUBatch(out, x)
 }
 
 // Apply computes W·x + b without recording the backward cache: the
 // pure single-sample counterpart of Forward, with the identical
 // accumulation order.
 func (l *Linear) Apply(x []float32) []float32 {
+	return l.ApplyInto(make([]float32, l.Out), x, false)
+}
+
+// ApplyInto is Apply writing into dst (length l.Out), with an optional
+// fused ReLU on each output — max(0, ·) of the identical sum, so the
+// fusion is bit-invisible. Returns dst.
+func (l *Linear) ApplyInto(dst, x []float32, relu bool) []float32 {
 	if len(x) != l.In {
 		panic("nn: Linear.Apply input length mismatch")
 	}
-	out := make([]float32, l.Out)
+	if len(dst) != l.Out {
+		panic("nn: Linear.ApplyInto dst length mismatch")
+	}
 	for o := 0; o < l.Out; o++ {
 		row := l.Weight.W[o*l.In : (o+1)*l.In]
 		s := l.Bias.W[o]
 		for i, v := range x {
 			s += row[i] * v
 		}
-		out[o] = s
+		if relu && s < 0 {
+			s = 0
+		}
+		dst[o] = s
 	}
-	return out
+	return dst
 }
 
 // At returns row id of the table (clamped like Lookup) without

@@ -53,14 +53,7 @@ func (c *Conv2D) Forward(x *Tensor) *Tensor {
 	im2col(cols, x.Data, c.Cin, h, w, c.K, c.Pad)
 
 	out := NewTensor(c.Cout, h, w)
-	MatMul(out.Data, c.Weight.W, cols, c.Cout, ck, hw)
-	for co := 0; co < c.Cout; co++ {
-		b := c.Bias.W[co]
-		row := out.Data[co*hw : (co+1)*hw]
-		for i := range row {
-			row[i] += b
-		}
-	}
+	MatMulBias(out.Data, c.Weight.W, cols, c.Bias.W, c.Cout, ck, hw, false)
 	return out
 }
 

@@ -9,6 +9,22 @@ import (
 // fans rows out across goroutines.
 const matmulParallelThreshold = 1 << 20
 
+// Cache-blocking tile sizes for the matmul kernels. A kP×kN panel of B
+// (128×256 float32 = 128 KiB) is streamed against a row block of C, so
+// B is re-read from cache instead of memory once n and k outgrow L1.
+//
+// Blocking must not change results bit-for-bit: for every output
+// element c[i][j] the contributions a[i][p]·b[p][j] are accumulated in
+// strictly increasing p order — the k tiles are visited in order and
+// each tile accumulates into c in memory, which round-trips float32
+// values exactly. Only the j loop is unrolled (distinct outputs), never
+// the p loop (that would split the sum into differently-rounded
+// partials). Tests pin equality against the naive oracle.
+const (
+	mmTileK = 128
+	mmTileN = 256
+)
+
 // MatMul computes C = A·B with A of shape (m×k), B of shape (k×n),
 // and C of shape (m×n), all row-major. C is overwritten.
 func MatMul(c, a, b []float32, m, k, n int) {
@@ -23,24 +39,73 @@ func MatMul(c, a, b []float32, m, k, n int) {
 	matmulRows(c, a, b, k, n, 0, m)
 }
 
-// matmulRows computes rows [r0, r1) of C. The inner loops run in
-// i-k-j order so the innermost loop streams both B and C rows — the
-// cache-friendly ordering for row-major data.
+// MatMulBias computes C = A·B + bias (bias[i] added to every element
+// of output row i) with an optional fused ReLU epilogue — the Conv2D
+// writeback, folded into the kernel so the output is swept once
+// instead of once per epilogue. Bias is added after the full k sum of
+// an element and ReLU is max(0, ·) of the biased value, so the result
+// is bit-identical to running the epilogues as separate passes.
+func MatMulBias(c, a, b, bias []float32, m, k, n int, relu bool) {
+	MatMul(c, a, b, m, k, n)
+	for i := 0; i < m; i++ {
+		bi := bias[i]
+		ci := c[i*n : i*n+n]
+		if relu {
+			for j, v := range ci {
+				v += bi
+				if v < 0 {
+					v = 0
+				}
+				ci[j] = v
+			}
+		} else {
+			for j := range ci {
+				ci[j] += bi
+			}
+		}
+	}
+}
+
+// matmulRows computes rows [r0, r1) of C with cache blocking over k
+// and n and a 4-wide unrolled inner loop. See the tile-size comment
+// for the bit-identity argument.
 func matmulRows(c, a, b []float32, k, n, r0, r1 int) {
 	for i := r0; i < r1; i++ {
 		ci := c[i*n : i*n+n]
 		for x := range ci {
 			ci[x] = 0
 		}
-		ai := a[i*k : i*k+k]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
+	}
+	for p0 := 0; p0 < k; p0 += mmTileK {
+		p1 := p0 + mmTileK
+		if p1 > k {
+			p1 = k
+		}
+		for j0 := 0; j0 < n; j0 += mmTileN {
+			j1 := j0 + mmTileN
+			if j1 > n {
+				j1 = n
 			}
-			bp := b[p*n : p*n+n]
-			for j := 0; j < n; j++ {
-				ci[j] += av * bp[j]
+			for i := r0; i < r1; i++ {
+				ai := a[i*k : i*k+k]
+				ci := c[i*n+j0 : i*n+j1]
+				for p := p0; p < p1; p++ {
+					av := ai[p]
+					if av == 0 {
+						continue
+					}
+					bp := b[p*n+j0 : p*n+j1 : p*n+j1]
+					j := 0
+					for ; j+4 <= len(ci); j += 4 {
+						ci[j] += av * bp[j]
+						ci[j+1] += av * bp[j+1]
+						ci[j+2] += av * bp[j+2]
+						ci[j+3] += av * bp[j+3]
+					}
+					for ; j < len(ci); j++ {
+						ci[j] += av * bp[j]
+					}
+				}
 			}
 		}
 	}
@@ -73,37 +138,79 @@ func matmulParallel(c, a, b []float32, m, k, n int) {
 
 // MatMulATB computes C = Aᵀ·B with A of shape (k×m), B of shape
 // (k×n): the gradient-w.r.t.-input kernel of Linear/Conv backward.
+// Each c[i][j] accumulates in increasing p order (tiles in order,
+// memory accumulator), matching the pre-blocking kernel bit for bit.
 func MatMulATB(c, a, b []float32, m, k, n int) {
 	for x := 0; x < m*n; x++ {
 		c[x] = 0
 	}
-	for p := 0; p < k; p++ {
-		ap := a[p*m : p*m+m]
-		bp := b[p*n : p*n+n]
-		for i := 0; i < m; i++ {
-			av := ap[i]
-			if av == 0 {
-				continue
+	for p0 := 0; p0 < k; p0 += mmTileK {
+		p1 := p0 + mmTileK
+		if p1 > k {
+			p1 = k
+		}
+		for j0 := 0; j0 < n; j0 += mmTileN {
+			j1 := j0 + mmTileN
+			if j1 > n {
+				j1 = n
 			}
-			ci := c[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				ci[j] += av * bp[j]
+			for p := p0; p < p1; p++ {
+				ap := a[p*m : p*m+m]
+				bp := b[p*n+j0 : p*n+j1 : p*n+j1]
+				for i := 0; i < m; i++ {
+					av := ap[i]
+					if av == 0 {
+						continue
+					}
+					ci := c[i*n+j0 : i*n+j1]
+					j := 0
+					for ; j+4 <= len(ci); j += 4 {
+						ci[j] += av * bp[j]
+						ci[j+1] += av * bp[j+1]
+						ci[j+2] += av * bp[j+2]
+						ci[j+3] += av * bp[j+3]
+					}
+					for ; j < len(ci); j++ {
+						ci[j] += av * bp[j]
+					}
+				}
 			}
 		}
 	}
 }
 
 // MatMulABTAcc computes C += A·Bᵀ with A of shape (m×k), B of shape
-// (n×k): the weight-gradient kernel (accumulating).
+// (n×k): the weight-gradient kernel (accumulating). The j loop is
+// unrolled four-wide — four independent dot products, each still a
+// single accumulator over increasing p, so every c[i][j] receives the
+// exact pre-unrolling sum.
 func MatMulABTAcc(c, a, b []float32, m, k, n int) {
 	for i := 0; i < m; i++ {
 		ai := a[i*k : i*k+k]
 		ci := c[i*n : i*n+n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : j*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			var s0, s1, s2, s3 float32
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			ci[j] += s0
+			ci[j+1] += s1
+			ci[j+2] += s2
+			ci[j+3] += s3
+		}
+		for ; j < n; j++ {
 			bj := b[j*k : j*k+k]
 			var s float32
-			for p := 0; p < k; p++ {
-				s += ai[p] * bj[p]
+			for p, av := range ai {
+				s += av * bj[p]
 			}
 			ci[j] += s
 		}

@@ -155,8 +155,10 @@ type step struct {
 // anchors.
 func RandomEpisode(env *grid.Env, rnd *rng.RNG) []int {
 	env.Reset()
+	var saBuf []float64
 	for !env.Done() {
-		sa := env.Avail()
+		saBuf = env.AvailInto(saBuf)
+		sa := saBuf
 		a := rnd.Choice(sa)
 		if a < 0 {
 			a = randomInBounds(env, rnd)
@@ -195,14 +197,30 @@ func (tr *Trainer) Calibrate() []float64 {
 	return wls
 }
 
+// Evaluator is the inference surface greedy playout needs: both
+// *agent.Agent and *agent.CachedEvaluator implement it, so callers can
+// route the episode through a shared evaluation cache.
+type Evaluator interface {
+	Forward(sp, sa []float64, t int) agent.Output
+}
+
 // PlayGreedy runs one episode with argmax actions (no exploration) and
 // returns the anchors and wirelength — the "RL result" curve of
 // Fig. 5.
 func PlayGreedy(ag *agent.Agent, env *grid.Env, wl WirelengthFunc) ([]int, float64) {
+	return PlayGreedyEval(ag, env, wl)
+}
+
+// PlayGreedyEval is PlayGreedy over any Evaluator. State buffers are
+// reused across steps (the evaluator must not retain them — Forward's
+// contract).
+func PlayGreedyEval(ev Evaluator, env *grid.Env, wl WirelengthFunc) ([]int, float64) {
 	env.Reset()
+	var spBuf, saBuf []float64
 	for !env.Done() {
-		sa := env.Avail()
-		out := ag.Forward(env.SP(), sa, env.T())
+		saBuf = env.AvailInto(saBuf)
+		spBuf = env.SPInto(spBuf)
+		out := ev.Forward(spBuf, saBuf, env.T())
 		best, bestP := -1, float32(-1)
 		for a, p := range out.Probs {
 			if p > bestP && env.InBounds(a) {

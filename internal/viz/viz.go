@@ -8,11 +8,15 @@ package viz
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"macroplace/internal/atomicio"
 	"macroplace/internal/metrics"
 	"macroplace/internal/netlist"
 )
+
+// cmPool recycles congestion-overlay demand buffers across renders.
+var cmPool = sync.Pool{New: func() any { return new(metrics.CongestionMap) }}
 
 // Options controls the rendering.
 type Options struct {
@@ -65,7 +69,10 @@ func WriteSVG(w io.Writer, d *netlist.Design, opts Options) error {
 	p(`<rect width="%d" height="%d" fill="#fafafa" stroke="#333"/>`+"\n", opts.WidthPx, heightPx)
 
 	if opts.Congestion {
-		cm := metrics.RUDY(d, opts.Zeta*2)
+		// Congestion overlays are re-rendered per experiment frame;
+		// reuse one demand buffer across renders.
+		cm := metrics.RUDYInto(cmPool.Get().(*metrics.CongestionMap), d, opts.Zeta*2)
+		defer cmPool.Put(cm)
 		max := cm.Max()
 		if max > 0 {
 			bw := reg.W() / float64(cm.Bins) * scale

@@ -1,0 +1,56 @@
+#!/bin/sh
+# benchgate.sh — benchmark smoke gate: the zero-allocation search hot
+# path must stay zero-allocation. Runs the Workers=1 and Workers=8 rows
+# of BenchmarkMCTSWorkers once each (the benchmark warms the env pool,
+# node arenas, inference scratch, and evaluation cache before the
+# timer, so the measured figure is steady state) and fails if allocs/op
+# regresses above the committed ceilings.
+#
+# The ceilings are far above the steady-state figures measured when the
+# pooled-arena work landed (~71 allocs/op at Workers=1, ~460 at
+# Workers=8 — the parallel rows carry goroutine/batcher startup) yet
+# sit below the 90%-reduction acceptance bar against the
+# pre-optimization baseline (51899 and 16262 allocs/op). A real
+# regression — a lost pool, a per-node clone, a per-eval tensor
+# allocation — reintroduces thousands of allocations per search and
+# overshoots them immediately; run-to-run scheduling noise does not.
+#
+# Usage: scripts/benchgate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+W1_CEILING=5000
+W8_CEILING=1600
+
+out=$(go test -run '^$' -bench 'BenchmarkMCTSWorkers/workers=(1|8)$' -benchmem -benchtime=1x .)
+echo "$out"
+
+echo "$out" | awk -v w1="$W1_CEILING" -v w8="$W8_CEILING" '
+  /^BenchmarkMCTSWorkers\/workers=/ {
+    allocs = -1
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+    if (allocs < 0) {
+      print "benchgate: no allocs/op on line: " $0 > "/dev/stderr"
+      bad = 1
+      next
+    }
+    # The -N GOMAXPROCS suffix is absent on single-CPU machines.
+    ceiling = ($1 ~ /workers=1(-[0-9]+)?$/) ? w1 : w8
+    rows++
+    if (allocs + 0 > ceiling) {
+      printf "benchgate: FAIL %s: %d allocs/op > ceiling %d\n", $1, allocs, ceiling > "/dev/stderr"
+      bad = 1
+    } else {
+      printf "benchgate: %s: %d allocs/op <= ceiling %d\n", $1, allocs, ceiling
+    }
+  }
+  END {
+    if (rows != 2) {
+      print "benchgate: expected 2 benchmark rows, saw " rows + 0 > "/dev/stderr"
+      exit 1
+    }
+    exit bad
+  }'
+
+echo "benchgate: OK"
