@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-short build test race bench bench-all bench-gate fmt vet
+.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke fmt vet
 
 check: ## gofmt + vet + build + race-detector test suite
 	scripts/check.sh
@@ -29,6 +29,9 @@ bench-all: ## micro + table/figure benchmarks (quick preset)
 
 bench-gate: ## allocation-regression smoke gate (same script CI runs)
 	scripts/benchgate.sh
+
+telemetry-smoke: ## end-to-end /metrics + run-summary smoke (same script CI runs)
+	scripts/telemetry_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"syscall"
 
+	"macroplace"
 	"macroplace/internal/experiments"
 )
 
@@ -51,8 +52,34 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		telemetry  = flag.String("telemetry-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :6060; empty = off)")
+		runSummary = flag.String("run-summary", "", "write a JSON metric snapshot to this file at exit (crash-safe, includes interrupted runs)")
 	)
 	flag.Parse()
+
+	// The summary must be written on every exit path, including the
+	// os.Exit calls below that skip defers — so each of them funnels
+	// through writeSummary first.
+	runFields := map[string]any{"command": "experiments", "interrupted": false}
+	writeSummary := func() {
+		if *runSummary == "" {
+			return
+		}
+		if err := macroplace.WriteRunSummary(*runSummary, runFields); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: run-summary:", err)
+		}
+	}
+	defer writeSummary()
+
+	if *telemetry != "" {
+		srv, err := macroplace.StartTelemetry(*telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr)
+	}
 
 	if *cpuprofile != "" {
 		stop, err := startCPUProfile(*cpuprofile)
@@ -121,6 +148,8 @@ func main() {
 
 	fail := func(what string, err error) {
 		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", what, err)
+		runFields["error"] = fmt.Sprintf("%s: %v", what, err)
+		writeSummary()
 		os.Exit(1)
 	}
 	interrupted := func(err error) bool {
@@ -146,6 +175,9 @@ func main() {
 		render()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s interrupted (%v) — results above are partial\n", what, err)
+			runFields["interrupted"] = true
+			runFields["interrupted_in"] = what
+			writeSummary()
 			os.Exit(130)
 		}
 	}

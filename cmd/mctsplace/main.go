@@ -54,12 +54,38 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume the MCTS stage from the -checkpoint file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		telemetry  = flag.String("telemetry-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :6060; empty = off)")
+		runSummary = flag.String("run-summary", "", "write a JSON metric snapshot to this file at exit (crash-safe, includes interrupted runs)")
 	)
 	flag.Parse()
 
+	// Run-level fields accumulate through the flow; the summary is
+	// written on every exit path below (including failures and
+	// interruption), always atomically.
+	runFields := map[string]any{"command": "mctsplace", "interrupted": false}
+	writeSummary := func() {
+		if *runSummary == "" {
+			return
+		}
+		if err := macroplace.WriteRunSummary(*runSummary, runFields); err != nil {
+			fmt.Fprintln(os.Stderr, "mctsplace: run-summary:", err)
+		}
+	}
+
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mctsplace:", err)
+		runFields["error"] = err.Error()
+		writeSummary()
 		os.Exit(1)
+	}
+
+	if *telemetry != "" {
+		srv, err := macroplace.StartTelemetry(*telemetry)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr)
 	}
 
 	if *cpuprofile != "" {
@@ -91,6 +117,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	runFields["design"] = d.Name
 	stats := d.Stats()
 	fmt.Printf("design %s: %d movable macros, %d pre-placed, %d pads, %d cells, %d nets\n",
 		d.Name, stats.MovableMacros, stats.PreplacedMacro, stats.Pads, stats.Cells, stats.Nets)
@@ -170,9 +197,16 @@ func main() {
 		}
 	}
 	if res.Search.Interrupted || ctx.Err() != nil {
+		runFields["interrupted"] = true
 		fmt.Printf("interrupted after %s (%v): reporting best-so-far placement\n",
 			time.Since(start).Round(time.Millisecond), context.Cause(ctx))
 	}
+	runFields["hpwl"] = res.Final.HPWL
+	runFields["rl_hpwl"] = res.RLFinal.HPWL
+	runFields["macro_overlap"] = res.Final.MacroOverlap
+	runFields["explorations"] = res.Search.Explorations
+	runFields["wall_seconds"] = time.Since(start).Seconds()
+	defer writeSummary()
 	if *saveAgent != "" {
 		if err := p.Agent.SaveFile(*saveAgent); err != nil {
 			fail(err)

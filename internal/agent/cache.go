@@ -3,6 +3,7 @@ package agent
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // CachedEvaluator wraps an Agent with an LRU cache over its inference
@@ -43,7 +44,11 @@ type CachedEvaluator struct {
 	head int32 // most recently used, -1 when empty
 	tail int32 // least recently used, -1 when empty
 
-	hits, misses uint64
+	// Lock-free statistics: every lookup increments exactly one of
+	// hits/misses exactly once (intra-batch duplicates count as hits),
+	// so hits+misses equals the number of lookups — a telemetry scrape
+	// mid-run reads a consistent pair without taking mu.
+	hits, misses, evictions atomic.Uint64
 }
 
 type cacheKey struct{ a, b uint64 }
@@ -115,13 +120,15 @@ func (c *CachedEvaluator) Forward(sp, sa []float64, t int) Output {
 	c.mu.Lock()
 	if idx, ok := c.m[key]; ok {
 		c.touch(idx)
-		c.hits++
 		out := c.ents[idx].out
 		c.mu.Unlock()
+		c.hits.Add(1)
+		obsCacheHits.Inc()
 		return out
 	}
-	c.misses++
 	c.mu.Unlock()
+	c.misses.Add(1)
+	obsCacheMisses.Inc()
 
 	out := c.ag.EvalState(sp, sa, t)
 	c.mu.Lock()
@@ -150,28 +157,33 @@ func (c *CachedEvaluator) EvaluateBatchInto(in []BatchInput, out []Output) {
 	sc := c.getBatchScratch(len(in))
 	defer c.putBatchScratch(sc)
 
+	var hits, misses uint64
 	c.mu.Lock()
 	for i := range in {
 		sc.keys[i] = stateKey(in[i].T, in[i].SP, in[i].SA)
 		if idx, ok := c.m[sc.keys[i]]; ok {
 			c.touch(idx)
-			c.hits++
+			hits++
 			out[i] = c.ents[idx].out
 			continue
 		}
 		if first, dup := sc.seen[sc.keys[i]]; dup {
 			// Intra-batch duplicate: the first occurrence's evaluation
 			// will serve both. Counted as a hit — the network runs once.
-			c.hits++
+			hits++
 			sc.dups = append(sc.dups, [2]int32{int32(i), first})
 			continue
 		}
-		c.misses++
+		misses++
 		sc.seen[sc.keys[i]] = int32(i)
 		sc.miss = append(sc.miss, int32(i))
 		sc.sub = append(sc.sub, in[i])
 	}
 	c.mu.Unlock()
+	c.hits.Add(hits)
+	c.misses.Add(misses)
+	obsCacheHits.Add(hits)
+	obsCacheMisses.Add(misses)
 
 	if len(sc.sub) > 0 {
 		sc.subOut = sc.subOut[:len(sc.sub)]
@@ -188,12 +200,15 @@ func (c *CachedEvaluator) EvaluateBatchInto(in []BatchInput, out []Output) {
 	}
 }
 
-// Stats returns the cumulative hit/miss counters.
+// Stats returns the cumulative hit/miss counters. Lock-free: safe to
+// call from a telemetry scrape while searches hammer the cache.
 func (c *CachedEvaluator) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
+
+// Evictions returns the cumulative count of LRU entries recycled at
+// capacity.
+func (c *CachedEvaluator) Evictions() uint64 { return c.evictions.Load() }
 
 // Len returns the current number of cached entries.
 func (c *CachedEvaluator) Len() int {
@@ -243,6 +258,8 @@ func (c *CachedEvaluator) insert(key cacheKey, out Output) {
 		idx = int32(len(c.ents) - 1)
 	} else {
 		// Recycle the least recently used entry.
+		c.evictions.Add(1)
+		obsCacheEvictions.Inc()
 		idx = c.tail
 		e := &c.ents[idx]
 		delete(c.m, e.key)

@@ -1,0 +1,15 @@
+package agent
+
+import "macroplace/internal/obs"
+
+// Process-wide evaluation-cache telemetry (DESIGN.md §9). Instance
+// counters on CachedEvaluator stay exact per cache; these aggregate
+// across every cache in the process for /metrics.
+var (
+	obsCacheHits = obs.NewCounter("macroplace_agent_cache_hits_total",
+		"Evaluation-cache lookups served without running the network.")
+	obsCacheMisses = obs.NewCounter("macroplace_agent_cache_misses_total",
+		"Evaluation-cache lookups that fell through to inference.")
+	obsCacheEvictions = obs.NewCounter("macroplace_agent_cache_evictions_total",
+		"LRU entries recycled to make room at capacity.")
+)

@@ -255,6 +255,7 @@ func (p *Placer) Preprocess() error {
 	}
 	p.Agent = agent.New(acfg)
 	p.times.Preprocess = time.Since(start)
+	obsPreprocess.Observe(p.times.Preprocess)
 	return nil
 }
 
@@ -357,6 +358,7 @@ func (p *Placer) PretrainContext(ctx context.Context) *rl.Trainer {
 	p.Trainer.Logf = p.Opts.Logf
 	p.Trainer.RunContext(ctx)
 	p.times.Pretrain = time.Since(start)
+	obsPretrain.Observe(p.times.Pretrain)
 	return p.Trainer
 }
 
@@ -430,6 +432,7 @@ func (p *Placer) RunMCTSContext(ctx context.Context) mcts.Result {
 		}
 	}
 	p.times.MCTS = time.Since(start)
+	obsSearch.Observe(time.Since(start))
 	return best
 }
 
@@ -476,6 +479,7 @@ func (p *Placer) FinalizeContext(ctx context.Context, anchors []int) (FinalResul
 		out.CellsFailed = lres.Failed
 	}
 	p.times.Finalize += time.Since(start)
+	obsFinalize.Observe(time.Since(start))
 	return out, nil
 }
 

@@ -184,6 +184,8 @@ func (p *Placer) PlaceContext(ctx context.Context) Result {
 		p.solveQuadratic(anchorW)
 		overflow = p.spread()
 		done++
+		obsRounds.Inc()
+		obsOverflow.Set(overflow)
 	}
 	p.commit()
 	return Result{HPWL: d.HPWL(), Iterations: done, Overflow: overflow}
@@ -266,8 +268,16 @@ func (p *Placer) solveQuadratic(anchorW float64) {
 		p.by[v] += reg * p.ty[v]
 	}
 
-	solver.CG(mx, p.x, p.bx, p.cfg.CGTol, p.cfg.CGMaxIter)
-	solver.CG(my, p.y, p.by, p.cfg.CGTol, p.cfg.CGMaxIter)
+	for _, res := range [2]solver.CGResult{
+		solver.CG(mx, p.x, p.bx, p.cfg.CGTol, p.cfg.CGMaxIter),
+		solver.CG(my, p.y, p.by, p.cfg.CGTol, p.cfg.CGMaxIter),
+	} {
+		obsCGIters.Add(uint64(res.Iterations))
+		obsCGResidual.Set(res.Residual)
+		if !res.Converged {
+			obsCGNoConverge.Inc()
+		}
+	}
 }
 
 // addNetB2B adds net ni's bound-to-bound star to both axis systems.

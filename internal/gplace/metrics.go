@@ -1,0 +1,20 @@
+package gplace
+
+import "macroplace/internal/obs"
+
+// Global-placement telemetry (DESIGN.md §9). The CG residual gauge
+// exposes the convergence quality of the most recent solve — a
+// residual stuck above tolerance mid-run flags an ill-conditioned
+// system long before the final HPWL does.
+var (
+	obsRounds = obs.NewCounter("macroplace_gplace_rounds_total",
+		"Outer B2B/spreading rounds completed across all placements.")
+	obsCGIters = obs.NewCounter("macroplace_gplace_cg_iterations_total",
+		"Conjugate-gradient iterations spent across all axis solves.")
+	obsCGNoConverge = obs.NewCounter("macroplace_gplace_cg_nonconverged_total",
+		"Axis solves that hit the CG iteration cap above tolerance.")
+	obsCGResidual = obs.NewGauge("macroplace_gplace_cg_residual",
+		"Relative residual of the most recent CG solve.")
+	obsOverflow = obs.NewGauge("macroplace_gplace_overflow",
+		"Bin-overflow ratio after the most recent spreading round.")
+)

@@ -175,6 +175,8 @@ func Macros(in Input) (Result, error) {
 	res := Result{Moved: len(movable)}
 	shove(d, movable, 200)
 	res.Overlap = TotalMacroOverlap(d)
+	obsRuns.Inc()
+	obsResidualOverlap.Set(res.Overlap)
 	return res, nil
 }
 
@@ -191,6 +193,7 @@ func shove(d *netlist.Design, movable []int, maxIters int) {
 		}
 	}
 	for iter := 0; iter < maxIters; iter++ {
+		obsShoveIters.Inc()
 		found := false
 		for ai := 0; ai < len(all); ai++ {
 			for bi := ai + 1; bi < len(all); bi++ {

@@ -31,7 +31,18 @@ import (
 var envPool grid.Pool
 
 // cloneEnv pools a clone of src.
-func cloneEnv(src *grid.Env) *grid.Env { return envPool.Get(src) }
+func cloneEnv(src *grid.Env) *grid.Env {
+	obsEnvPoolGets.Inc()
+	return envPool.Get(src)
+}
+
+// recycleEnv returns an env to the pool, counting the recycle. All
+// hot-path returns go through here so the gets/recycles pair in
+// /metrics exposes pool churn.
+func recycleEnv(e *grid.Env) {
+	obsEnvPoolRecycles.Inc()
+	envPool.Put(e)
+}
 
 // releaseDiscarded returns every env in n's subtree to the pool,
 // except the subtree rooted at keep (the committed child). Callable
@@ -44,7 +55,7 @@ func releaseDiscarded(n, keep *node) {
 	if n.env != nil {
 		e := n.env
 		n.env = nil
-		envPool.Put(e)
+		recycleEnv(e)
 	}
 	for _, c := range n.children {
 		releaseDiscarded(c, keep)
@@ -75,6 +86,7 @@ func (a *nodeArena) newNode(env *grid.Env) *node {
 	if a.nUsed == len(a.nodes) {
 		a.nodes = make([]node, arenaNodeChunk)
 		a.nUsed = 0
+		obsArenaChunks.Inc()
 	}
 	n := &a.nodes[a.nUsed]
 	a.nUsed++
@@ -89,6 +101,7 @@ func (a *nodeArena) intSlice(n int) []int {
 			c = n
 		}
 		a.ints = make([]int, c)
+		obsArenaChunks.Inc()
 	}
 	s := a.ints[:n:n]
 	a.ints = a.ints[n:]
@@ -102,6 +115,7 @@ func (a *nodeArena) floatSlice(n int) []float64 {
 			c = n
 		}
 		a.floats = make([]float64, c)
+		obsArenaChunks.Inc()
 	}
 	s := a.floats[:n:n]
 	a.floats = a.floats[n:]
@@ -115,6 +129,7 @@ func (a *nodeArena) kidSlice(n int) []*node {
 			c = n
 		}
 		a.kids = make([]*node, c)
+		obsArenaChunks.Inc()
 	}
 	s := a.kids[:n:n]
 	a.kids = a.kids[n:]

@@ -1,0 +1,73 @@
+package mcts
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"macroplace/internal/agent"
+	"macroplace/internal/rl"
+)
+
+// countingCache wraps a CachedEvaluator and counts every lookup
+// submitted to it. It implements EvaluateBatchInto so the parallel
+// batcher takes the exact production path through the cache.
+type countingCache struct {
+	inner   *agent.CachedEvaluator
+	lookups atomic.Uint64
+}
+
+func (c *countingCache) Forward(sp, sa []float64, t int) agent.Output {
+	c.lookups.Add(1)
+	return c.inner.Forward(sp, sa, t)
+}
+
+func (c *countingCache) EvaluateBatch(in []agent.BatchInput) []agent.Output {
+	c.lookups.Add(uint64(len(in)))
+	return c.inner.EvaluateBatch(in)
+}
+
+func (c *countingCache) EvaluateBatchInto(in []agent.BatchInput, out []agent.Output) {
+	c.lookups.Add(uint64(len(in)))
+	c.inner.EvaluateBatchInto(in, out)
+}
+
+// TestCacheCountersExactUnderConcurrency pins the accounting invariant
+// of the shared evaluation cache: hits + misses equals the number of
+// lookups EXACTLY, even while a Workers=8 search and concurrent greedy
+// episodes hammer the same cache. Before the counters moved to
+// atomics, a torn increment under contention could silently lose
+// events; run with -race to also catch any unsynchronized LRU access.
+func TestCacheCountersExactUnderConcurrency(t *testing.T) {
+	env, wl := cornerEnv()
+	// Small capacity forces LRU recycling during the run, so the
+	// eviction path participates in the race too.
+	cc := &countingCache{inner: agent.NewCachedEvaluator(untrained(), 16)}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			rl.PlayGreedyEval(cc, env.Clone(), wl)
+		}
+	}()
+	for k := 0; k < 3; k++ {
+		s := New(Config{Gamma: 24, Seed: int64(40 + k), Workers: 8}, cc, wl, testScaler())
+		s.Run(env)
+	}
+	wg.Wait()
+
+	hits, misses := cc.inner.Stats()
+	lookups := cc.lookups.Load()
+	if hits+misses != lookups {
+		t.Fatalf("hits (%d) + misses (%d) = %d, want exactly %d lookups",
+			hits, misses, hits+misses, lookups)
+	}
+	if lookups == 0 {
+		t.Fatal("no lookups recorded — the wrapper is not on the search path")
+	}
+	if cc.inner.Evictions() == 0 {
+		t.Log("note: no evictions occurred this run (capacity never filled)")
+	}
+}

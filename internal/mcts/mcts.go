@@ -258,6 +258,7 @@ func (s *Search) Run(env *grid.Env) Result {
 // allocation, marked Interrupted when the budget was cut short. With a
 // background context the search is byte-for-byte the same as Run.
 func (s *Search) RunContext(ctx context.Context, env *grid.Env) Result {
+	obsSearches.Inc()
 	s.captureCacheBase()
 	if s.Cfg.Workers > 1 {
 		return s.runParallel(ctx, env)
@@ -276,6 +277,7 @@ func (s *Search) RunContext(ctx context.Context, env *grid.Env) Result {
 			}
 			s.explore(root)
 			s.result.Explorations++
+			obsExplorations.Inc()
 		}
 		var act int
 		prev := root
@@ -331,6 +333,7 @@ func (s *Search) finishInterrupted(root *node) Result {
 		releaseDiscarded(prev, root)
 	}
 	s.result.Interrupted = true
+	obsInterrupted.Inc()
 	return s.finishRun(root)
 }
 
@@ -385,6 +388,7 @@ func (s *Search) finishRun(root *node) Result {
 // degrade gracefully toward the greedy policy instead of an arbitrary
 // index.
 func (s *Search) commit(n *node) (*node, int) {
+	obsCommits.Inc()
 	if !n.expanded() {
 		// γ = 0, all explorations ended below, or an interrupted search
 		// is completing its committed path: force an expansion. If the
@@ -435,6 +439,7 @@ func (s *Search) safeExplore(n *node) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.result.WorkerPanics++
+			obsWorkerPanics.Inc()
 			if s.Logf != nil {
 				s.Logf("mcts: recovered panic during forced expansion: %v", r)
 			}
@@ -449,6 +454,7 @@ func (s *Search) safeExplore(n *node) (ok bool) {
 // network involvement — the last-resort degradation that keeps an
 // interrupted, fault-ridden search returning a complete allocation.
 func (s *Search) commitFallback(n *node) (*node, int) {
+	obsFallbackCommits.Inc()
 	env := n.env
 	ncells := env.G.NumCells()
 	for a := 0; a < ncells; a++ {
@@ -457,7 +463,7 @@ func (s *Search) commitFallback(n *node) (*node, int) {
 		}
 		e := cloneEnv(env)
 		if err := e.Step(a); err != nil {
-			envPool.Put(e)
+			recycleEnv(e)
 			continue
 		}
 		return s.scratch.arena.newNode(e), a
@@ -494,6 +500,7 @@ func (s *Search) explore(n *node) {
 			cur.termReward = s.Scaler.Reward(wl)
 			cur.termEvaled = true
 			s.result.TerminalEvals++
+			obsTerminalEvals.Inc()
 			if wl < s.result.BestWirelength {
 				s.result.BestWirelength = wl
 				s.result.BestAnchors = cur.env.Anchors()
@@ -543,7 +550,7 @@ func (s *Search) child(n *node, k int) {
 	}
 	e := cloneEnv(n.env)
 	if err := e.Step(n.actions[k]); err != nil {
-		envPool.Put(e)
+		recycleEnv(e)
 		panic(fmt.Sprintf("mcts: illegal expansion action: %v", err))
 	}
 	n.children[k] = s.scratch.arena.newNode(e)
@@ -646,7 +653,7 @@ func (s *Search) expand(n *node) float64 {
 // result without locks.
 func (s *Search) rollout(env *grid.Env) float64 {
 	e := cloneEnv(env)
-	defer envPool.Put(e)
+	defer recycleEnv(e)
 	ncells := e.G.NumCells()
 	for !e.Done() {
 		legal := s.scratch.legal[:0]
@@ -662,6 +669,7 @@ func (s *Search) rollout(env *grid.Env) float64 {
 	}
 	wl := s.WL(e.Anchors())
 	s.result.TerminalEvals++
+	obsTerminalEvals.Inc()
 	if wl < s.result.BestWirelength {
 		s.result.BestWirelength = wl
 		s.result.BestAnchors = e.Anchors()

@@ -140,6 +140,7 @@ func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 						wk.fails = 0
 					} else if wk.fails++; wk.fails >= workerMaxFails {
 						wk.retired = true
+						obsWorkerRetires.Inc()
 						if s.Logf != nil {
 							s.Logf("mcts: worker retired after %d consecutive recovered panics", wk.fails)
 						}
@@ -153,6 +154,7 @@ func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 		// Tree is quiescent from here to the end of the loop body.
 		if ctx.Err() != nil {
 			s.result.Explorations += int(okPasses)
+			obsExplorations.Add(uint64(okPasses))
 			return s.finishInterrupted(root)
 		}
 		// Sequential top-up: recovered panics (or a fully retired
@@ -168,6 +170,7 @@ func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 			}
 		}
 		s.result.Explorations += int(okPasses)
+		obsExplorations.Add(uint64(okPasses))
 
 		var act int
 		prev := root
@@ -261,6 +264,7 @@ func (s *Search) unclaim(n *node) {
 // contributing visits — the tree statistics end exactly as if the
 // pass had never started.
 func (s *Search) revertVloss(path []edgeRef) {
+	obsVlossReverts.Add(uint64(len(path)))
 	for _, e := range path {
 		e.n.mu.Lock()
 		e.n.vloss[e.k]--
@@ -270,6 +274,7 @@ func (s *Search) revertVloss(path []edgeRef) {
 
 // notePanic records one recovered pass failure.
 func (s *Search) notePanic(r any) {
+	obsWorkerPanics.Inc()
 	s.resMu.Lock()
 	defer s.resMu.Unlock()
 	s.result.WorkerPanics++
@@ -318,7 +323,7 @@ func (s *Search) childLocked(n *node, k int, ar *nodeArena) {
 	}
 	e := cloneEnv(n.env)
 	if err := e.Step(n.actions[k]); err != nil {
-		envPool.Put(e)
+		recycleEnv(e)
 		panic(fmt.Sprintf("mcts: illegal expansion action: %v", err))
 	}
 	n.children[k] = ar.newNode(e)
@@ -350,6 +355,7 @@ func (s *Search) oracleParallel(anchors []int) float64 {
 
 // recordTerminal updates the shared terminal counters/best under resMu.
 func (s *Search) recordTerminal(wl float64, anchors []int) {
+	obsTerminalEvals.Inc()
 	s.resMu.Lock()
 	defer s.resMu.Unlock()
 	s.result.TerminalEvals++
@@ -406,7 +412,7 @@ func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 // shared oracle/result taken under their locks.
 func (s *Search) rolloutParallel(env *grid.Env, wk *workerState) float64 {
 	e := cloneEnv(env)
-	defer envPool.Put(e)
+	defer recycleEnv(e)
 	ncells := e.G.NumCells()
 	for !e.Done() {
 		legal := wk.sc.legal[:0]
@@ -560,6 +566,7 @@ func (b *evalBatcher) loop() {
 // succeeds, otherwise request-by-request so only the genuinely faulty
 // inputs fail.
 func (b *evalBatcher) serve(pending []*evalReq) {
+	obsBatchSize.Observe(float64(len(pending)))
 	outs, err := b.tryBatch(pending)
 	if err == nil {
 		for i, r := range pending {
@@ -571,6 +578,7 @@ func (b *evalBatcher) serve(pending []*evalReq) {
 		pending[0].out <- evalResp{err: err}
 		return
 	}
+	obsBatchFallbacks.Inc()
 	for _, r := range pending {
 		o, rerr := b.tryBatch([]*evalReq{r})
 		resp := evalResp{err: rerr}

@@ -1,0 +1,73 @@
+package mcts
+
+import (
+	"testing"
+)
+
+// TestResumeFromEverySnapshotOfParallelRun audits the snapshot-resume
+// path against the pooled-env/arena machinery: a Workers>1 run emits a
+// snapshot after every commit (while the tree is quiescent), and each
+// of those snapshots must resume into a complete, legal allocation
+// whose committed prefix is preserved verbatim. A pooled env leaking
+// state across searches, or a resume replay racing arena reuse, shows
+// up here as an illegal step panic or a mutated prefix.
+func TestResumeFromEverySnapshotOfParallelRun(t *testing.T) {
+	env, wl := cornerEnv()
+
+	var snaps []Snapshot
+	s := New(Config{Gamma: 24, Seed: 7, Workers: 4}, untrained(), wl, testScaler())
+	s.OnSnapshot = func(sn Snapshot) {
+		// The callback's slices alias search-owned buffers; deep-copy
+		// before stashing, exactly as a checkpoint writer serializes.
+		sn.Committed = append([]int(nil), sn.Committed...)
+		sn.BestAnchors = append([]int(nil), sn.BestAnchors...)
+		snaps = append(snaps, sn)
+	}
+	fresh := s.Run(env)
+	if len(snaps) != len(fresh.Anchors) {
+		t.Fatalf("got %d snapshots for %d commit steps", len(snaps), len(fresh.Anchors))
+	}
+
+	for i := range snaps {
+		snap := snaps[i]
+		if err := snap.Check(env); err != nil {
+			t.Fatalf("snapshot %d failed Check: %v", i, err)
+		}
+		r := New(Config{Gamma: 24, Seed: 7, Workers: 4}, untrained(), wl, testScaler())
+		r.Resume = &snap
+		res := r.Run(env)
+
+		if len(res.Anchors) != len(fresh.Anchors) {
+			t.Fatalf("snapshot %d: resumed allocation has %d anchors, want %d",
+				i, len(res.Anchors), len(fresh.Anchors))
+		}
+		// The committed prefix must survive the resume verbatim — the
+		// search continues it, never re-decides it.
+		for k, a := range snap.Committed {
+			if res.Anchors[k] != a {
+				t.Fatalf("snapshot %d: resumed anchors %v do not keep committed prefix %v",
+					i, res.Anchors, snap.Committed)
+			}
+		}
+		// Full legality: the complete allocation must replay as legal
+		// steps on a fresh episode.
+		e := env.Clone()
+		e.Reset()
+		for k, a := range res.Anchors {
+			if err := e.Step(a); err != nil {
+				t.Fatalf("snapshot %d: resumed anchor %d (cell %d) illegal on replay: %v", i, k, a, err)
+			}
+		}
+		if !e.Done() {
+			t.Fatalf("snapshot %d: resumed allocation is incomplete", i)
+		}
+		// Carried statistics accumulate, never reset.
+		if res.Explorations < snap.Explorations {
+			t.Fatalf("snapshot %d: resumed explorations %d below carried %d",
+				i, res.Explorations, snap.Explorations)
+		}
+		if res.Wirelength != wl(res.Anchors) {
+			t.Fatalf("snapshot %d: reported wirelength does not match anchors", i)
+		}
+	}
+}

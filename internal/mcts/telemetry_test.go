@@ -1,0 +1,57 @@
+package mcts
+
+import (
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"macroplace/internal/obs"
+)
+
+// TestTelemetryDoesNotPerturbSequentialSearch pins the tentpole's
+// non-interference contract: with the process-wide metrics live (they
+// always are — package-level registration) and a concurrent scraper
+// rendering the registry in a tight loop, a Workers=1 search must
+// produce exactly the result it produces without the scraper. Metrics
+// are write-only from the search's perspective; nothing feeds back.
+func TestTelemetryDoesNotPerturbSequentialSearch(t *testing.T) {
+	env, wl := cornerEnv()
+	run := func() Result {
+		s := New(Config{Gamma: 20, Seed: 9, Workers: 1}, untrained(), wl, testScaler())
+		return s.Run(env)
+	}
+	baseline := run()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = obs.Default.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+	scraped := run()
+	close(stop)
+	wg.Wait()
+
+	if !reflect.DeepEqual(baseline.Anchors, scraped.Anchors) ||
+		baseline.Wirelength != scraped.Wirelength ||
+		baseline.Explorations != scraped.Explorations {
+		t.Fatalf("scraping perturbed the search: baseline %+v vs scraped %+v", baseline, scraped)
+	}
+
+	// And the search did feed the registry: explorations must be live.
+	before := obs.Default.Snapshot(nil).Counters["macroplace_mcts_explorations_total"]
+	run()
+	after := obs.Default.Snapshot(nil).Counters["macroplace_mcts_explorations_total"]
+	if after <= before {
+		t.Fatalf("explorations counter did not advance (%d -> %d)", before, after)
+	}
+}

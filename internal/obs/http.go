@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a running telemetry endpoint. Close releases the listener;
+// the CLIs normally let it live for the whole process.
+type Server struct {
+	// Addr is the bound listen address (host:port) — useful when the
+	// caller asked for port 0.
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Close shuts the endpoint down immediately (in-flight scrapes are
+// dropped; telemetry is diagnostic, not transactional).
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler returns the telemetry mux for reg: /metrics (Prometheus text
+// format), /healthz, and the net/http/pprof suite under /debug/pprof/.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry endpoint for reg on addr (host:port; port
+// 0 picks a free one) and returns once the listener is bound, serving
+// in a background goroutine. The search/training threads never touch
+// this server — scrapes read the same atomics the hot paths write.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler: Handler(reg),
+		// Diagnostic endpoint: generous but bounded, so a stuck scraper
+		// cannot pin connections forever. pprof profile captures default
+		// to 30s, so the write timeout must clear that.
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      90 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"macroplace/internal/atomicio"
+)
+
+// SummarySchemaVersion identifies the run-summary JSON layout; bump it
+// on any breaking change so downstream tooling can dispatch.
+const SummarySchemaVersion = 1
+
+// Summary is the JSON run artifact: a point-in-time snapshot of every
+// registered metric, plus run-level fields the CLI supplies (design
+// name, final HPWL, interruption status, …). Map keys are metric
+// names, so encoding/json renders them sorted and the document is
+// byte-deterministic for a given registry state.
+type Summary struct {
+	Schema     int                          `json:"schema"`
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      map[string]SpanSnapshot      `json:"spans,omitempty"`
+	Run        map[string]any               `json:"run,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's state in the summary.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Bounds are the upper bucket bounds (excluding +Inf); Buckets are
+	// the matching non-cumulative counts with the +Inf bucket last, so
+	// len(Buckets) == len(Bounds)+1.
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+}
+
+// SpanSnapshot is one phase span's state in the summary.
+type SpanSnapshot struct {
+	Invocations uint64  `json:"invocations"`
+	Seconds     float64 `json:"seconds"`
+}
+
+// Snapshot captures the registry into a Summary with the given
+// run-level fields (may be nil).
+func (r *Registry) Snapshot(run map[string]any) Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sum := Summary{Schema: SummarySchemaVersion, Run: run}
+	for name, e := range r.byName {
+		switch e.kind {
+		case kindCounter:
+			if sum.Counters == nil {
+				sum.Counters = make(map[string]uint64)
+			}
+			sum.Counters[name] = e.c.Value()
+		case kindGauge:
+			if sum.Gauges == nil {
+				sum.Gauges = make(map[string]float64)
+			}
+			sum.Gauges[name] = e.g.Value()
+		case kindHistogram:
+			if sum.Histograms == nil {
+				sum.Histograms = make(map[string]HistogramSnapshot)
+			}
+			sum.Histograms[name] = HistogramSnapshot{
+				Count:   e.h.Count(),
+				Sum:     e.h.Sum(),
+				Bounds:  e.h.Bounds(),
+				Buckets: e.h.BucketCounts(),
+			}
+		case kindSpan:
+			if sum.Spans == nil {
+				sum.Spans = make(map[string]SpanSnapshot)
+			}
+			sum.Spans[name] = SpanSnapshot{Invocations: e.s.Count(), Seconds: e.s.Seconds()}
+		}
+	}
+	return sum
+}
+
+// MarshalSummary renders a summary as indented JSON with a trailing
+// newline (the byte form WriteSummary persists and the golden test
+// pins).
+func MarshalSummary(sum Summary) ([]byte, error) {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshal summary: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteSummary atomically writes the registry snapshot (plus run-level
+// fields) to path: the file always holds either the previous complete
+// summary or the new one, even if the process dies mid-write — the
+// same crash-safety contract as every other artifact in this
+// repository.
+func (r *Registry) WriteSummary(path string, run map[string]any) error {
+	data, err := MarshalSummary(r.Snapshot(run))
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFileBytes(path, data)
+}
+
+// WriteSummary writes the Default registry's snapshot to path.
+func WriteSummary(path string, run map[string]any) error {
+	return Default.WriteSummary(path, run)
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("macroplace_test_ops_total", "ops").Add(42)
+	reg.Gauge("macroplace_test_residual", "residual").Set(0.5)
+	h := reg.Histogram("macroplace_test_batch", "batch", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	reg.Span("macroplace_test_phase", "phase").Observe(1500 * time.Millisecond)
+	return reg
+}
+
+// TestRunSummaryGolden pins the run-summary JSON schema byte-for-byte:
+// field names, nesting, map ordering, indentation, and the trailing
+// newline. Downstream tooling parses these files; any change must be
+// deliberate (bump SummarySchemaVersion and regenerate with -update).
+func TestRunSummaryGolden(t *testing.T) {
+	reg := goldenRegistry()
+	data, err := MarshalSummary(reg.Snapshot(map[string]any{
+		"design":      "ibm01",
+		"interrupted": false,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "summary_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/obs/ -run Golden -update)", err)
+	}
+	if string(data) != string(want) {
+		t.Fatalf("run-summary schema drifted from golden:\n--- got ---\n%s--- want ---\n%s", data, want)
+	}
+}
+
+// TestSummaryRoundTrip checks the summary is valid JSON carrying the
+// schema version and every registered metric.
+func TestSummaryRoundTrip(t *testing.T) {
+	reg := goldenRegistry()
+	data, err := MarshalSummary(reg.Snapshot(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Schema != SummarySchemaVersion {
+		t.Fatalf("schema = %d, want %d", sum.Schema, SummarySchemaVersion)
+	}
+	if sum.Counters["macroplace_test_ops_total"] != 42 {
+		t.Fatalf("counters = %v", sum.Counters)
+	}
+	h, ok := sum.Histograms["macroplace_test_batch"]
+	if !ok || h.Count != 3 || h.Sum != 13 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+	if len(h.Buckets) != len(h.Bounds)+1 {
+		t.Fatalf("buckets/bounds mismatch: %+v", h)
+	}
+	sp, ok := sum.Spans["macroplace_test_phase"]
+	if !ok || sp.Invocations != 1 || sp.Seconds != 1.5 {
+		t.Fatalf("span snapshot = %+v", sp)
+	}
+}
+
+// TestWriteSummaryAtomic checks WriteSummary lands a complete document
+// at the target path.
+func TestWriteSummaryAtomic(t *testing.T) {
+	reg := goldenRegistry()
+	path := filepath.Join(t.TempDir(), "nested", "summary.json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteSummary(path, map[string]any{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("written summary is not valid JSON: %v", err)
+	}
+	if sum.Run["k"] != "v" {
+		t.Fatalf("run fields = %v", sum.Run)
+	}
+}

@@ -297,10 +297,14 @@ func (tr *Trainer) RunContext(ctx context.Context) {
 		w := tr.WL(env.Anchors())
 		r := tr.Scaler.Reward(w)
 		tr.History = append(tr.History, EpisodeStat{Episode: ep, Wirelength: w, Reward: r})
+		obsEpisodes.Inc()
+		obsReward.Set(r)
+		obsWirelength.Set(w)
 		if isFinite(w) && isFinite(r) {
 			batch = append(batch, episodeRecord{steps: steps, reward: r})
 		} else {
 			tr.Faults.SkippedEpisodes++
+			obsQuarantined.Inc()
 			tr.logf("rl: episode %d skipped (wirelength %v, reward %v)", ep, w, r)
 		}
 
@@ -332,6 +336,7 @@ func (tr *Trainer) guardedUpdate(batch []episodeRecord, ep int) {
 		return
 	}
 	tr.Faults.Restores++
+	obsRestores.Inc()
 	tr.logf("rl: update at episode %d poisoned the network; restoring last good weights", ep)
 	tr.Agent.CopyWeightsFrom(tr.lastGood)
 	tr.opt = nn.NewAdam(tr.Agent.Params(), float32(tr.Cfg.LR))
@@ -362,24 +367,44 @@ func (tr *Trainer) logf(format string, args ...any) {
 // optimizer step over the whole batch.
 func (tr *Trainer) update(batch []episodeRecord) {
 	count := 0
+	var policyLoss, valueLoss, entropy float64
 	for _, ep := range batch {
 		r := float32(ep.reward)
 		for _, st := range ep.steps {
 			out := tr.Agent.Forward(st.sp, st.sa, st.t)
 			adv := r - out.Value // Eq. (6)
 			tr.Agent.Backward(st.action, adv, r, float32(tr.Cfg.EntropyCoef))
+			// Telemetry-only loss terms, recomputed from the same forward
+			// pass the backward step consumed — no effect on gradients.
+			if p := float64(out.Probs[st.action]); p > 0 {
+				policyLoss += -math.Log(p) * float64(adv)
+			}
+			valueLoss += float64(adv) * float64(adv)
+			for _, p := range out.Probs {
+				if p > 0 {
+					entropy += -float64(p) * math.Log(float64(p))
+				}
+			}
 			count++
 		}
 	}
 	if count > 0 {
 		// Average gradients over the batch for scale stability.
 		inv := 1 / float32(count)
+		var sq float64
 		for _, p := range tr.Agent.Params() {
 			for i := range p.G {
 				p.G[i] *= inv
+				sq += float64(p.G[i]) * float64(p.G[i])
 			}
 		}
 		tr.opt.Step()
+		obsUpdates.Inc()
+		n := float64(count)
+		obsPolicyLoss.Set(policyLoss / n)
+		obsValueLoss.Set(valueLoss / n)
+		obsEntropy.Set(entropy / n)
+		obsGradNorm.Set(math.Sqrt(sq))
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"macroplace/internal/metrics"
 	"macroplace/internal/netlist"
 	"macroplace/internal/netlist/bookshelf"
+	"macroplace/internal/obs"
 	"macroplace/internal/rl"
 	"macroplace/internal/viz"
 )
@@ -284,4 +285,26 @@ func LoadAgent(path string) (*Agent, error) {
 // placer on a copy of d.
 func BaselineMinCut(d *Design, seed int64) BaselineResult {
 	return baseline.MinCut(d.Clone(), baseline.MinCutConfig{Seed: seed})
+}
+
+// TelemetryServer is a running telemetry endpoint (see StartTelemetry).
+type TelemetryServer = obs.Server
+
+// StartTelemetry serves the process-wide metric registry over HTTP at
+// addr (host:port; port 0 picks a free one): /metrics in Prometheus
+// text format, /healthz, and the net/http/pprof suite. The search and
+// training hot paths only ever write lock-free atomics, so scraping
+// mid-run is safe and free of feedback — a Workers=1 search stays
+// bit-identical with telemetry on. See DESIGN.md §9 for the metric
+// catalogue.
+func StartTelemetry(addr string) (*TelemetryServer, error) {
+	return obs.Serve(addr, obs.Default)
+}
+
+// WriteRunSummary atomically writes a JSON snapshot of every
+// process-wide metric, plus caller-supplied run-level fields (design
+// name, final HPWL, interruption status, …), to path. Crash-safe: the
+// file always holds a complete document.
+func WriteRunSummary(path string, run map[string]any) error {
+	return obs.WriteSummary(path, run)
 }

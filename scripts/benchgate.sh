@@ -1,32 +1,53 @@
 #!/bin/sh
 # benchgate.sh — benchmark smoke gate: the zero-allocation search hot
-# path must stay zero-allocation. Runs the Workers=1 and Workers=8 rows
-# of BenchmarkMCTSWorkers once each (the benchmark warms the env pool,
-# node arenas, inference scratch, and evaluation cache before the
-# timer, so the measured figure is steady state) and fails if allocs/op
-# regresses above the committed ceilings.
+# path must stay zero-allocation, telemetry included. Runs the
+# Workers=1 and Workers=8 rows of BenchmarkMCTSWorkers once each (the
+# benchmark warms the env pool, node arenas, inference scratch, and
+# evaluation cache before the timer, so the measured figure is steady
+# state) and fails if allocs/op regresses above a tolerance band around
+# the committed BENCH_pr3.json baselines.
 #
-# The ceilings are far above the steady-state figures measured when the
-# pooled-arena work landed (~71 allocs/op at Workers=1, ~460 at
-# Workers=8 — the parallel rows carry goroutine/batcher startup) yet
-# sit below the 90%-reduction acceptance bar against the
-# pre-optimization baseline (51899 and 16262 allocs/op). A real
-# regression — a lost pool, a per-node clone, a per-eval tensor
-# allocation — reintroduces thousands of allocations per search and
-# overshoots them immediately; run-to-run scheduling noise does not.
+# Ceiling per benchmark = baseline allocs/op × (1 + TOLERANCE_PCT/100)
+# + SLACK_ALLOCS. The slack term absorbs run-to-run scheduling noise in
+# the parallel rows (goroutine/batcher startup lands inside the timed
+# region); the percentage term scales with the baseline. A real
+# regression — a lost pool, a per-node clone, a per-eval tensor or
+# metric-label allocation — reintroduces thousands of allocations per
+# search and overshoots the band immediately.
 #
 # Usage: scripts/benchgate.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
-W1_CEILING=5000
-W8_CEILING=1600
+BASELINE_FILE=BENCH_pr3.json
+TOLERANCE_PCT=50
+SLACK_ALLOCS=64
+
+if [ ! -f "$BASELINE_FILE" ]; then
+    echo "benchgate: baseline file $BASELINE_FILE not found" >&2
+    exit 1
+fi
+
+# Extract "name allocs_per_op" pairs from the baseline JSON (stdlib
+# tools only; the file layout is committed alongside this script).
+baselines=$(awk '
+  /"name":/      { gsub(/[",]/, ""); name = $2 }
+  /"allocs\/op":/ { gsub(/[",]/, ""); if (name != "") { print name, $2; name = "" } }
+' "$BASELINE_FILE")
+if [ -z "$baselines" ]; then
+    echo "benchgate: no baselines parsed from $BASELINE_FILE" >&2
+    exit 1
+fi
 
 out=$(go test -run '^$' -bench 'BenchmarkMCTSWorkers/workers=(1|8)$' -benchmem -benchtime=1x .)
 echo "$out"
 
-echo "$out" | awk -v w1="$W1_CEILING" -v w8="$W8_CEILING" '
+echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines="$baselines" '
+  BEGIN {
+    n = split(baselines, parts, /[ \n]+/)
+    for (i = 1; i + 1 <= n; i += 2) base[parts[i]] = parts[i + 1]
+  }
   /^BenchmarkMCTSWorkers\/workers=/ {
     allocs = -1
     for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
@@ -35,14 +56,23 @@ echo "$out" | awk -v w1="$W1_CEILING" -v w8="$W8_CEILING" '
       bad = 1
       next
     }
-    # The -N GOMAXPROCS suffix is absent on single-CPU machines.
-    ceiling = ($1 ~ /workers=1(-[0-9]+)?$/) ? w1 : w8
+    # Strip the -N GOMAXPROCS suffix (absent on single-CPU machines)
+    # to match the baseline name.
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in base)) {
+      print "benchgate: no baseline for " name " in BENCH_pr3.json" > "/dev/stderr"
+      bad = 1
+      next
+    }
+    ceiling = int(base[name] * (1 + tol / 100) + slack)
     rows++
     if (allocs + 0 > ceiling) {
-      printf "benchgate: FAIL %s: %d allocs/op > ceiling %d\n", $1, allocs, ceiling > "/dev/stderr"
+      printf "benchgate: FAIL %s: %d allocs/op exceeds ceiling %d (baseline %d + %d%% + %d slack) — the search hot path regressed\n", \
+        name, allocs, ceiling, base[name], tol, slack > "/dev/stderr"
       bad = 1
     } else {
-      printf "benchgate: %s: %d allocs/op <= ceiling %d\n", $1, allocs, ceiling
+      printf "benchgate: %s: %d allocs/op <= ceiling %d (baseline %d)\n", name, allocs, ceiling, base[name]
     }
   }
   END {

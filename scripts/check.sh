@@ -48,4 +48,7 @@ go build ./...
 echo "== go test -race"
 go test -race $short ./...
 
+echo "== telemetry smoke"
+scripts/telemetry_smoke.sh
+
 echo "OK"

@@ -1,0 +1,79 @@
+#!/bin/sh
+# telemetry_smoke.sh — end-to-end smoke test of the telemetry layer:
+# start mctsplace with -telemetry-addr on an ephemeral port, scrape
+# /metrics and /healthz while the flow runs, check a known search
+# counter is exposed, then interrupt the run and verify the crash-safe
+# run-summary JSON was written with the interruption recorded.
+#
+# Usage: scripts/telemetry_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+bin="$workdir/mctsplace"
+log="$workdir/run.log"
+summary="$workdir/summary.json"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$bin" ./cmd/mctsplace
+
+echo "== launch with telemetry"
+# Enough episodes/gamma that the run survives long past the scrape.
+"$bin" -bench ibm03 -scale 0.05 -episodes 300 -gamma 64 -workers 2 \
+    -telemetry-addr 127.0.0.1:0 -run-summary "$summary" >"$log" 2>&1 &
+pid=$!
+
+# The CLI prints the bound address ("telemetry: http://HOST:PORT/metrics")
+# as its first output line; poll for it.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's#^telemetry: http://\([^/]*\)/metrics$#\1#p' "$log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "telemetry_smoke: process died early:" >&2; cat "$log" >&2; exit 1; }
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "telemetry_smoke: no telemetry address in output:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "   bound to $addr"
+
+echo "== scrape /healthz"
+health=$(curl -sf "http://$addr/healthz")
+[ "$health" = "ok" ] || { echo "telemetry_smoke: /healthz returned '$health'" >&2; exit 1; }
+
+echo "== scrape /metrics"
+# Poll until the flow has produced live nonzero counters (the RL stage
+# starts immediately, so macroplace_rl_episodes_total advances first).
+seen=""
+for _ in $(seq 1 100); do
+    metrics=$(curl -sf "http://$addr/metrics")
+    if echo "$metrics" | grep -q '^macroplace_mcts_searches_total'; then
+        if echo "$metrics" | grep -E '^macroplace_(rl_episodes_total|mcts_explorations_total) [1-9]' >/dev/null; then
+            seen=yes
+            break
+        fi
+    fi
+    kill -0 "$pid" 2>/dev/null || { echo "telemetry_smoke: process exited before scrape:" >&2; cat "$log" >&2; exit 1; }
+    sleep 0.2
+done
+[ -n "$seen" ] || { echo "telemetry_smoke: metrics never went nonzero mid-run" >&2; echo "$metrics" | head -40 >&2; exit 1; }
+echo "$metrics" | grep -E '^macroplace_(rl_episodes_total|mcts_explorations_total)' | sed 's/^/   /'
+
+echo "== interrupt and check run summary"
+kill -INT "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && { echo "telemetry_smoke: process ignored SIGINT" >&2; exit 1; }
+    sleep 0.2
+done
+[ -f "$summary" ] || { echo "telemetry_smoke: run summary was not written" >&2; cat "$log" >&2; exit 1; }
+grep -q '"schema": 1' "$summary" || { echo "telemetry_smoke: summary missing schema field" >&2; cat "$summary" >&2; exit 1; }
+grep -q '"interrupted": true' "$summary" || { echo "telemetry_smoke: summary does not record the interruption" >&2; cat "$summary" >&2; exit 1; }
+grep -q '"macroplace_rl_episodes_total"' "$summary" || { echo "telemetry_smoke: summary missing metric counters" >&2; exit 1; }
+
+echo "telemetry_smoke: OK"
