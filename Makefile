@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke fmt vet
+.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke fmt vet
 
 check: ## gofmt + vet + build + race-detector test suite
 	scripts/check.sh
@@ -20,9 +20,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench: ## search hot-path benchmark, recorded as BENCH_pr3.json
+bench: ## search hot-path + serving benchmarks, recorded as BENCH_pr3.json / BENCH_pr5.json
 	$(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+	$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchmem ./internal/serve \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr5.json
 
 bench-all: ## micro + table/figure benchmarks (quick preset)
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -32,6 +34,9 @@ bench-gate: ## allocation-regression smoke gate (same script CI runs)
 
 telemetry-smoke: ## end-to-end /metrics + run-summary smoke (same script CI runs)
 	scripts/telemetry_smoke.sh
+
+placed-smoke: ## end-to-end placement-daemon smoke (same script CI runs)
+	scripts/placed_smoke.sh
 
 fmt:
 	gofmt -w .

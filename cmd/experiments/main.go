@@ -25,12 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
+	"time"
 
 	"macroplace"
 	"macroplace/internal/experiments"
+	"macroplace/internal/serve"
 )
 
 func main() {
@@ -41,6 +41,7 @@ func main() {
 		episodes = flag.Int("episodes", 0, "override RL episodes")
 		gamma    = flag.Int("gamma", 0, "override MCTS explorations per group")
 		workers  = flag.Int("workers", 0, "parallel MCTS workers (default 1 = sequential/reproducible)")
+		sweepW   = flag.Int("sweep-workers", 0, "concurrent benchmarks per table sweep (default = -workers; never changes the numbers)")
 		zeta     = flag.Int("zeta", 0, "override grid resolution")
 		seed     = flag.Int64("seed", 0, "override seed")
 		ibm      = flag.String("ibm", "", "comma-separated ICCAD04 subset (default: preset's)")
@@ -77,7 +78,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		// Bounded graceful drain so an in-flight scrape or pprof
+		// capture completes instead of being cut mid-body.
+		defer srv.ShutdownTimeout(10 * time.Second)
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr)
 	}
 
@@ -97,7 +100,14 @@ func main() {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// First SIGINT/SIGTERM interrupts the sweep gracefully; a second
+	// force-exits 130 with the run summary flushed.
+	ctx, stop := serve.Signals(context.Background(), func() {
+		runFields["interrupted"] = true
+		runFields["forced"] = true
+		writeSummary()
+		fmt.Fprintln(os.Stderr, "experiments: forced exit")
+	})
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -121,6 +131,9 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *sweepW > 0 {
+		cfg.SweepWorkers = *sweepW
 	}
 	if *zeta > 0 {
 		cfg.Zeta = *zeta

@@ -24,12 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"macroplace"
+	"macroplace/internal/serve"
 )
 
 func main() {
@@ -84,7 +83,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer srv.Close()
+		// Bounded graceful drain: a scrape or pprof capture that is
+		// mid-body when the run ends still completes (obs.Shutdown
+		// falls back to Close at the deadline).
+		defer srv.ShutdownTimeout(10 * time.Second)
 		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr)
 	}
 
@@ -104,8 +106,15 @@ func main() {
 	}
 
 	// SIGINT/SIGTERM cancel the context; every stage degrades
-	// gracefully instead of dying mid-write (the anytime property).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// gracefully instead of dying mid-write (the anytime property). A
+	// second signal force-exits 130 after flushing the run summary, so
+	// a hung finalize never needs SIGKILL.
+	ctx, stop := serve.Signals(context.Background(), func() {
+		runFields["interrupted"] = true
+		runFields["forced"] = true
+		writeSummary()
+		fmt.Fprintln(os.Stderr, "mctsplace: forced exit")
+	})
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -92,6 +92,21 @@ type Options struct {
 	// (recovered search panics, trainer watchdog actions). Nil
 	// discards them.
 	Logf func(format string, args ...any)
+	// OnStage, when set, receives a StageEvent as each flow stage
+	// starts and finishes, so a serving layer can stream live progress
+	// without polling. Called synchronously from the flow goroutine —
+	// keep it fast and never let it block on the consumer.
+	OnStage func(StageEvent)
+}
+
+// StageEvent reports a flow stage transition (Options.OnStage).
+type StageEvent struct {
+	// Stage is "preprocess", "pretrain", "search", or "finalize".
+	Stage string
+	// Done is false when the stage starts, true when it finishes.
+	Done bool
+	// Elapsed is the stage wall time (set only when Done).
+	Elapsed time.Duration
 }
 
 func (o Options) normalize() Options {
@@ -183,6 +198,22 @@ type Placer struct {
 	times     StageTimes
 }
 
+// stageStart emits the start event for a stage and returns the
+// closure that emits the matching done event. Reading Opts.OnStage at
+// call time (not New time) lets callers install observers on an
+// already-constructed Placer, mirroring SearchSnapshot.
+func (p *Placer) stageStart(name string) func() {
+	onStage := p.Opts.OnStage
+	if onStage == nil {
+		return func() {}
+	}
+	onStage(StageEvent{Stage: name})
+	start := time.Now()
+	return func() {
+		onStage(StageEvent{Stage: name, Done: true, Elapsed: time.Since(start)})
+	}
+}
+
 // New clones the design and prepares a placer.
 func New(d *netlist.Design, opts Options) (*Placer, error) {
 	if err := d.Validate(); err != nil {
@@ -200,6 +231,7 @@ func New(d *netlist.Design, opts Options) (*Placer, error) {
 // placement order the paper motivates.
 func (p *Placer) Preprocess() error {
 	start := time.Now()
+	defer p.stageStart("preprocess")()
 	p.Grid = grid.New(p.Work.Region, p.Opts.Zeta)
 
 	// Initial prototype placement for the clustering distances
@@ -351,6 +383,7 @@ func (p *Placer) Pretrain() *rl.Trainer {
 // completed update — still a usable (if less trained) search guide.
 func (p *Placer) PretrainContext(ctx context.Context) *rl.Trainer {
 	start := time.Now()
+	defer p.stageStart("pretrain")()
 	// Training mutates the weights, so any cached evaluations are
 	// stale; searchEvaluator rebuilds the cache on next use.
 	p.evalCache = nil
@@ -377,6 +410,7 @@ func (p *Placer) RunMCTS() mcts.Result {
 // are skipped once the context is cancelled.
 func (p *Placer) RunMCTSContext(ctx context.Context) mcts.Result {
 	start := time.Now()
+	defer p.stageStart("search")()
 	scaler := rl.Scaler{Max: 1, Min: 0, Avg: 0.5, Alpha: 0.75}
 	if p.Trainer != nil {
 		scaler = p.Trainer.Scaler
@@ -449,6 +483,7 @@ func (p *Placer) Finalize(anchors []int) (FinalResult, error) {
 // coarser but complete cell placement.
 func (p *Placer) FinalizeContext(ctx context.Context, anchors []int) (FinalResult, error) {
 	start := time.Now()
+	defer p.stageStart("finalize")()
 	res, err := legalize.Macros(legalize.Input{
 		Design:     p.Work,
 		Clustering: p.Clus,

@@ -45,6 +45,14 @@ type Config struct {
 	// search guarantees. Set >1 (or pass -workers to cmd/experiments)
 	// to trade reproducibility for wall-clock speed.
 	Workers int
+	// SweepWorkers is the number of independent benchmarks the table
+	// sweeps (TableII/III/IV) run concurrently through the serving
+	// scheduler; 0 defaults to Workers. Unlike Workers it never
+	// affects the numbers: every benchmark keeps its own seeds
+	// (c.Seed+seedOffset) and logs into a private buffer flushed in
+	// benchmark order, so the rendered tables and the log stream are
+	// bit-identical to the sequential sweep (pinned by a golden test).
+	SweepWorkers int
 	// Channels / ResBlocks set the agent tower size.
 	Channels, ResBlocks int
 	// Seed drives all randomness.
@@ -117,6 +125,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = c.Workers
 	}
 	if len(c.IBM) == 0 {
 		c.IBM = gen.IBMNames()

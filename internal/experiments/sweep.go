@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"macroplace/internal/serve"
+)
+
+// logFunc is the per-benchmark progress logger handed to sweep bodies.
+type logFunc func(format string, args ...any)
+
+// runSweep executes run(i, names[i], logf) for every benchmark, up to
+// SweepWorkers at a time through the serving scheduler, and returns
+// one error slot per benchmark.
+//
+// The parallel sweep is observably identical to the sequential one:
+// each benchmark's seeds depend only on its index, each logs into a
+// private buffer, and the buffers are flushed to c.Log in benchmark
+// order after the pool drains — truncated at the first failed
+// benchmark, exactly where the sequential sweep would have stopped
+// logging. Only wall-clock changes.
+func (c Config) runSweep(names []string, run func(i int, name string, logf logFunc) error) []error {
+	errs := make([]error, len(names))
+	if c.SweepWorkers <= 1 {
+		for i, name := range names {
+			if err := c.ctx().Err(); err != nil {
+				errs[i] = err
+				break
+			}
+			if errs[i] = run(i, name, c.logf); errs[i] != nil {
+				break
+			}
+		}
+		return errs
+	}
+
+	sched := serve.NewScheduler(c.SweepWorkers, len(names))
+	bufs := make([]bytes.Buffer, len(names))
+	var mu sync.Mutex // one benchmark may log from flow callbacks; serialise its buffer
+	for i, name := range names {
+		i, name := i, name
+		logf := func(format string, args ...any) {
+			mu.Lock()
+			fmt.Fprintf(&bufs[i], format+"\n", args...)
+			mu.Unlock()
+		}
+		err := sched.Submit(serve.Task{
+			Run: func() {
+				if err := c.ctx().Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				errs[i] = run(i, name, logf)
+			},
+			OnPanic: func(v any) {
+				errs[i] = fmt.Errorf("experiments: %s panicked: %v", name, v)
+			},
+		})
+		if err != nil {
+			// Queue sized to the sweep; only a programming error lands here.
+			errs[i] = err
+		}
+	}
+	sched.Drain()
+	if c.Log != nil {
+		for i := range bufs {
+			c.Log.Write(bufs[i].Bytes())
+			if errs[i] != nil {
+				break
+			}
+		}
+	}
+	return errs
+}
+
+// collectRows assembles per-benchmark rows in sweep order with the
+// sequential sweep's error semantics: rows before the first failure
+// are kept; a context cancellation returns those rows with the error
+// (partial results render), any other error discards the table.
+func collectRows(rows []*TableRow, errs []error) ([]TableRow, error, bool) {
+	var out []TableRow
+	for i, err := range errs {
+		if err != nil {
+			partial := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+			return out, err, partial
+		}
+		if rows[i] != nil {
+			out = append(out, *rows[i])
+		}
+	}
+	return out, nil, false
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSweepParallelMatchesSequential drives runSweep with stub
+// bodies and checks the parallel path reproduces the sequential one
+// exactly: same error slots, same log bytes, same ordering.
+func TestRunSweepParallelMatchesSequential(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	body := func(i int, name string, logf logFunc) error {
+		// Stagger so parallel completion order differs from submission
+		// order — the flush must still come out in benchmark order.
+		time.Sleep(time.Duration(len(names)-i) * 2 * time.Millisecond)
+		logf("%s step1=%d", name, i*10)
+		logf("%s step2=%d", name, i*10+1)
+		return nil
+	}
+	run := func(workers int) (string, []error) {
+		var log bytes.Buffer
+		c := Config{SweepWorkers: workers, Log: &log}
+		errs := c.runSweep(names, body)
+		return log.String(), errs
+	}
+	seqLog, seqErrs := run(1)
+	parLog, parErrs := run(3)
+	if seqLog != parLog {
+		t.Errorf("log mismatch:\nseq:\n%s\npar:\n%s", seqLog, parLog)
+	}
+	for i := range names {
+		if !errors.Is(parErrs[i], seqErrs[i]) && (parErrs[i] != nil) != (seqErrs[i] != nil) {
+			t.Errorf("errs[%d]: seq=%v par=%v", i, seqErrs[i], parErrs[i])
+		}
+	}
+}
+
+// TestRunSweepTruncatesLogAtFirstFailure pins the sequential error
+// semantics: benchmarks after the first failure may have run in the
+// parallel sweep, but their logs must not surface.
+func TestRunSweepTruncatesLogAtFirstFailure(t *testing.T) {
+	names := []string{"a", "bad", "c"}
+	boom := errors.New("boom")
+	body := func(i int, name string, logf logFunc) error {
+		logf("%s ran", name)
+		if name == "bad" {
+			return boom
+		}
+		return nil
+	}
+	var log bytes.Buffer
+	c := Config{SweepWorkers: 3, Log: &log}
+	errs := c.runSweep(names, body)
+	if !errors.Is(errs[1], boom) {
+		t.Fatalf("errs[1] = %v, want boom", errs[1])
+	}
+	got := log.String()
+	if !strings.Contains(got, "a ran") || !strings.Contains(got, "bad ran") {
+		t.Errorf("log missing pre-failure lines:\n%s", got)
+	}
+	if strings.Contains(got, "c ran") {
+		t.Errorf("log leaked post-failure benchmark:\n%s", got)
+	}
+}
+
+// TestRunSweepRecoversPanic: a panicking benchmark body becomes an
+// error slot instead of killing the sweep.
+func TestRunSweepRecoversPanic(t *testing.T) {
+	names := []string{"a", "explode"}
+	body := func(i int, name string, logf logFunc) error {
+		if name == "explode" {
+			panic("kaboom")
+		}
+		logf("%s ok", name)
+		return nil
+	}
+	var log bytes.Buffer
+	c := Config{SweepWorkers: 2, Log: &log}
+	errs := c.runSweep(names, body)
+	if errs[0] != nil {
+		t.Errorf("errs[0] = %v, want nil", errs[0])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "kaboom") {
+		t.Errorf("errs[1] = %v, want panic error", errs[1])
+	}
+}
+
+// TestRunSweepHonorsCancellation: a cancelled context short-circuits
+// benchmarks that have not started.
+func TestRunSweepHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := Config{SweepWorkers: 2, Context: ctx}
+	ran := 0
+	errs := c.runSweep([]string{"a", "b"}, func(i int, name string, logf logFunc) error {
+		ran++
+		return nil
+	})
+	if ran != 0 {
+		t.Errorf("ran = %d bodies under cancelled context, want 0", ran)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestSweepGoldenTableIII is the bit-identity golden the sweep bugfix
+// is pinned by: the same TableIII config run sequentially and with
+// SweepWorkers=3 must render byte-identical tables and logs (MCTS
+// Workers stays 1 — only the benchmark-level fan-out changes).
+func TestSweepGoldenTableIII(t *testing.T) {
+	base := Config{
+		Scale: 0.01, Zeta: 8,
+		Episodes: 6, Gamma: 4,
+		Channels: 4, ResBlocks: 1,
+		Workers: 1,
+		Seed:    20250706,
+		IBM:     []string{"ibm01", "ibm06"},
+	}
+	render := func(sweepWorkers int) (string, string) {
+		cfg := base
+		cfg.SweepWorkers = sweepWorkers
+		var log bytes.Buffer
+		cfg.Log = &log
+		tab, err := TableIII(cfg)
+		if err != nil {
+			t.Fatalf("TableIII(sweepWorkers=%d): %v", sweepWorkers, err)
+		}
+		var out strings.Builder
+		// MCTSTime is wall clock — zero it so the comparison sees only
+		// the deterministic numbers (WriteTable does not render it, but
+		// keep the rows honest for future columns).
+		for i := range tab.Rows {
+			tab.Rows[i].MCTSTime = 0
+		}
+		WriteTable(&out, tab)
+		return out.String(), log.String()
+	}
+	seqTab, seqLog := render(1)
+	parTab, parLog := render(3)
+	if seqTab != parTab {
+		t.Errorf("rendered table differs:\nseq:\n%s\npar:\n%s", seqTab, parTab)
+	}
+	if seqLog != parLog {
+		t.Errorf("log stream differs:\nseq:\n%s\npar:\n%s", seqLog, parLog)
+	}
+	if !strings.Contains(seqLog, "tableIII ibm01 Ours=") {
+		t.Errorf("log missing expected progress lines:\n%s", seqLog)
+	}
+}

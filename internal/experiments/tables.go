@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -76,46 +77,53 @@ func TableII(cfg Config) (*Table, error) {
 	if cfg.ExtendedBaselines {
 		t.Methods = []string{"SA", "SA-B*tree", "MinCut", "SE", "DREAMPlace", "Ours"}
 	}
-	for bi, bench := range cfg.Cir {
-		if err := cfg.ctx().Err(); err != nil {
-			return t, err
-		}
+	rows := make([]*TableRow, len(cfg.Cir))
+	errs := cfg.runSweep(cfg.Cir, func(bi int, bench string, logf logFunc) error {
 		seed := int64(60 + bi*7)
 		d, err := cfg.cirDesign(bench, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := TableRow{Benchmark: bench, Stats: d.Stats(), HPWL: map[string]float64{}}
 
 		if cfg.ExtendedBaselines {
 			sa := baseline.SA(d.Clone(), baseline.SAConfig{Seed: cfg.Seed + seed})
 			row.HPWL["SA"] = sa.HPWL
-			cfg.logf("tableII %s SA=%.4g", bench, sa.HPWL)
+			logf("tableII %s SA=%.4g", bench, sa.HPWL)
 			sb := baseline.SABTree(d.Clone(), baseline.SAConfig{Seed: cfg.Seed + seed + 3})
 			row.HPWL["SA-B*tree"] = sb.HPWL
-			cfg.logf("tableII %s SA-B*tree=%.4g", bench, sb.HPWL)
+			logf("tableII %s SA-B*tree=%.4g", bench, sb.HPWL)
 			mc := baseline.MinCut(d.Clone(), baseline.MinCutConfig{Seed: cfg.Seed + seed + 4})
 			row.HPWL["MinCut"] = mc.HPWL
-			cfg.logf("tableII %s MinCut=%.4g", bench, mc.HPWL)
+			logf("tableII %s MinCut=%.4g", bench, mc.HPWL)
 		}
 
 		se := baseline.SE(d.Clone(), baseline.SEConfig{Seed: cfg.Seed + seed})
 		row.HPWL["SE"] = se.HPWL
-		cfg.logf("tableII %s SE=%.4g", bench, se.HPWL)
+		logf("tableII %s SE=%.4g", bench, se.HPWL)
 
 		dp := baseline.DreamPlaceLike(d.Clone())
 		row.HPWL["DREAMPlace"] = dp.HPWL
-		cfg.logf("tableII %s DREAMPlace=%.4g", bench, dp.HPWL)
+		logf("tableII %s DREAMPlace=%.4g", bench, dp.HPWL)
 
 		ours, mctsTime, err := runOurs(cfg.ctx(), d, cfg.coreOptions(seed+1))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.HPWL["Ours"] = ours
 		row.MCTSTime = mctsTime
-		cfg.logf("tableII %s Ours=%.4g", bench, ours)
+		logf("tableII %s Ours=%.4g", bench, ours)
 
-		t.Rows = append(t.Rows, row)
+		rows[bi] = &row
+		return nil
+	})
+	done, err, partial := collectRows(rows, errs)
+	t.Rows = done
+	if err != nil && partial {
+		return t, err
+	}
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -128,14 +136,12 @@ func TableIII(cfg Config) (*Table, error) {
 		Title:   "Table III — ICCAD04 benchmarks (HPWL)",
 		Methods: []string{"CT", "MaskPlace", "RePlAce", "Ours"},
 	}
-	for bi, bench := range cfg.IBM {
-		if err := cfg.ctx().Err(); err != nil {
-			return t, err
-		}
+	rows := make([]*TableRow, len(cfg.IBM))
+	errs := cfg.runSweep(cfg.IBM, func(bi int, bench string, logf logFunc) error {
 		seed := int64(80 + bi*7)
 		d, err := cfg.ibmDesign(bench, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := TableRow{Benchmark: bench, Stats: d.Stats(), HPWL: map[string]float64{}}
 
@@ -145,28 +151,37 @@ func TableIII(cfg Config) (*Table, error) {
 			Seed:     cfg.Seed + seed,
 		})
 		row.HPWL["CT"] = ct.HPWL
-		cfg.logf("tableIII %s CT=%.4g", bench, ct.HPWL)
+		logf("tableIII %s CT=%.4g", bench, ct.HPWL)
 
 		mp := baseline.MaskPlace(d.Clone(), baseline.MaskPlaceConfig{
 			Zeta: cfg.Zeta,
 			Seed: cfg.Seed + seed + 1,
 		})
 		row.HPWL["MaskPlace"] = mp.HPWL
-		cfg.logf("tableIII %s MaskPlace=%.4g", bench, mp.HPWL)
+		logf("tableIII %s MaskPlace=%.4g", bench, mp.HPWL)
 
 		rp := baseline.RePlAceLike(d.Clone(), baseline.RePlAceConfig{})
 		row.HPWL["RePlAce"] = rp.HPWL
-		cfg.logf("tableIII %s RePlAce=%.4g", bench, rp.HPWL)
+		logf("tableIII %s RePlAce=%.4g", bench, rp.HPWL)
 
 		ours, mctsTime, err := runOurs(cfg.ctx(), d, cfg.coreOptions(seed+2))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.HPWL["Ours"] = ours
 		row.MCTSTime = mctsTime
-		cfg.logf("tableIII %s Ours=%.4g", bench, ours)
+		logf("tableIII %s Ours=%.4g", bench, ours)
 
-		t.Rows = append(t.Rows, row)
+		rows[bi] = &row
+		return nil
+	})
+	done, err, partial := collectRows(rows, errs)
+	t.Rows = done
+	if err != nil && partial {
+		return t, err
+	}
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -182,22 +197,32 @@ type TableIVRow struct {
 // search wall-clock only.
 func TableIV(cfg Config) ([]TableIVRow, error) {
 	cfg = cfg.normalize()
-	var rows []TableIVRow
-	for bi, bench := range cfg.IBM {
-		if err := cfg.ctx().Err(); err != nil {
-			return rows, err
-		}
+	slots := make([]*TableIVRow, len(cfg.IBM))
+	errs := cfg.runSweep(cfg.IBM, func(bi int, bench string, logf logFunc) error {
 		seed := int64(120 + bi*7)
 		d, err := cfg.ibmDesign(bench, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, mctsTime, err := runOurs(cfg.ctx(), d, cfg.coreOptions(seed+1))
 		if err != nil {
+			return err
+		}
+		slots[bi] = &TableIVRow{Benchmark: bench, MCTSTime: mctsTime}
+		logf("tableIV %s mcts=%s", bench, mctsTime)
+		return nil
+	})
+	var rows []TableIVRow
+	for i, err := range errs {
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return rows, err
+			}
 			return nil, err
 		}
-		rows = append(rows, TableIVRow{Benchmark: bench, MCTSTime: mctsTime})
-		cfg.logf("tableIV %s mcts=%s", bench, mctsTime)
+		if slots[i] != nil {
+			rows = append(rows, *slots[i])
+		}
 	}
 	return rows, nil
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -20,8 +21,30 @@ type Server struct {
 }
 
 // Close shuts the endpoint down immediately (in-flight scrapes are
-// dropped; telemetry is diagnostic, not transactional).
+// dropped). Prefer Shutdown on the normal exit path so a scrape or
+// pprof capture that is mid-body completes instead of being torn.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains the endpoint gracefully: the listener stops
+// accepting, in-flight scrapes and profile captures run to completion,
+// and only when ctx expires first does it fall back to Close — so
+// shutdown is always bounded, and a Prometheus scrape racing process
+// exit still receives a complete body.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		_ = s.srv.Close()
+	}
+	return err
+}
+
+// ShutdownTimeout is Shutdown with a deadline of d from now — the
+// bounded-drain form the CLIs and the placed daemon defer.
+func (s *Server) ShutdownTimeout(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
 
 // Handler returns the telemetry mux for reg: /metrics (Prometheus text
 // format), /healthz, and the net/http/pprof suite under /debug/pprof/.

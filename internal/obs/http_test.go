@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerMetrics checks the /metrics endpoint serves exactly what
+// WritePrometheus renders — content-type, escaping and all — so a
+// scrape round-trips the registry byte-for-byte.
+func TestHandlerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("handler_test_total", "help with \\backslash and\nnewline")
+	c.Add(3)
+	g := reg.Gauge("handler_test_gauge", "plain help")
+	g.Set(2.5)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := reg.WritePrometheus(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("scrape body differs from WritePrometheus:\ngot:\n%s\nwant:\n%s", body, want.Bytes())
+	}
+	// The escaped help must be one exposition line: raw newlines in
+	// help strings would corrupt the scrape.
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "# HELP handler_test_total") {
+			if !strings.Contains(line, `\n`) {
+				t.Errorf("HELP line lost the escaped newline: %q", line)
+			}
+		}
+	}
+	if !strings.Contains(string(body), "handler_test_total 3") {
+		t.Errorf("scrape missing counter sample:\n%s", body)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "ok\n" {
+		t.Errorf("body %q, want ok", body)
+	}
+}
+
+func TestHandlerPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index missing profiles:\n%s", body)
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeThroughput measures end-to-end job throughput of the
+// daemon layer — HTTP submit over a real socket, scheduler dispatch,
+// lifecycle bookkeeping, crash-safe result persistence — with the
+// placement flow itself stubbed out, so the number isolates the
+// serving overhead per job.
+func BenchmarkServeThroughput(b *testing.B) {
+	runner := func(ctx context.Context, j *Job) (*Result, error) {
+		if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		return &Result{Design: j.Spec.Bench, HPWL: 1}, nil
+	}
+	d, err := NewServer(Config{Workers: 2, QueueCap: 64, Dir: b.TempDir(), Runner: runner})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		d.Shutdown(ctx)
+	}()
+	body := []byte(`{"bench":"ibm01","scale":0.01}`)
+	url := "http://" + addr + "/v1/jobs"
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit status %d", resp.StatusCode)
+		}
+		j, ok := d.Job(st.ID)
+		if !ok {
+			b.Fatalf("job %s missing", st.ID)
+		}
+		if _, err := j.WaitTerminal(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}

@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"macroplace/internal/atomicio"
+	"macroplace/internal/core"
+	"macroplace/internal/mcts"
+)
+
+// ErrCancelled is the cancellation cause installed by a client DELETE;
+// the job ends in StateCancelled (with its best-so-far result attached
+// when the flow was already running).
+var ErrCancelled = errors.New("serve: job cancelled by client")
+
+// errDrainJob is the cancellation cause used during Drain: a running
+// job commits its best-so-far placement (checkpointed along the way)
+// and still counts as done, just interrupted — "finish or checkpoint".
+var errDrainJob = errors.New("serve: daemon draining")
+
+// Config tunes a daemon Server. The zero value serves one worker, an
+// 8-deep queue, and stages job artifacts under the OS temp directory.
+type Config struct {
+	// Workers is the job worker pool size (default 1).
+	Workers int
+	// QueueCap bounds the FIFO queue; a submit beyond it is refused
+	// with 429 (default 8).
+	QueueCap int
+	// Dir is the root of per-job working directories — result.json and
+	// search.ckpt land in Dir/<job-id>/ (default: a fresh temp dir).
+	Dir string
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Logf receives daemon diagnostics (nil discards).
+	Logf func(format string, args ...any)
+	// Runner overrides how a job's flow executes — tests inject faults
+	// here. nil selects RunSpec, the production runner.
+	Runner func(ctx context.Context, j *Job) (*Result, error)
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = 8
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Dir == "" {
+		dir, err := os.MkdirTemp("", "placed-jobs-")
+		if err != nil {
+			return c, fmt.Errorf("serve: job dir: %w", err)
+		}
+		c.Dir = dir
+	} else if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return c, fmt.Errorf("serve: job dir: %w", err)
+	}
+	if c.Runner == nil {
+		c.Runner = RunSpec
+	}
+	return c, nil
+}
+
+// Server is the placement job daemon: admission control in front of a
+// Scheduler, the job table, and the HTTP API (Handler / Start).
+type Server struct {
+	cfg   Config
+	sched *Scheduler
+
+	base      context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// NewServer builds a daemon from cfg and starts its worker pool. Call
+// Shutdown (or at least Drain) before discarding it.
+func NewServer(cfg Config) (*Server, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		sched:     NewScheduler(cfg.Workers, cfg.QueueCap),
+		base:      base,
+		cancelAll: cancel,
+		jobs:      make(map[string]*Job),
+	}, nil
+}
+
+// Dir returns the root of the per-job working directories.
+func (d *Server) Dir() string { return d.cfg.Dir }
+
+func (d *Server) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates and admits a job. ErrQueueFull and ErrDraining
+// report admission refusals; anything else is a spec error.
+func (d *Server) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		obsRejected.Inc()
+		return nil, ErrDraining
+	}
+	d.nextID++
+	id := fmt.Sprintf("job-%06d", d.nextID)
+	ctx, cancel := context.WithCancelCause(d.base)
+	j := &Job{
+		ID:      id,
+		Spec:    spec,
+		Dir:     filepath.Join(d.cfg.Dir, id),
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	d.jobs[id] = j
+	d.order = append(d.order, id)
+	d.mu.Unlock()
+
+	// The "queued" event lands before the task is handed to the pool,
+	// so a worker's "running" transition can never precede it.
+	j.appendEvent("state", string(StateQueued))
+	err := d.sched.Submit(Task{
+		Run: func() { d.runJob(ctx, j) },
+		// The scheduler-level recover is a backstop; runJob recovers
+		// first and records the failure on the job itself.
+		OnPanic: func(v any) { d.logf("job %s escaped panic: %v", j.ID, v) },
+	})
+	if err != nil {
+		cancel(err)
+		d.mu.Lock()
+		delete(d.jobs, id)
+		// Concurrent submits may have appended behind this id — remove
+		// it by value, and never reuse the id (nextID stays monotonic).
+		for i, oid := range d.order {
+			if oid == id {
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				break
+			}
+		}
+		d.mu.Unlock()
+		return nil, err
+	}
+	obsSubmitted.Inc()
+	d.logf("job %s admitted (%s)", id, describeSpec(spec))
+	return j, nil
+}
+
+// Job looks up a job by id.
+func (d *Server) Job(id string) (*Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in admission order.
+func (d *Server) Jobs() []*Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Job, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, d.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels the job with the given id (queued or running).
+func (d *Server) Cancel(id string) bool {
+	j, ok := d.Job(id)
+	if !ok {
+		return false
+	}
+	j.Cancel(ErrCancelled)
+	return true
+}
+
+// Drain stops admitting jobs, cancels queued jobs, interrupts running
+// flows so they commit (and checkpoint) their best-so-far placements,
+// and waits for the pool to empty — bounded by ctx, after which it
+// returns ctx's error with jobs possibly still winding down.
+func (d *Server) Drain(ctx context.Context) error {
+	d.mu.Lock()
+	already := d.draining
+	d.draining = true
+	jobs := make([]*Job, 0, len(d.order))
+	for _, id := range d.order {
+		jobs = append(jobs, d.jobs[id])
+	}
+	d.mu.Unlock()
+	if !already {
+		d.logf("draining: %d job(s) known, %d queued", len(jobs), d.sched.QueueLen())
+		for _, j := range jobs {
+			j.Cancel(errDrainJob)
+		}
+	}
+	done := make(chan struct{})
+	go func() { d.sched.Drain(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runJob is the worker-side job lifecycle: skip-if-cancelled, state
+// transitions, panic containment, artifact persistence, metrics.
+func (d *Server) runJob(ctx context.Context, j *Job) {
+	obsQueueWait.Observe(time.Since(j.Status().Created).Seconds())
+	if ctx.Err() != nil {
+		// Cancelled (client or drain) before a worker picked it up.
+		if j.setState(StateCancelled) {
+			obsCancelled.Inc()
+		}
+		return
+	}
+	if !j.setState(StateRunning) {
+		return
+	}
+	obsRunning.Add(1)
+	defer obsRunning.Add(-1)
+	start := time.Now()
+
+	res, err := func() (res *Result, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("serve: job panicked: %v", v)
+			}
+		}()
+		return d.cfg.Runner(ctx, j)
+	}()
+	obsJobSeconds.Observe(time.Since(start).Seconds())
+
+	switch cause := context.Cause(ctx); {
+	case err != nil:
+		d.failJob(j, err)
+	case errors.Is(cause, ErrCancelled):
+		d.finishJob(j, res, StateCancelled)
+		obsCancelled.Inc()
+	default:
+		// Includes the drain cause: the flow committed its best-so-far
+		// placement, so the job is done (marked interrupted in Result).
+		d.finishJob(j, res, StateDone)
+		obsCompleted.Inc()
+	}
+}
+
+func (d *Server) failJob(j *Job, err error) {
+	j.mu.Lock()
+	j.err = err.Error()
+	j.mu.Unlock()
+	j.appendEvent("error", err.Error())
+	j.setState(StateFailed)
+	obsFailed.Inc()
+	d.logf("job %s failed: %v", j.ID, err)
+}
+
+// finishJob persists the result crash-safely and lands the terminal
+// state. A nil result (a Runner that opted out) still terminates.
+func (d *Server) finishJob(j *Job, res *Result, final State) {
+	if res != nil {
+		if err := WriteResult(filepath.Join(j.Dir, "result.json"), res); err != nil {
+			d.failJob(j, err)
+			return
+		}
+		j.mu.Lock()
+		j.result = res
+		j.mu.Unlock()
+	}
+	j.setState(final)
+	if res != nil {
+		d.logf("job %s %s: hpwl=%.6g interrupted=%v", j.ID, final, res.HPWL, res.Interrupted)
+	} else {
+		d.logf("job %s %s", j.ID, final)
+	}
+}
+
+// WriteResult atomically persists a job result as indented JSON.
+func WriteResult(path string, res *Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal result: %w", err)
+	}
+	return atomicio.WriteFileBytes(path, append(data, '\n'))
+}
+
+// RunSpec is the production job runner: it materialises the spec's
+// design, runs the complete core flow under the job's context with
+// stage events and per-commit crash-safe search checkpoints streamed
+// into the job, and returns the consolidated result. Cancellation
+// (client DELETE, daemon drain, SIGTERM) degrades the flow instead of
+// aborting it — the result is always a complete legal placement.
+func RunSpec(ctx context.Context, j *Job) (*Result, error) {
+	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: job dir: %w", err)
+	}
+	design, err := j.Spec.LoadDesign(j.Dir)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.New(design, j.Spec.Options())
+	if err != nil {
+		return nil, err
+	}
+	p.Opts.OnStage = func(ev core.StageEvent) {
+		if ev.Done {
+			j.appendEvent("stage", fmt.Sprintf("%s done in %s", ev.Stage, ev.Elapsed.Round(time.Millisecond)))
+		} else {
+			j.appendEvent("stage", ev.Stage+" start")
+		}
+	}
+	ckpt := filepath.Join(j.Dir, "search.ckpt")
+	p.Opts.SearchSnapshot = func(sn mcts.Snapshot) {
+		if err := mcts.SaveSnapshot(ckpt, sn); err == nil {
+			j.appendEvent("progress", fmt.Sprintf("%d/%d groups committed", len(sn.Committed), p.Env.NumSteps()))
+		}
+	}
+	start := time.Now()
+	res, err := p.PlaceContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Design:       design.Name,
+		HPWL:         res.Final.HPWL,
+		RLHPWL:       res.RLFinal.HPWL,
+		MacroOverlap: res.Final.MacroOverlap,
+		Explorations: res.Search.Explorations,
+		Interrupted:  res.Search.Interrupted || ctx.Err() != nil,
+		Anchors:      res.Final.Anchors,
+		WallSeconds:  time.Since(start).Seconds(),
+	}, nil
+}
+
+func describeSpec(sp Spec) string {
+	if sp.Bench != "" {
+		return fmt.Sprintf("bench=%s", sp.Bench)
+	}
+	return fmt.Sprintf("bookshelf upload, %d file(s)", len(sp.Bookshelf))
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"macroplace/internal/agent"
+	"macroplace/internal/core"
+	"macroplace/internal/gen"
+	"macroplace/internal/netlist"
+	"macroplace/internal/netlist/bookshelf"
+)
+
+// Spec is the client-supplied description of one placement job: the
+// design (a generated benchmark by name, or an uploaded Bookshelf
+// netlist inline) plus the core/MCTS options the CLIs expose. Zero
+// fields select the same defaults as cmd/mctsplace, except Workers,
+// which defaults to 1 (deterministic) rather than all CPUs — a shared
+// daemon must not let one job grab the machine by default.
+type Spec struct {
+	// Bench names a synthetic benchmark (ibm01..ibm18, cir1..cir6).
+	// Mutually exclusive with Bookshelf.
+	Bench string `json:"bench,omitempty"`
+	// Scale is the synthetic benchmark scale (1 = paper-sized).
+	Scale float64 `json:"scale,omitempty"`
+	// Bookshelf uploads a netlist inline: base file name → content.
+	// Exactly one entry must end in .aux; the daemon stages the files
+	// in the job's working directory and parses them from there.
+	Bookshelf map[string]string `json:"bookshelf,omitempty"`
+
+	Seed      int64 `json:"seed,omitempty"`
+	Zeta      int   `json:"zeta,omitempty"`
+	Episodes  int   `json:"episodes,omitempty"`
+	Gamma     int   `json:"gamma,omitempty"`
+	Workers   int   `json:"workers,omitempty"`
+	Channels  int   `json:"channels,omitempty"`
+	ResBlocks int   `json:"resblocks,omitempty"`
+}
+
+// normalize fills the cmd/mctsplace-compatible defaults.
+func (sp Spec) normalize() Spec {
+	if sp.Scale <= 0 {
+		sp.Scale = 0.05
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Zeta <= 0 {
+		sp.Zeta = 16
+	}
+	if sp.Episodes <= 0 {
+		sp.Episodes = 120
+	}
+	if sp.Gamma <= 0 {
+		sp.Gamma = 24
+	}
+	if sp.Workers <= 0 {
+		sp.Workers = 1
+	}
+	if sp.Channels <= 0 {
+		sp.Channels = 16
+	}
+	if sp.ResBlocks <= 0 {
+		sp.ResBlocks = 2
+	}
+	return sp
+}
+
+// Validate rejects specs the daemon cannot run, before admission.
+func (sp Spec) Validate() error {
+	switch {
+	case sp.Bench != "" && len(sp.Bookshelf) > 0:
+		return fmt.Errorf("serve: spec has both bench and bookshelf")
+	case sp.Bench == "" && len(sp.Bookshelf) == 0:
+		return fmt.Errorf("serve: spec needs bench or bookshelf")
+	}
+	if sp.Bench != "" && !strings.HasPrefix(sp.Bench, "ibm") && !strings.HasPrefix(sp.Bench, "cir") {
+		return fmt.Errorf("serve: unknown benchmark %q (want ibm01..ibm18 or cir1..cir6)", sp.Bench)
+	}
+	if len(sp.Bookshelf) > 0 {
+		aux := 0
+		for name := range sp.Bookshelf {
+			if name != filepath.Base(name) || name == "." || name == ".." {
+				return fmt.Errorf("serve: bookshelf file name %q must be a bare base name", name)
+			}
+			if strings.HasSuffix(name, ".aux") {
+				aux++
+			}
+		}
+		if aux != 1 {
+			return fmt.Errorf("serve: bookshelf upload needs exactly one .aux file, got %d", aux)
+		}
+	}
+	return nil
+}
+
+// Options derives the flow options exactly as cmd/mctsplace builds
+// them from its flags, so a Workers=1 job through the daemon is
+// bit-identical to the same spec run through the CLI.
+func (sp Spec) Options() core.Options {
+	sp = sp.normalize()
+	opts := core.Options{Zeta: sp.Zeta, Seed: sp.Seed}
+	opts.RL.Episodes = sp.Episodes
+	opts.MCTS.Gamma = sp.Gamma
+	opts.MCTS.Workers = sp.Workers
+	opts.Agent = agent.Config{Zeta: sp.Zeta, Channels: sp.Channels, ResBlocks: sp.ResBlocks, Seed: sp.Seed + 100}
+	return opts
+}
+
+// LoadDesign materialises the spec's design, staging an uploaded
+// Bookshelf netlist under dir first.
+func (sp Spec) LoadDesign(dir string) (*netlist.Design, error) {
+	sp = sp.normalize()
+	switch {
+	case len(sp.Bookshelf) > 0:
+		stage := filepath.Join(dir, "bookshelf")
+		if err := os.MkdirAll(stage, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: stage bookshelf: %w", err)
+		}
+		var aux string
+		for name, content := range sp.Bookshelf {
+			path := filepath.Join(stage, name)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				return nil, fmt.Errorf("serve: stage bookshelf: %w", err)
+			}
+			if strings.HasSuffix(name, ".aux") {
+				aux = path
+			}
+		}
+		return bookshelf.ReadAux(aux)
+	case strings.HasPrefix(sp.Bench, "ibm"):
+		return gen.IBM(sp.Bench, sp.Scale, sp.Seed)
+	case strings.HasPrefix(sp.Bench, "cir"):
+		return gen.Cir(sp.Bench, sp.Scale, sp.Seed)
+	default:
+		return nil, fmt.Errorf("serve: unknown benchmark %q", sp.Bench)
+	}
+}
+
+// State is a job's lifecycle position. Transitions are strictly
+// forward: queued → running → {done, failed, cancelled}, with
+// queued → cancelled when the job is cancelled (or the daemon drains)
+// before a worker picks it up.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions can occur.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry of a job's append-only event log, streamed over
+// GET /v1/jobs/{id}/events. Seq is 1-based and dense, so a client can
+// resume a dropped stream without duplicates.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	// Type is "state" (Data: the new state), "stage" (Data: e.g.
+	// "pretrain start" / "pretrain done"), "progress" (Data: "k/n
+	// groups committed"), or "error".
+	Type string `json:"type"`
+	Data string `json:"data"`
+}
+
+// Result is the outcome of a completed job, persisted crash-safely as
+// result.json in the job directory.
+type Result struct {
+	Design       string  `json:"design"`
+	HPWL         float64 `json:"hpwl"`
+	RLHPWL       float64 `json:"rl_hpwl"`
+	MacroOverlap float64 `json:"macro_overlap"`
+	Explorations int     `json:"explorations"`
+	Interrupted  bool    `json:"interrupted"`
+	Anchors      []int   `json:"anchors"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}
+
+// Job is one admitted placement job. All fields behind mu; read
+// through Status / Events / WaitTerminal.
+type Job struct {
+	ID   string
+	Spec Spec
+	// Dir is the job's working directory (result/checkpoint files).
+	Dir string
+
+	cancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	result   *Result
+	events   []Event
+	waiters  []chan struct{} // closed on every append/transition
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Status is the wire form of a job's current state (GET /v1/jobs/{id}).
+type Status struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Spec     Spec      `json:"spec"`
+	Error    string    `json:"error,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+	Events   int       `json:"events"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, State: j.state, Spec: j.Spec,
+		Error: j.err, Result: j.result, Events: len(j.events),
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the persisted outcome, nil until the job is done.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Cancel requests cancellation: a queued job is skipped by the worker
+// pool; a running job's context is cancelled so the flow commits its
+// best-so-far placement and finishes early.
+func (j *Job) Cancel(cause error) {
+	j.cancel(cause)
+}
+
+// notifyLocked wakes every event-stream waiter. Callers hold j.mu.
+func (j *Job) notifyLocked() {
+	for _, w := range j.waiters {
+		close(w)
+	}
+	j.waiters = j.waiters[:0]
+}
+
+// appendEvent adds one event to the log and wakes streamers.
+func (j *Job) appendEvent(typ, data string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, Event{
+		Seq: len(j.events) + 1, Time: time.Now(), Type: typ, Data: data,
+	})
+	j.notifyLocked()
+}
+
+// setState transitions the lifecycle state (appending a "state" event)
+// unless the job is already terminal; it reports whether the
+// transition happened.
+func (j *Job) setState(s State) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = s
+	switch s {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = time.Now()
+	}
+	j.events = append(j.events, Event{
+		Seq: len(j.events) + 1, Time: time.Now(), Type: "state", Data: string(s),
+	})
+	j.notifyLocked()
+	return true
+}
+
+// EventsSince returns the events with Seq > after, plus a channel that
+// is closed when more arrive (nil when the job is terminal and the
+// log is fully consumed — the stream is complete).
+func (j *Job) EventsSince(after int) ([]Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	if after < len(j.events) {
+		out = append(out, j.events[after:]...)
+	}
+	if j.state.Terminal() && after+len(out) >= len(j.events) {
+		return out, nil
+	}
+	w := make(chan struct{})
+	j.waiters = append(j.waiters, w)
+	return out, w
+}
+
+// WaitTerminal blocks until the job reaches a terminal state or ctx
+// ends, reporting the final state.
+func (j *Job) WaitTerminal(ctx context.Context) (State, error) {
+	seen := 0
+	for {
+		evs, more := j.EventsSince(seen)
+		seen += len(evs)
+		if more == nil {
+			return j.State(), nil
+		}
+		select {
+		case <-more:
+		case <-ctx.Done():
+			return j.State(), ctx.Err()
+		}
+	}
+}

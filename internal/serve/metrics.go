@@ -1,0 +1,34 @@
+package serve
+
+import "macroplace/internal/obs"
+
+// Serving-layer metrics, registered on the process-wide registry so
+// the daemon's /metrics endpoint (the reused telemetry mux) exposes
+// them next to the search/training series. Naming follows DESIGN.md
+// §9: macroplace_serve_<what>[_<unit>].
+var (
+	obsSubmitted = obs.NewCounter("macroplace_serve_jobs_submitted_total",
+		"Jobs admitted into the queue.")
+	obsRejected = obs.NewCounter("macroplace_serve_jobs_rejected_total",
+		"Submissions refused by admission control (queue full or draining).")
+	obsCompleted = obs.NewCounter("macroplace_serve_jobs_completed_total",
+		"Jobs that finished with a legal placement.")
+	obsFailed = obs.NewCounter("macroplace_serve_jobs_failed_total",
+		"Jobs that ended in an error or a recovered panic.")
+	obsCancelled = obs.NewCounter("macroplace_serve_jobs_cancelled_total",
+		"Jobs cancelled by the client or by drain before running.")
+	obsTaskPanics = obs.NewCounter("macroplace_serve_task_panics_total",
+		"Panics recovered by the scheduler's worker pool.")
+	obsQueueDepth = obs.NewGauge("macroplace_serve_queue_depth",
+		"Tasks currently waiting in the scheduler queue.")
+	obsRunning = obs.NewGauge("macroplace_serve_jobs_running",
+		"Jobs currently executing on the worker pool.")
+	obsQueueWait = obs.NewHistogram("macroplace_serve_queue_wait_seconds",
+		"Time from admission to execution start.",
+		[]float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
+	obsJobSeconds = obs.NewHistogram("macroplace_serve_job_seconds",
+		"Job execution wall time (queue wait excluded).",
+		[]float64{0.1, 1, 10, 60, 300, 1800})
+	obsHTTPRequests = obs.NewCounter("macroplace_serve_http_requests_total",
+		"HTTP requests handled by the job API.")
+)

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSchedulerFIFOOrder(t *testing.T) {
+	s := NewScheduler(1, 16)
+	gate := make(chan struct{})
+	if err := s.Submit(Task{Run: func() { <-gate }}); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	var mu sync.Mutex
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		if err := s.Submit(Task{Run: func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	close(gate)
+	s.Drain()
+	if len(got) != 8 {
+		t.Fatalf("ran %d tasks, want 8", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("execution order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestSchedulerQueueFull(t *testing.T) {
+	s := NewScheduler(1, 1)
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	if err := s.Submit(Task{Run: func() { started <- struct{}{}; <-gate }}); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started // worker busy, queue empty
+	if err := s.Submit(Task{Run: func() {}}); err != nil {
+		t.Fatalf("submit into free slot: %v", err)
+	}
+	if err := s.Submit(Task{Run: func() {}}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit beyond capacity = %v, want ErrQueueFull", err)
+	}
+	close(gate)
+	s.Drain()
+}
+
+func TestSchedulerDrainStopsAdmission(t *testing.T) {
+	s := NewScheduler(2, 4)
+	ran := make(chan struct{})
+	if err := s.Submit(Task{Run: func() { close(ran) }}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s.Drain()
+	select {
+	case <-ran:
+	default:
+		t.Fatal("Drain returned before the admitted task ran")
+	}
+	if err := s.Submit(Task{Run: func() {}}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain = %v, want ErrDraining", err)
+	}
+	// Idempotent: a second Drain must not panic or hang.
+	s.Drain()
+}
+
+func TestSchedulerPanicIsolation(t *testing.T) {
+	s := NewScheduler(1, 4)
+	recovered := make(chan any, 1)
+	if err := s.Submit(Task{
+		Run:     func() { panic("boom") },
+		OnPanic: func(v any) { recovered <- v },
+	}); err != nil {
+		t.Fatalf("submit panicker: %v", err)
+	}
+	ran := make(chan struct{})
+	if err := s.Submit(Task{Run: func() { close(ran) }}); err != nil {
+		t.Fatalf("submit survivor: %v", err)
+	}
+	select {
+	case v := <-recovered:
+		if v != "boom" {
+			t.Errorf("recovered %v, want boom", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnPanic never invoked")
+	}
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool died after a task panic")
+	}
+	s.Drain()
+}
+
+func TestSchedulerWaitBarrier(t *testing.T) {
+	s := NewScheduler(2, 8)
+	var n int64
+	var mu sync.Mutex
+	for i := 0; i < 6; i++ {
+		if err := s.Submit(Task{Run: func() {
+			mu.Lock()
+			n++
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	s.Wait()
+	mu.Lock()
+	done := n
+	mu.Unlock()
+	if done != 6 {
+		t.Fatalf("Wait returned with %d/6 tasks done", done)
+	}
+	// Admission stays open after Wait, unlike Drain.
+	if err := s.Submit(Task{Run: func() {}}); err != nil {
+		t.Fatalf("submit after Wait: %v", err)
+	}
+	s.Drain()
+}

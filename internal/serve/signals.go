@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ErrSignal is the cancellation cause installed by Signals when the
+// first SIGINT/SIGTERM arrives.
+var ErrSignal = errors.New("serve: interrupted by signal")
+
+// ForceExitCode is the conventional exit status for a signal-forced
+// termination (128 + SIGINT).
+const ForceExitCode = 130
+
+// Signals returns a copy of parent that is cancelled on the first
+// SIGINT or SIGTERM, letting every stage degrade gracefully (the
+// anytime property). A second signal force-exits the process with
+// ForceExitCode after running flush (nil ok) — so a hung finalize or a
+// stuck drain can always be killed with a second ^C instead of
+// requiring SIGKILL, and the run summary still lands on disk first.
+//
+// The returned stop function releases the signal handler (restoring
+// default delivery) and must be called on the normal exit path,
+// mirroring signal.NotifyContext.
+func Signals(parent context.Context, flush func()) (context.Context, func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	ctx, stop := watchSignals(parent, ch, func() {
+		if flush != nil {
+			flush()
+		}
+		os.Exit(ForceExitCode)
+	})
+	return ctx, func() {
+		signal.Stop(ch)
+		stop()
+	}
+}
+
+// watchSignals is the testable core of Signals: the first value on ch
+// cancels the returned context (cause ErrSignal); the second invokes
+// onSecond. The watcher goroutine exits when stop is called or the
+// parent context ends.
+func watchSignals(parent context.Context, ch <-chan os.Signal, onSecond func()) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(parent)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			cancel(ErrSignal)
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case <-ch:
+			onSecond()
+		case <-done:
+		}
+	}()
+	return ctx, func() {
+		close(done)
+		cancel(context.Canceled)
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestWatchSignalsFirstSignalCancels(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	ctx, stop := watchSignals(context.Background(), ch, func() {
+		t.Error("onSecond invoked after a single signal")
+	})
+	defer stop()
+	ch <- syscall.SIGINT
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled by first signal")
+	}
+	if cause := context.Cause(ctx); !errors.Is(cause, ErrSignal) {
+		t.Errorf("cause = %v, want ErrSignal", cause)
+	}
+}
+
+func TestWatchSignalsSecondSignalForces(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	forced := make(chan struct{})
+	ctx, stop := watchSignals(context.Background(), ch, func() { close(forced) })
+	defer stop()
+	ch <- syscall.SIGTERM
+	<-ctx.Done()
+	ch <- syscall.SIGTERM
+	select {
+	case <-forced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not trigger the force-exit hook")
+	}
+}
+
+func TestWatchSignalsStopReleases(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	ctx, stop := watchSignals(context.Background(), ch, func() {
+		t.Error("onSecond invoked after stop")
+	})
+	stop()
+	<-ctx.Done()
+	if cause := context.Cause(ctx); !errors.Is(cause, context.Canceled) {
+		t.Errorf("cause = %v, want context.Canceled", cause)
+	}
+	// A signal after stop must be a no-op: the watcher goroutine has
+	// exited, so nothing drains ch and nothing force-exits.
+	ch <- syscall.SIGINT
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestWatchSignalsParentCancelStopsWatcher(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	ctx, stop := watchSignals(parent, ch, func() {
+		t.Error("onSecond invoked without any signal")
+	})
+	defer stop()
+	cancel()
+	<-ctx.Done()
+	if cause := context.Cause(ctx); errors.Is(cause, ErrSignal) {
+		t.Errorf("cause = %v, want parent cancellation, not ErrSignal", cause)
+	}
+}

@@ -71,6 +71,10 @@ type MCTSConfig = mcts.Config
 // SearchResult carries the MCTS search statistics.
 type SearchResult = mcts.Result
 
+// StageEvent reports a flow stage transition; receive them through
+// Options.OnStage to stream live progress (the placed daemon does).
+type StageEvent = core.StageEvent
+
 // SearchSnapshot is the resumable progress of an MCTS search, emitted
 // through Options.SearchSnapshot after every commit step and consumed
 // through Options.SearchResume. Persist with SaveSearchSnapshot.

@@ -40,7 +40,7 @@ if [ -z "$baselines" ]; then
     exit 1
 fi
 
-out=$(go test -run '^$' -bench 'BenchmarkMCTSWorkers/workers=(1|8)$' -benchmem -benchtime=1x .)
+out=$(go test -run '^$' -bench 'BenchmarkMCTSWorkers/workers=(1|8)$|BenchmarkServeThroughput$' -benchmem -benchtime=1x . ./internal/serve)
 echo "$out"
 
 echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines="$baselines" '
@@ -48,7 +48,7 @@ echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines=
     n = split(baselines, parts, /[ \n]+/)
     for (i = 1; i + 1 <= n; i += 2) base[parts[i]] = parts[i + 1]
   }
-  /^BenchmarkMCTSWorkers\/workers=/ {
+  /^Benchmark(MCTSWorkers\/workers=|ServeThroughput)/ {
     allocs = -1
     for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
     if (allocs < 0) {
@@ -61,8 +61,10 @@ echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines=
     name = $1
     sub(/-[0-9]+$/, "", name)
     if (!(name in base)) {
-      print "benchgate: no baseline for " name " in BENCH_pr3.json" > "/dev/stderr"
-      bad = 1
+      # Newer benchmarks (recorded in later BENCH_pr*.json files) are
+      # informational here, not gated — skip instead of failing, so
+      # adding a benchmark never requires rewriting the pr3 baseline.
+      print "benchgate: skip " name " (no baseline in '"$BASELINE_FILE"')"
       next
     }
     ceiling = int(base[name] * (1 + tol / 100) + slack)
@@ -77,7 +79,7 @@ echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines=
   }
   END {
     if (rows != 2) {
-      print "benchgate: expected 2 benchmark rows, saw " rows + 0 > "/dev/stderr"
+      print "benchgate: expected the 2 gated MCTS rows, saw " rows + 0 > "/dev/stderr"
       exit 1
     }
     exit bad

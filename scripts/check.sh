@@ -51,4 +51,7 @@ go test -race $short ./...
 echo "== telemetry smoke"
 scripts/telemetry_smoke.sh
 
+echo "== placed smoke"
+scripts/placed_smoke.sh
+
 echo "OK"

@@ -63,6 +63,16 @@ done
 [ -n "$seen" ] || { echo "telemetry_smoke: metrics never went nonzero mid-run" >&2; echo "$metrics" | head -40 >&2; exit 1; }
 echo "$metrics" | grep -E '^macroplace_(rl_episodes_total|mcts_explorations_total)' | sed 's/^/   /'
 
+echo "== in-flight scrape survives shutdown"
+# Start a 3-second pprof CPU capture, then interrupt the process while
+# the capture is still streaming. The graceful drain (obs.Shutdown)
+# must let the response complete with a full body instead of tearing
+# the connection — the bug Close() had.
+profile="$workdir/profile.out"
+curl -sf -o "$profile" "http://$addr/debug/pprof/profile?seconds=3" &
+curlpid=$!
+sleep 0.3 # let the capture reach the server before the signal lands
+
 echo "== interrupt and check run summary"
 kill -INT "$pid"
 i=0
@@ -75,5 +85,13 @@ done
 grep -q '"schema": 1' "$summary" || { echo "telemetry_smoke: summary missing schema field" >&2; cat "$summary" >&2; exit 1; }
 grep -q '"interrupted": true' "$summary" || { echo "telemetry_smoke: summary does not record the interruption" >&2; cat "$summary" >&2; exit 1; }
 grep -q '"macroplace_rl_episodes_total"' "$summary" || { echo "telemetry_smoke: summary missing metric counters" >&2; exit 1; }
+
+# The capture started before the shutdown must have completed cleanly.
+if ! wait "$curlpid"; then
+    echo "telemetry_smoke: in-flight pprof capture was torn by shutdown" >&2
+    exit 1
+fi
+[ -s "$profile" ] || { echo "telemetry_smoke: in-flight pprof capture has an empty body" >&2; exit 1; }
+echo "   in-flight capture completed ($(wc -c <"$profile") bytes)"
 
 echo "telemetry_smoke: OK"
