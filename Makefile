@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke fmt vet
+.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke portfolio-smoke fmt vet
 
 check: ## gofmt + vet + build + race-detector test suite
 	scripts/check.sh
@@ -20,11 +20,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench: ## search hot-path + serving benchmarks, recorded as BENCH_pr3.json / BENCH_pr5.json
+bench: ## search hot-path + serving + portfolio benchmarks, recorded as BENCH_pr{3,5,6}.json
 	$(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr3.json
 	$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchmem ./internal/serve \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr5.json
+	$(GO) test -run '^$$' -bench BenchmarkPortfolioRace -benchmem ./internal/portfolio \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr6.json
 
 bench-all: ## micro + table/figure benchmarks (quick preset)
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -37,6 +39,9 @@ telemetry-smoke: ## end-to-end /metrics + run-summary smoke (same script CI runs
 
 placed-smoke: ## end-to-end placement-daemon smoke (same script CI runs)
 	scripts/placed_smoke.sh
+
+portfolio-smoke: ## end-to-end portfolio-race smoke, CLI + daemon (same script CI runs)
+	scripts/portfolio_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated: fig4,fig5,tableII,tableIII,tableIV,ablations,alphasweep or all")
+		run      = flag.String("run", "all", "comma-separated: fig4,fig5,tableII,tableIII,tableIV,ablations,alphasweep,portfolio or all")
 		preset   = flag.String("preset", "quick", `"quick" or "standard"`)
 		scale    = flag.Float64("scale", 0, "override benchmark scale")
 		episodes = flag.Int("episodes", 0, "override RL episodes")
@@ -49,6 +49,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "log per-benchmark progress to stderr")
 		csvdir   = flag.String("csvdir", "", "also write machine-readable CSV artifacts into this directory")
 		extended = flag.Bool("extended", false, "add the beyond-paper baselines (SA, SA-B*tree, MinCut) to Table II")
+		backends = flag.String("backends", "", "comma-separated backend lineup for -run portfolio (default: all seven)")
+		effort   = flag.Float64("effort", 0, "budget scale for -run portfolio backends (0 = full budget)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry finished rows are rendered and the run stops (0 = none)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -240,6 +242,18 @@ func main() {
 		finish("alphasweep", err, func() {
 			saveCSV(res)
 			experiments.WriteAlphaSweep(out, res)
+			fmt.Fprintln(out)
+		})
+	}
+	if all || want["portfolio"] {
+		var lineup []string
+		if *backends != "" {
+			lineup = strings.Split(*backends, ",")
+		}
+		res, err := experiments.PortfolioLeaderboard(cfg, lineup, *effort)
+		finish("portfolio", err, func() {
+			saveCSV(res)
+			experiments.WritePortfolio(out, res)
 			fmt.Fprintln(out)
 		})
 	}

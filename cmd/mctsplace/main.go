@@ -17,6 +17,13 @@
 //	mctsplace -bench ibm06 -timeout 2m -svg anytime.svg
 //	mctsplace -bench ibm06 -checkpoint search.json -checkpoint-every 2
 //	mctsplace -bench ibm06 -checkpoint search.json -resume
+//
+// With -portfolio the command races several placement backends (the
+// paper's flow plus the baseline placers, all behind one interface —
+// see DESIGN.md §11) and keeps the best legal placement:
+//
+//	mctsplace -bench ibm01 -portfolio all -effort 0.2
+//	mctsplace -bench ibm06 -portfolio mcts,se,mincut -race-grace 5s -svg winner.svg
 package main
 
 import (
@@ -47,6 +54,9 @@ func main() {
 		svg        = flag.String("svg", "", "file to render the final placement as SVG")
 		saveAgent  = flag.String("saveagent", "", "file to checkpoint the pre-trained agent to")
 		loadAgent  = flag.String("loadagent", "", "agent checkpoint to load (skips RL pre-training)")
+		portfolioF = flag.String("portfolio", "", "race these backends instead of running the single flow (comma-separated, or \"all\"); the best legal placement wins")
+		effort     = flag.Float64("effort", 0, "portfolio backend budget scale in (0,1] (0 = full budget)")
+		raceGrace  = flag.Duration("race-grace", 0, "cancel race losers this long after the first finisher (0 = run every backend to completion, deterministic)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget; on expiry the flow returns its best-so-far placement (0 = none)")
 		checkpoint = flag.String("checkpoint", "", "file to save crash-safe MCTS search snapshots to")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "commit steps between search snapshots")
@@ -130,6 +140,17 @@ func main() {
 	stats := d.Stats()
 	fmt.Printf("design %s: %d movable macros, %d pre-placed, %d pads, %d cells, %d nets\n",
 		d.Name, stats.MovableMacros, stats.PreplacedMacro, stats.Pads, stats.Cells, stats.Nets)
+
+	if *portfolioF != "" {
+		racePortfolio(ctx, d, raceFlags{
+			backends: *portfolioF, effort: *effort, grace: *raceGrace,
+			seed: *seed, zeta: *zeta, episodes: *episodes, gamma: *gamma,
+			workers: *workers, channels: *channels, resblocks: *resblocks,
+			out: *out, svg: *svg,
+		}, runFields, writeSummary, fail)
+		writeSummary()
+		return
+	}
 
 	opts := macroplace.DefaultOptions()
 	opts.Zeta = *zeta

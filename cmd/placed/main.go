@@ -19,10 +19,19 @@
 // crash-safely checkpointed along the way), and the process exits 0.
 // A second signal force-exits with 130 after flushing the run summary.
 //
+// A spec with a "race" list selects the portfolio job class instead of
+// the single flow: the named backends (see DESIGN.md §11) run
+// concurrently on the design, the cross-backend best-so-far HPWL
+// streams over SSE as "incumbent" events, losers are optionally
+// cancelled a grace period after the first finisher, and the result
+// carries the winner plus every backend's outcome (the full
+// leaderboard also lands in race.json next to result.json).
+//
 // Usage:
 //
 //	placed -addr :8080 -workers 2 -queue 16 -dir /var/lib/placed
 //	curl -s localhost:8080/v1/jobs -d '{"bench":"ibm01","scale":0.02,"episodes":20,"gamma":8}'
+//	curl -s localhost:8080/v1/jobs -d '{"bench":"ibm01","scale":0.02,"race":["mcts","se","mincut"],"effort":0.2,"race_grace_ms":5000}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -sN localhost:8080/v1/jobs/job-000001/events
 package main

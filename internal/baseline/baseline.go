@@ -21,6 +21,8 @@
 package baseline
 
 import (
+	"context"
+	"math"
 	"sort"
 
 	"macroplace/internal/geom"
@@ -34,19 +36,115 @@ type Result struct {
 	HPWL float64
 	// MacroOverlap is the residual macro-macro overlap area.
 	MacroOverlap float64
+	// Converged reports whether the finishing shove eliminated every
+	// movable-macro overlap within its iteration budget. When false the
+	// placement still honors region bounds but MacroOverlap carries
+	// residual overlap the shove could not resolve — callers (and the
+	// portfolio conformance suite) must not treat the result as legal
+	// without checking this.
+	Converged bool
 }
 
-// Finish legalizes macros (pairwise shove) and runs the final cell
-// placement, returning the evaluated result. It mutates d.
+// Finish legalizes macros (pairwise shove, with a deterministic
+// nearest-free-slot repair when the shove livelocks) and runs the
+// final cell placement, returning the evaluated result. It mutates d.
 func Finish(d *netlist.Design) Result {
-	shoveMacros(d, 200)
+	converged := shoveMacros(d, 200)
+	if !converged {
+		// The pairwise shove can cycle: multi-body push chains cancel
+		// each other sweep after sweep, so a bigger budget never helps.
+		// Re-seat the still-overlapping macros greedily instead, then
+		// let a short shove clean up.
+		if repairMacroOverlap(d) {
+			converged = true
+		} else {
+			converged = shoveMacros(d, 50)
+		}
+	}
 	gplace.Place(d, gplace.Config{Mode: gplace.MoveCells, Iterations: 6})
-	return Result{HPWL: d.HPWL(), MacroOverlap: macroOverlap(d)}
+	return Result{HPWL: d.HPWL(), MacroOverlap: macroOverlap(d), Converged: converged}
+}
+
+// repairMacroOverlap is the last-resort separation pass behind Finish:
+// macros are committed in non-increasing area order, and any macro
+// overlapping an earlier commitment (or a fixed macro) moves to the
+// nearest free candidate-grid center, scanning progressively finer
+// grids. It reports whether every movable macro ended overlap-free;
+// macros that fit nowhere stay put and fail the pass.
+func repairMacroOverlap(d *netlist.Design) bool {
+	var committed []geom.Rect
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Kind == netlist.Macro && n.Fixed {
+			committed = append(committed, n.Rect())
+		}
+	}
+	overlapsAny := func(r geom.Rect) bool {
+		for _, c := range committed {
+			if r.OverlapArea(c) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	ok := true
+	for _, m := range macrosByAreaDesc(d) {
+		n := &d.Nodes[m]
+		r := n.Rect()
+		if !overlapsAny(r) {
+			committed = append(committed, r)
+			continue
+		}
+		cur := r.Center()
+		placed := false
+		for _, k := range []int{16, 32, 64} {
+			bestD := math.Inf(1)
+			var bestR geom.Rect
+			for _, c := range candidateGrid(d.Region, n.W, n.H, k) {
+				cand := geom.NewRect(c.X-n.W/2, c.Y-n.H/2, n.W, n.H).ClampInto(d.Region)
+				if overlapsAny(cand) {
+					continue
+				}
+				dx, dy := c.X-cur.X, c.Y-cur.Y
+				if dist := dx*dx + dy*dy; dist < bestD {
+					bestD, bestR = dist, cand
+				}
+			}
+			if !math.IsInf(bestD, 1) {
+				n.X, n.Y = bestR.Lx, bestR.Ly
+				committed = append(committed, bestR)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			ok = false
+			committed = append(committed, r)
+		}
+	}
+	return ok
+}
+
+// cancelled reports whether ctx is non-nil and already done. The
+// baselines poll it at loop granularity so cancellation yields the
+// best-so-far state instead of aborting.
+func cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // shoveMacros separates overlapping macros with the minimum-
-// penetration push, treating fixed macros as obstacles.
-func shoveMacros(d *netlist.Design, maxIters int) {
+// penetration push, treating fixed macros as obstacles. It reports
+// whether it reached a state with no remaining movable-macro overlap
+// (false: the iteration budget ran out first).
+func shoveMacros(d *netlist.Design, maxIters int) bool {
 	var movable, fixed []int
 	for i := range d.Nodes {
 		if d.Nodes[i].Kind != netlist.Macro {
@@ -111,9 +209,10 @@ func shoveMacros(d *netlist.Design, maxIters int) {
 			}
 		}
 		if !found {
-			return
+			return true
 		}
 	}
+	return false
 }
 
 func macroOverlap(d *netlist.Design) float64 {

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"macroplace/internal/agent"
 	"macroplace/internal/cluster"
 	"macroplace/internal/geom"
@@ -19,6 +21,10 @@ type CTConfig struct {
 	// Agent optionally overrides the network shape.
 	Agent agent.Config
 	Seed  int64
+	// Ctx, when non-nil, cancels training between episodes; the greedy
+	// episode over the last completed update still produces a complete
+	// placement.
+	Ctx context.Context
 }
 
 func (c CTConfig) normalize() CTConfig {
@@ -124,7 +130,11 @@ func CT(d *netlist.Design, cfg CTConfig) Result {
 		Episodes: cfg.Episodes,
 		Seed:     cfg.Seed + 1,
 	}, ag, env.Clone(), wl)
-	tr.Run()
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr.RunContext(ctx)
 
 	anchors, _ := rl.PlayGreedy(ag, env.Clone(), wl)
 	applyAnchors(d, env, macros, anchors)

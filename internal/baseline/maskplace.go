@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"macroplace/internal/geom"
@@ -21,6 +22,13 @@ type MaskPlaceConfig struct {
 	// what makes restarts explore (default 0.15).
 	Epsilon float64
 	Seed    int64
+	// Ctx, when non-nil, is polled between restarts: cancellation keeps
+	// the best episode so far and still runs the common finishing pass.
+	// At least one episode always completes.
+	Ctx context.Context
+	// Progress, when set, receives each new best full-netlist HPWL
+	// across restarts (pre-finish values — anytime estimates).
+	Progress func(bestHPWL float64)
 }
 
 func (c MaskPlaceConfig) normalize() MaskPlaceConfig {
@@ -60,11 +68,17 @@ func MaskPlace(d *netlist.Design, cfg MaskPlaceConfig) Result {
 	basePos := d.Positions()
 
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		if restart > 0 && cancelled(cfg.Ctx) {
+			break
+		}
 		d.SetPositions(basePos)
 		runMaskPlaceEpisode(d, macros, nodeNets, cfg, r.Split("ep"))
 		if wl := d.HPWL(); wl < bestWL {
 			bestWL = wl
 			bestPos = d.Positions()
+			if cfg.Progress != nil {
+				cfg.Progress(bestWL)
+			}
 		}
 	}
 	d.SetPositions(bestPos)

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"macroplace/internal/geom"
 	"macroplace/internal/netlist"
 	"macroplace/internal/partition"
@@ -12,6 +14,10 @@ type MinCutConfig struct {
 	// nodes (default 12).
 	LeafSize int
 	Seed     int64
+	// Ctx, when non-nil, is polled before each bisection: cancellation
+	// treats the remaining subsets as leaves (nodes land at their
+	// region centers), so the result stays complete and in-bounds.
+	Ctx context.Context
 }
 
 func (c MinCutConfig) normalize() MinCutConfig {
@@ -40,7 +46,7 @@ func MinCut(d *netlist.Design, cfg MinCutConfig) Result {
 	}
 	var recurse func(nodes []int, region geom.Rect, vertical bool, seed int64)
 	recurse = func(nodes []int, region geom.Rect, vertical bool, seed int64) {
-		if len(nodes) <= cfg.LeafSize {
+		if len(nodes) <= cfg.LeafSize || cancelled(cfg.Ctx) {
 			c := region.Center()
 			for _, ni := range nodes {
 				d.Nodes[ni].SetCenter(c.X, c.Y)

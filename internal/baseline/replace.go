@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"macroplace/internal/geom"
@@ -22,6 +23,10 @@ type RePlAceConfig struct {
 	// LambdaGrowth multiplies the density weight each round
 	// (default 1.1).
 	LambdaGrowth float64
+	// Ctx, when non-nil, is polled between refinement rounds:
+	// cancellation keeps the rounds finished so far and still runs the
+	// common finishing pass.
+	Ctx context.Context
 }
 
 func (c RePlAceConfig) normalize() RePlAceConfig {
@@ -62,6 +67,9 @@ func RePlAceLike(d *netlist.Design, cfg RePlAceConfig) Result {
 	step := math.Min(bw, bh) // max move per round
 
 	for round := 0; round < cfg.Rounds; round++ {
+		if cancelled(cfg.Ctx) {
+			break
+		}
 		density := rasterDensity(d, nb, bw, bh)
 		for _, m := range macros {
 			n := &d.Nodes[m]

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"macroplace/internal/geom"
@@ -21,6 +22,14 @@ type SAConfig struct {
 	// derived so the temperature decays to 1e-3·T0 by the end).
 	Cooling float64
 	Seed    int64
+	// Ctx, when non-nil, is polled every few annealing moves:
+	// cancellation keeps the accepted-best state and still runs the
+	// common finishing pass, so the result is always complete.
+	Ctx context.Context
+	// Progress, when set, receives each new accepted-best cost (the
+	// macro-incident wirelength objective — anytime estimates, not
+	// full-netlist HPWL).
+	Progress func(bestCost float64)
 }
 
 func (c SAConfig) normalize() SAConfig {
@@ -111,6 +120,9 @@ func SA(d *netlist.Design, cfg SAConfig) Result {
 
 	temp := cfg.T0 * math.Max(cur, 1)
 	for it := 0; it < cfg.Iterations; it++ {
+		if it&63 == 0 && cancelled(cfg.Ctx) {
+			break
+		}
 		next := cloneSP(sp)
 		i, j := r.Intn(n), r.Intn(n)
 		for j == i && n > 1 {
@@ -134,6 +146,9 @@ func SA(d *netlist.Design, cfg SAConfig) Result {
 			if cur < best {
 				best = cur
 				bestSP = cloneSP(sp)
+				if cfg.Progress != nil {
+					cfg.Progress(best)
+				}
 			}
 		}
 		temp *= cfg.Cooling

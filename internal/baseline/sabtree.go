@@ -66,6 +66,9 @@ func SABTree(d *netlist.Design, cfg SAConfig) Result {
 	temp := cfg.T0 * math.Max(cur, 1)
 
 	for it := 0; it < cfg.Iterations; it++ {
+		if it&63 == 0 && cancelled(cfg.Ctx) {
+			break
+		}
 		next := tree.Clone()
 		next.Perturb(r)
 		cand := cost(apply(next))
@@ -76,6 +79,9 @@ func SABTree(d *netlist.Design, cfg SAConfig) Result {
 			if cur < best {
 				best = cur
 				bestTree = tree.Clone()
+				if cfg.Progress != nil {
+					cfg.Progress(best)
+				}
 			}
 		}
 		temp *= cfg.Cooling

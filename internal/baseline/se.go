@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"macroplace/internal/gplace"
@@ -22,6 +23,13 @@ type SEConfig struct {
 	// siblings, the dataflow-awareness of [26] (default 0.15).
 	HierWeight float64
 	Seed       int64
+	// Ctx, when non-nil, is polled between generations: cancellation
+	// keeps the best-so-far macro placement and still runs the common
+	// finishing pass, so the result is always complete.
+	Ctx context.Context
+	// Progress, when set, receives each new best full-netlist HPWL as
+	// the evolution improves (pre-finish values — anytime estimates).
+	Progress func(bestHPWL float64)
 }
 
 func (c SEConfig) normalize() SEConfig {
@@ -72,6 +80,9 @@ func SE(d *netlist.Design, cfg SEConfig) Result {
 	bestWL := d.HPWL()
 
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if cancelled(cfg.Ctx) {
+			break
+		}
 		// Evaluation: per-macro cost relative to its best possible
 		// (zero-span) wiring; goodness = ideal/actual ∈ (0, 1].
 		costs := make([]float64, len(macros))
@@ -130,6 +141,9 @@ func SE(d *netlist.Design, cfg SEConfig) Result {
 		if wl := d.HPWL(); wl < bestWL {
 			bestWL = wl
 			bestPos = d.Positions()
+			if cfg.Progress != nil {
+				cfg.Progress(bestWL)
+			}
 		}
 	}
 	d.SetPositions(bestPos)

@@ -1,0 +1,19 @@
+// Conformance one-liner for the paper's own flow: the mcts backend
+// passes the shared portfolio invariant suite (legality, metric
+// truthfulness, determinism, anytime cancellation, evaluator-fault
+// containment) from inside this package's tests. External test
+// package — the suite lives above core in the import graph.
+package core_test
+
+import (
+	"testing"
+
+	"macroplace/internal/portfolio"
+	"macroplace/internal/portfolio/conformance"
+)
+
+func TestConformanceMCTS(t *testing.T) {
+	conformance.Run(t, portfolio.BackendMCTS, conformance.Config{
+		Designs: conformance.StandardDesigns(t)[:1],
+	})
+}

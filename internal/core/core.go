@@ -97,6 +97,20 @@ type Options struct {
 	// without polling. Called synchronously from the flow goroutine —
 	// keep it fast and never let it block on the consumer.
 	OnStage func(StageEvent)
+	// OnIncumbent, when set, receives the full-netlist HPWL of each
+	// complete legal placement PlaceContext materialises along the way
+	// (the greedy-RL intermediate, then the final) — the anytime
+	// incumbent stream the portfolio racer consumes. Values are exact
+	// (each corresponds to a placement that was fully legalized and
+	// cell-placed), but not guaranteed monotone; consumers keep the
+	// running minimum. Called synchronously from the flow goroutine.
+	OnIncumbent func(hpwl float64)
+	// WrapEvaluator, when set, wraps the evaluator the greedy episode
+	// and the MCTS stage query (after the shared cache, so injected
+	// behavior is per-call). It is the fault-injection seam the
+	// conformance suite drives with internal/faults; the flow must
+	// contain whatever the wrapper throws.
+	WrapEvaluator func(mcts.Evaluator) mcts.Evaluator
 }
 
 // StageEvent reports a flow stage transition (Options.OnStage).
@@ -329,11 +343,10 @@ func (p *Placer) EvalAnchors(anchors []int) float64 {
 	return cost
 }
 
-// searchEvaluator returns the evaluator the search stages should
-// query: the shared LRU cache over the agent, built lazily so it only
-// ever caches post-training (frozen) weights. With EvalCacheSize < 0
-// the raw agent is returned.
-func (p *Placer) searchEvaluator() mcts.Evaluator {
+// baseEvaluator returns the clean evaluator (shared LRU cache over the
+// agent, built lazily so it only ever caches post-training weights;
+// the raw agent with EvalCacheSize < 0) without the Options wrapper.
+func (p *Placer) baseEvaluator() mcts.Evaluator {
 	if p.Opts.EvalCacheSize < 0 {
 		return p.Agent
 	}
@@ -341,6 +354,41 @@ func (p *Placer) searchEvaluator() mcts.Evaluator {
 		p.evalCache = agent.NewCachedEvaluator(p.Agent, p.Opts.EvalCacheSize)
 	}
 	return p.evalCache
+}
+
+// searchEvaluator returns the evaluator the search stages should
+// query: the clean base evaluator, wrapped by Options.WrapEvaluator
+// when set. The wrapper sits outside the cache so per-call injected
+// faults are never cached as truth.
+func (p *Placer) searchEvaluator() mcts.Evaluator {
+	ev := p.baseEvaluator()
+	if p.Opts.WrapEvaluator != nil {
+		ev = p.Opts.WrapEvaluator(ev)
+	}
+	return ev
+}
+
+// greedyAnchors plays the greedy policy episode through the (possibly
+// wrapped) search evaluator, containing evaluator panics: a panicking
+// wrapper fails over to the clean base evaluator, so a faulty network
+// path degrades the RL-only answer instead of escaping PlaceContext.
+func (p *Placer) greedyAnchors() []int {
+	anchors, ok := func() (a []int, ok bool) {
+		defer func() {
+			if v := recover(); v != nil {
+				if p.Opts.Logf != nil {
+					p.Opts.Logf("core: greedy episode evaluator panicked (%v); retrying clean", v)
+				}
+				a, ok = nil, false
+			}
+		}()
+		a, _ = rl.PlayGreedyEval(p.searchEvaluator(), p.Env.Clone(), p.EvalAnchors)
+		return a, true
+	}()
+	if !ok {
+		anchors, _ = rl.PlayGreedyEval(p.baseEvaluator(), p.Env.Clone(), p.EvalAnchors)
+	}
+	return anchors
 }
 
 // anchorOverflow returns the grid-capacity overflow of an allocation
@@ -542,10 +590,13 @@ func (p *Placer) PlaceContext(ctx context.Context) (*Result, error) {
 	// Routed through the shared evaluation cache: the search's root
 	// explores the same opening states the greedy episode visits, so
 	// priming the cache here guarantees hits in RunMCTS below.
-	rlAnchors, _ := rl.PlayGreedyEval(p.searchEvaluator(), p.Env.Clone(), p.EvalAnchors)
+	rlAnchors := p.greedyAnchors()
 	rlFinal, err := p.FinalizeContext(ctx, rlAnchors)
 	if err != nil {
 		return nil, err
+	}
+	if p.Opts.OnIncumbent != nil {
+		p.Opts.OnIncumbent(rlFinal.HPWL)
 	}
 
 	search := p.RunMCTSContext(ctx)
@@ -571,6 +622,9 @@ func (p *Placer) PlaceContext(ctx context.Context) (*Result, error) {
 	final, err := p.FinalizeContext(ctx, anchors)
 	if err != nil {
 		return nil, err
+	}
+	if p.Opts.OnIncumbent != nil {
+		p.Opts.OnIncumbent(final.HPWL)
 	}
 
 	return &Result{

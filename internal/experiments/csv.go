@@ -92,6 +92,26 @@ func SaveCSV(dir string, result any) (string, error) {
 				strconv.Itoa(row.TerminalEvals), ftoa(row.Duration.Seconds()),
 			})
 		}
+	case *PortfolioResult:
+		name = "portfolio.csv"
+		header := []string{"benchmark"}
+		for _, b := range r.Backends {
+			header = append(header, b+"_hpwl", b+"_seconds")
+		}
+		header = append(header, "winner")
+		rows = append(rows, header)
+		for _, row := range r.Rows {
+			line := []string{row.Benchmark}
+			for _, b := range r.Backends {
+				if _, bad := row.Errs[b]; bad {
+					line = append(line, "", ftoa(row.Seconds[b]))
+					continue
+				}
+				line = append(line, ftoa(row.HPWL[b]), ftoa(row.Seconds[b]))
+			}
+			line = append(line, row.Winner)
+			rows = append(rows, line)
+		}
 	case *AlphaSweepResult:
 		name = "alphasweep_" + r.Benchmark + ".csv"
 		rows = append(rows, []string{"alpha", "mean_reward", "final_rl_wl", "mcts_wl"})

@@ -1,0 +1,36 @@
+package portfolio_test
+
+import (
+	"context"
+	"testing"
+
+	"macroplace/internal/gen"
+	"macroplace/internal/portfolio"
+)
+
+// BenchmarkPortfolioRace measures a 3-backend race on a small design —
+// the portfolio layer's end-to-end hot path (adapter cloning, incumbent
+// plumbing, outcome bookkeeping) on top of the backends themselves.
+// benchgate tracks its allocation footprint against BENCH_pr6.json.
+func BenchmarkPortfolioRace(b *testing.B) {
+	d, err := gen.IBM("ibm01", 0.01, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := portfolio.Options{Seed: 5, Zeta: 8, Effort: 0.02, Workers: 1, Channels: 4, ResBlocks: 1}
+	cfg := portfolio.RaceConfig{
+		Backends: []string{portfolio.BackendMinCut, portfolio.BackendMaskPlace, portfolio.BackendRePlAce},
+		Opts:     opts,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr, err := portfolio.Race(context.Background(), d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rr.Winner == "" {
+			b.Fatal("no winner")
+		}
+	}
+}

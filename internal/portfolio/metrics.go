@@ -1,0 +1,21 @@
+package portfolio
+
+import "macroplace/internal/obs"
+
+// Portfolio metrics follow the repo-wide macroplace_<area>_* naming.
+// The obs registry has no label support, so per-backend counters are
+// name-suffixed (backend names are registry-validated [a-z][a-z0-9_]*,
+// which keeps the metric names well-formed).
+var (
+	obsRaces = obs.NewCounter("macroplace_portfolio_races_total",
+		"Portfolio races started.")
+	obsRaceBackends = obs.NewCounter("macroplace_portfolio_race_backends_total",
+		"Backend runs launched by portfolio races.")
+)
+
+// backendCounter returns the get-or-create per-backend race counter:
+// what is one of "runs", "wins", "losses", "cancelled", "errors".
+func backendCounter(backend, what string) *obs.Counter {
+	return obs.NewCounter("macroplace_portfolio_"+backend+"_"+what+"_total",
+		"Portfolio race "+what+" for backend "+backend+".")
+}

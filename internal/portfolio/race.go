@@ -1,0 +1,247 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"macroplace/internal/netlist"
+)
+
+// ErrDominated is the cancellation cause delivered to race stragglers
+// once the grace period after the first finisher expires; backends
+// observe it as ordinary context cancellation and commit their anytime
+// incumbents.
+var ErrDominated = errors.New("portfolio: race straggler cancelled (dominated)")
+
+// RaceConfig describes one portfolio race.
+type RaceConfig struct {
+	// Backends are the registry names to race (at least one; no
+	// duplicates). Outcomes preserve this order, and it breaks winner
+	// ties, so results are independent of goroutine scheduling.
+	Backends []string
+	// Opts is handed to every backend (same seed: each backend splits
+	// its own independent streams from it). The race installs its own
+	// OnIncumbent; a caller-set one is not forwarded.
+	Opts Options
+	// Deadline bounds the whole race (0: none). Backends still running
+	// at the deadline commit their anytime incumbents.
+	Deadline time.Duration
+	// Grace, when positive, cancels the remaining backends that long
+	// after the first error-free finisher — dominated-loser pruning.
+	// 0 lets every backend run to completion (the deterministic
+	// setting the experiments leaderboard uses).
+	Grace time.Duration
+	// OnIncumbent receives the cross-backend incumbent stream: exact
+	// (full-netlist HPWL) incumbents only, strictly decreasing. Calls
+	// are serialized.
+	OnIncumbent func(Incumbent)
+	// OnOutcome receives each backend's outcome as it finishes, in
+	// completion order. Calls are serialized.
+	OnOutcome func(Outcome)
+	// Logf receives race diagnostics (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// Outcome is one backend's result inside a race.
+type Outcome struct {
+	Backend      string  `json:"backend"`
+	HPWL         float64 `json:"hpwl,omitempty"`
+	MacroOverlap float64 `json:"macro_overlap,omitempty"`
+	Converged    bool    `json:"converged,omitempty"`
+	Interrupted  bool    `json:"interrupted,omitempty"`
+	// Cancelled marks a straggler pruned by the grace timer; its HPWL
+	// is the anytime incumbent it committed on the way out.
+	Cancelled   bool    `json:"cancelled,omitempty"`
+	Err         string  `json:"error,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Placed is the backend's placement (nil when Err is set).
+	Placed *netlist.Design `json:"-"`
+}
+
+// RaceResult is a completed race.
+type RaceResult struct {
+	// Winner is the error-free backend with the lowest HPWL (ties
+	// break by Backends order).
+	Winner string
+	// Outcomes has one entry per configured backend, in Backends order.
+	Outcomes []Outcome
+	// Incumbents is the cross-backend exact incumbent stream, strictly
+	// decreasing, in emission order.
+	Incumbents []Incumbent
+}
+
+// WinnerOutcome returns the winning backend's outcome.
+func (rr *RaceResult) WinnerOutcome() Outcome {
+	for _, o := range rr.Outcomes {
+		if o.Backend == rr.Winner {
+			return o
+		}
+	}
+	return Outcome{}
+}
+
+// Race runs every configured backend concurrently on d under a shared
+// deadline and returns all outcomes plus the winner. d itself is never
+// mutated — every backend places its own clone. An error is returned
+// only when the race cannot start or no backend produced a placement;
+// individual backend failures land in their Outcome.
+func Race(ctx context.Context, d *netlist.Design, cfg RaceConfig) (*RaceResult, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("portfolio: race needs at least one backend")
+	}
+	placers := make([]Placer, len(cfg.Backends))
+	seen := make(map[string]bool, len(cfg.Backends))
+	for i, name := range cfg.Backends {
+		p, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("portfolio: unknown backend %q (have %v)", name, Names())
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("portfolio: backend %q raced twice", name)
+		}
+		seen[name] = true
+		placers[i] = p
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	raceCtx := ctx
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		raceCtx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	obsRaces.Inc()
+	obsRaceBackends.Add(uint64(len(cfg.Backends)))
+
+	var (
+		mu         sync.Mutex
+		bestSet    bool
+		bestHPWL   float64
+		incumbents []Incumbent
+		outcomes   = make([]Outcome, len(cfg.Backends))
+		finished   = make([]bool, len(cfg.Backends))
+		cancels    = make([]context.CancelCauseFunc, len(cfg.Backends))
+		graceTimer *time.Timer
+		graceOnce  sync.Once
+	)
+
+	// pruneStragglers cancels every backend that has not finished yet;
+	// it runs once, Grace after the first error-free finisher.
+	pruneStragglers := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range cfg.Backends {
+			if !finished[i] {
+				logf("race: cancelling straggler %s", cfg.Backends[i])
+				cancels[i](ErrDominated)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := range placers {
+		bctx, bcancel := context.WithCancelCause(raceCtx)
+		cancels[i] = bcancel
+		wg.Add(1)
+		go func(i int, bctx context.Context) {
+			defer wg.Done()
+			name := cfg.Backends[i]
+			backendCounter(name, "runs").Inc()
+			opts := cfg.Opts
+			opts.OnIncumbent = func(inc Incumbent) {
+				if inc.Estimate {
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if bestSet && inc.HPWL >= bestHPWL {
+					return
+				}
+				bestSet, bestHPWL = true, inc.HPWL
+				incumbents = append(incumbents, inc)
+				if cfg.OnIncumbent != nil {
+					cfg.OnIncumbent(inc)
+				}
+			}
+			start := time.Now()
+			res, err := placers[i].PlaceContext(bctx, d, opts)
+			out := Outcome{
+				Backend:     name,
+				WallSeconds: time.Since(start).Seconds(),
+				Cancelled:   errors.Is(context.Cause(bctx), ErrDominated),
+			}
+			if err != nil {
+				out.Err = err.Error()
+				backendCounter(name, "errors").Inc()
+				logf("race: %s failed: %v", name, err)
+			} else {
+				out.HPWL = res.HPWL
+				out.MacroOverlap = res.MacroOverlap
+				out.Converged = res.Converged
+				out.Interrupted = res.Interrupted
+				out.Placed = res.Placed
+				logf("race: %s finished: hpwl=%.6g cancelled=%v", name, out.HPWL, out.Cancelled)
+			}
+			mu.Lock()
+			outcomes[i] = out
+			finished[i] = true
+			if cfg.OnOutcome != nil {
+				cfg.OnOutcome(out)
+			}
+			startGrace := err == nil && cfg.Grace > 0
+			mu.Unlock()
+			if startGrace {
+				graceOnce.Do(func() {
+					mu.Lock()
+					graceTimer = time.AfterFunc(cfg.Grace, pruneStragglers)
+					mu.Unlock()
+				})
+			}
+		}(i, bctx)
+	}
+	wg.Wait()
+	mu.Lock()
+	if graceTimer != nil {
+		graceTimer.Stop()
+	}
+	mu.Unlock()
+
+	rr := &RaceResult{Outcomes: outcomes, Incumbents: incumbents}
+	winner := -1
+	for i, o := range outcomes {
+		if o.Err != "" {
+			continue
+		}
+		if winner < 0 || o.HPWL < outcomes[winner].HPWL {
+			winner = i
+		}
+	}
+	if winner < 0 {
+		return rr, fmt.Errorf("portfolio: race produced no placement (all %d backend(s) failed)", len(outcomes))
+	}
+	rr.Winner = outcomes[winner].Backend
+	for i, o := range outcomes {
+		if o.Err != "" {
+			continue
+		}
+		if i == winner {
+			backendCounter(o.Backend, "wins").Inc()
+		} else {
+			backendCounter(o.Backend, "losses").Inc()
+		}
+		if o.Cancelled {
+			backendCounter(o.Backend, "cancelled").Inc()
+		}
+	}
+	logf("race: winner %s hpwl=%.6g (%d backend(s))", rr.Winner, outcomes[winner].HPWL, len(outcomes))
+	return rr, nil
+}

@@ -318,7 +318,12 @@ func WriteResult(path string, res *Result) error {
 // into the job, and returns the consolidated result. Cancellation
 // (client DELETE, daemon drain, SIGTERM) degrades the flow instead of
 // aborting it — the result is always a complete legal placement.
+// Specs with a Race list dispatch to the portfolio-race job class
+// (runRaceSpec) instead of the single flow.
 func RunSpec(ctx context.Context, j *Job) (*Result, error) {
+	if len(j.Spec.Race) > 0 {
+		return runRaceSpec(ctx, j)
+	}
 	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job dir: %w", err)
 	}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzSpecJSON throws arbitrary bytes at the submission path's decoder
+// and validator — the daemon's untrusted input surface. The contract:
+// malformed or hostile specs produce a decode or validation error,
+// never a panic; and any spec that survives Validate derives sane,
+// bounded options (no NaN/Inf, no non-positive budgets) so the flow
+// behind it cannot be wedged by crafted numerics. Mirrors the
+// bookshelf package's FuzzParse, one layer up the stack.
+func FuzzSpecJSON(f *testing.F) {
+	seed, err := json.Marshal(tinySpec(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"bench":"ibm01","race":["mincut","maskplace"],"effort":0.1,"race_grace_ms":200}`))
+	f.Add([]byte(`{"bookshelf":{"a.aux":"RowBasedPlacement : a.nodes a.nets a.pl a.scl"}}`))
+	f.Add([]byte(`{"bench":"ibm01","scale":1e308}`))
+	f.Add([]byte(`{"bench":"ibm01","race":["mincut","mincut"]}`))
+	f.Add([]byte(`{"bench":"ibm01","zeta":-1}`))
+	f.Add([]byte(`{"bench":"ibm01","race_deadline_ms":99999999999}`))
+	f.Add([]byte(`{"bench":"ibm01","effort":-0.5}`))
+	f.Add([]byte(`{"bench":"ibm01","race":["nope"]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var sp Spec
+		if err := dec.Decode(&sp); err != nil {
+			return // the submission path refuses it with 400
+		}
+		if err := sp.Validate(); err != nil {
+			return // likewise
+		}
+
+		// The spec was admitted: every derived option must be finite,
+		// positive where a budget is meant, and within the caps Validate
+		// advertises.
+		n := sp.normalize()
+		for name, v := range map[string]int{
+			"zeta": n.Zeta, "episodes": n.Episodes, "gamma": n.Gamma,
+			"workers": n.Workers, "channels": n.Channels, "resblocks": n.ResBlocks,
+		} {
+			if v <= 0 {
+				t.Fatalf("normalized %s = %d, want positive", name, v)
+			}
+		}
+		if n.Scale <= 0 || n.Scale > 100 || math.IsNaN(n.Scale) || math.IsInf(n.Scale, 0) {
+			t.Fatalf("normalized scale = %v", n.Scale)
+		}
+
+		opts := sp.Options()
+		if opts.RL.Episodes <= 0 || opts.MCTS.Gamma <= 0 || opts.MCTS.Workers <= 0 {
+			t.Fatalf("core options carry non-positive budgets: %+v", opts)
+		}
+
+		popts := sp.PortfolioOptions()
+		if math.IsNaN(popts.Effort) || math.IsInf(popts.Effort, 0) || popts.Effort < 0 {
+			t.Fatalf("portfolio effort = %v", popts.Effort)
+		}
+		if popts.Zeta <= 0 || popts.Workers <= 0 || popts.Channels <= 0 || popts.ResBlocks <= 0 {
+			t.Fatalf("portfolio options carry non-positive sizes: %+v", popts)
+		}
+		if len(sp.Race) > 16 {
+			t.Fatalf("validated spec races %d backends", len(sp.Race))
+		}
+	})
+}

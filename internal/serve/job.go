@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"macroplace/internal/gen"
 	"macroplace/internal/netlist"
 	"macroplace/internal/netlist/bookshelf"
+	"macroplace/internal/portfolio"
 )
 
 // Spec is the client-supplied description of one placement job: the
@@ -40,6 +42,24 @@ type Spec struct {
 	Workers   int   `json:"workers,omitempty"`
 	Channels  int   `json:"channels,omitempty"`
 	ResBlocks int   `json:"resblocks,omitempty"`
+
+	// Race selects the portfolio-race job class: the named backends
+	// (internal/portfolio registry) run concurrently on the design and
+	// the best legal placement wins. Empty selects the single-flow
+	// (mcts) job class.
+	Race []string `json:"race,omitempty"`
+	// Effort scales every raced backend's budget (0 = full budget,
+	// matching portfolio.Options semantics). Episodes/Gamma, when set,
+	// still override the mcts backend's scaled defaults.
+	Effort float64 `json:"effort,omitempty"`
+	// RaceDeadlineMS bounds the whole race in milliseconds (0: none);
+	// backends still running at the deadline commit their anytime
+	// incumbents.
+	RaceDeadlineMS int64 `json:"race_deadline_ms,omitempty"`
+	// RaceGraceMS, when positive, cancels the backends still running
+	// that long after the first finisher (dominated-loser pruning).
+	// 0 keeps the race deterministic: every backend runs to completion.
+	RaceGraceMS int64 `json:"race_grace_ms,omitempty"`
 }
 
 // normalize fills the cmd/mctsplace-compatible defaults.
@@ -71,7 +91,11 @@ func (sp Spec) normalize() Spec {
 	return sp
 }
 
-// Validate rejects specs the daemon cannot run, before admission.
+// Validate rejects specs the daemon cannot run, before admission. It
+// is deliberately paranoid — the spec is the daemon's untrusted input
+// surface, so non-finite, negative, and absurdly large numeric fields
+// are refused here rather than discovered as hangs or panics later
+// (FuzzSpecJSON pins this down).
 func (sp Spec) Validate() error {
 	switch {
 	case sp.Bench != "" && len(sp.Bookshelf) > 0:
@@ -96,6 +120,50 @@ func (sp Spec) Validate() error {
 			return fmt.Errorf("serve: bookshelf upload needs exactly one .aux file, got %d", aux)
 		}
 	}
+
+	if math.IsNaN(sp.Scale) || math.IsInf(sp.Scale, 0) || sp.Scale < 0 || sp.Scale > 100 {
+		return fmt.Errorf("serve: scale %v out of range (0, 100]", sp.Scale)
+	}
+	if math.IsNaN(sp.Effort) || math.IsInf(sp.Effort, 0) || sp.Effort < 0 || sp.Effort > 1000 {
+		return fmt.Errorf("serve: effort %v out of range [0, 1000]", sp.Effort)
+	}
+	for _, f := range []struct {
+		name string
+		val  int
+		max  int
+	}{
+		{"zeta", sp.Zeta, 128},
+		{"episodes", sp.Episodes, 1_000_000},
+		{"gamma", sp.Gamma, 1_000_000},
+		{"workers", sp.Workers, 4096},
+		{"channels", sp.Channels, 4096},
+		{"resblocks", sp.ResBlocks, 64},
+	} {
+		if f.val < 0 || f.val > f.max {
+			return fmt.Errorf("serve: %s %d out of range [0, %d]", f.name, f.val, f.max)
+		}
+	}
+
+	const maxMS = 86_400_000 // one day
+	if sp.RaceDeadlineMS < 0 || sp.RaceDeadlineMS > maxMS {
+		return fmt.Errorf("serve: race_deadline_ms %d out of range [0, %d]", sp.RaceDeadlineMS, maxMS)
+	}
+	if sp.RaceGraceMS < 0 || sp.RaceGraceMS > maxMS {
+		return fmt.Errorf("serve: race_grace_ms %d out of range [0, %d]", sp.RaceGraceMS, maxMS)
+	}
+	if len(sp.Race) > 16 {
+		return fmt.Errorf("serve: race lists %d backends (max 16)", len(sp.Race))
+	}
+	seen := make(map[string]bool, len(sp.Race))
+	for _, name := range sp.Race {
+		if _, ok := portfolio.Lookup(name); !ok {
+			return fmt.Errorf("serve: unknown race backend %q (have %v)", name, portfolio.Names())
+		}
+		if seen[name] {
+			return fmt.Errorf("serve: race backend %q listed twice", name)
+		}
+		seen[name] = true
+	}
 	return nil
 }
 
@@ -110,6 +178,25 @@ func (sp Spec) Options() core.Options {
 	opts.MCTS.Workers = sp.Workers
 	opts.Agent = agent.Config{Zeta: sp.Zeta, Channels: sp.Channels, ResBlocks: sp.ResBlocks, Seed: sp.Seed + 100}
 	return opts
+}
+
+// PortfolioOptions derives the backend options for a race job.
+// Episodes and Gamma stay raw: when the client leaves them zero, each
+// backend applies its own Effort-scaled default instead of inheriting
+// the single-flow defaults (which only fit the mcts backend).
+func (sp Spec) PortfolioOptions() portfolio.Options {
+	raw := sp
+	sp = sp.normalize()
+	return portfolio.Options{
+		Seed:      sp.Seed,
+		Zeta:      sp.Zeta,
+		Effort:    raw.Effort,
+		Workers:   sp.Workers,
+		Channels:  sp.Channels,
+		ResBlocks: sp.ResBlocks,
+		Episodes:  raw.Episodes,
+		Gamma:     raw.Gamma,
+	}
 }
 
 // LoadDesign materialises the spec's design, staging an uploaded
@@ -169,7 +256,8 @@ type Event struct {
 	Time time.Time `json:"time"`
 	// Type is "state" (Data: the new state), "stage" (Data: e.g.
 	// "pretrain start" / "pretrain done"), "progress" (Data: "k/n
-	// groups committed"), or "error".
+	// groups committed"), "incumbent" (Data: a portfolio.Incumbent as
+	// JSON — race jobs only, strictly decreasing HPWL), or "error".
 	Type string `json:"type"`
 	Data string `json:"data"`
 }
@@ -183,8 +271,14 @@ type Result struct {
 	MacroOverlap float64 `json:"macro_overlap"`
 	Explorations int     `json:"explorations"`
 	Interrupted  bool    `json:"interrupted"`
-	Anchors      []int   `json:"anchors"`
+	Anchors      []int   `json:"anchors,omitempty"`
 	WallSeconds  float64 `json:"wall_seconds"`
+
+	// Race-job fields: the winning backend, whether its placement fully
+	// converged, and every raced backend's outcome in spec order.
+	Winner    string              `json:"winner,omitempty"`
+	Converged bool                `json:"converged,omitempty"`
+	Backends  []portfolio.Outcome `json:"backends,omitempty"`
 }
 
 // Job is one admitted placement job. All fields behind mu; read

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"macroplace/internal/atomicio"
+	"macroplace/internal/portfolio"
+)
+
+// runRaceSpec is the race job class: every backend named in Spec.Race
+// runs concurrently on the spec's design, the cross-backend incumbent
+// stream lands in the job's event log (type "incumbent"), and the
+// full leaderboard is persisted crash-safely as race.json next to
+// result.json. The job's Result carries the winner's metrics so
+// single-flow clients keep working unchanged.
+func runRaceSpec(ctx context.Context, j *Job) (*Result, error) {
+	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: job dir: %w", err)
+	}
+	design, err := j.Spec.LoadDesign(j.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := portfolio.RaceConfig{
+		Backends: j.Spec.Race,
+		Opts:     j.Spec.PortfolioOptions(),
+		Deadline: time.Duration(j.Spec.RaceDeadlineMS) * time.Millisecond,
+		Grace:    time.Duration(j.Spec.RaceGraceMS) * time.Millisecond,
+		OnIncumbent: func(inc portfolio.Incumbent) {
+			data, err := json.Marshal(inc)
+			if err != nil {
+				return
+			}
+			j.appendEvent("incumbent", string(data))
+		},
+		OnOutcome: func(o portfolio.Outcome) {
+			if o.Err != "" {
+				j.appendEvent("stage", fmt.Sprintf("%s failed: %s", o.Backend, o.Err))
+				return
+			}
+			j.appendEvent("stage", fmt.Sprintf("%s finished: hpwl=%.6g cancelled=%v", o.Backend, o.HPWL, o.Cancelled))
+		},
+	}
+	start := time.Now()
+	rr, err := portfolio.Race(ctx, design, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeRaceBoard(filepath.Join(j.Dir, "race.json"), rr); err != nil {
+		return nil, err
+	}
+	win := rr.WinnerOutcome()
+	return &Result{
+		Design:       design.Name,
+		HPWL:         win.HPWL,
+		MacroOverlap: win.MacroOverlap,
+		Interrupted:  win.Interrupted || ctx.Err() != nil,
+		WallSeconds:  time.Since(start).Seconds(),
+		Winner:       rr.Winner,
+		Converged:    win.Converged,
+		Backends:     rr.Outcomes,
+	}, nil
+}
+
+// raceBoard is the wire/disk form of a race leaderboard (race.json).
+type raceBoard struct {
+	Winner     string                `json:"winner"`
+	Outcomes   []portfolio.Outcome   `json:"outcomes"`
+	Incumbents []portfolio.Incumbent `json:"incumbents"`
+}
+
+// writeRaceBoard atomically persists the race leaderboard.
+func writeRaceBoard(path string, rr *portfolio.RaceResult) error {
+	data, err := json.MarshalIndent(raceBoard{
+		Winner:     rr.Winner,
+		Outcomes:   rr.Outcomes,
+		Incumbents: rr.Incumbents,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal race board: %w", err)
+	}
+	return atomicio.WriteFileBytes(path, append(data, '\n'))
+}

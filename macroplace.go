@@ -35,6 +35,7 @@ import (
 	"macroplace/internal/netlist"
 	"macroplace/internal/netlist/bookshelf"
 	"macroplace/internal/obs"
+	"macroplace/internal/portfolio"
 	"macroplace/internal/rl"
 	"macroplace/internal/viz"
 )
@@ -311,4 +312,41 @@ func StartTelemetry(addr string) (*TelemetryServer, error) {
 // file always holds a complete document.
 func WriteRunSummary(path string, run map[string]any) error {
 	return obs.WriteSummary(path, run)
+}
+
+// PlacerBackend is the unified placement interface every backend —
+// the paper's flow and all baselines — implements; see
+// internal/portfolio and DESIGN.md §11 for the contract.
+type PlacerBackend = portfolio.Placer
+
+// PortfolioOptions are the backend-neutral options a PlacerBackend
+// accepts.
+type PortfolioOptions = portfolio.Options
+
+// PortfolioIncumbent is one entry of the anytime incumbent stream.
+type PortfolioIncumbent = portfolio.Incumbent
+
+// PortfolioResult is one backend's completed placement.
+type PortfolioResult = portfolio.Result
+
+// RaceConfig configures a portfolio race; RaceResult is its outcome.
+type RaceConfig = portfolio.RaceConfig
+
+// RaceResult is a completed portfolio race.
+type RaceResult = portfolio.RaceResult
+
+// PortfolioBackends lists every registered backend name, sorted.
+func PortfolioBackends() []string { return portfolio.Names() }
+
+// LookupBackend returns the named backend from the registry.
+func LookupBackend(name string) (PlacerBackend, bool) { return portfolio.Lookup(name) }
+
+// RaceBackends runs the named backends concurrently on d under one
+// deadline and returns every outcome plus the winner — d is never
+// mutated. With cfg.Grace > 0 the backends still running that long
+// after the first finisher are cancelled (they commit their anytime
+// incumbents); with Grace = 0 the race is a deterministic function of
+// its inputs.
+func RaceBackends(ctx context.Context, d *Design, cfg RaceConfig) (*RaceResult, error) {
+	return portfolio.Race(ctx, d, cfg)
 }

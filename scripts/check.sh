@@ -54,4 +54,7 @@ scripts/telemetry_smoke.sh
 echo "== placed smoke"
 scripts/placed_smoke.sh
 
+echo "== portfolio smoke"
+scripts/portfolio_smoke.sh
+
 echo "OK"
