@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke portfolio-smoke fmt vet
+.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke portfolio-smoke fleet-smoke fmt vet
 
 check: ## gofmt + vet + build + race-detector test suite
 	scripts/check.sh
@@ -20,13 +20,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench: ## search hot-path + serving + portfolio benchmarks, recorded as BENCH_pr{3,5,6}.json
+bench: ## search hot-path + serving + portfolio + fleet benchmarks, recorded as BENCH_pr{3,5,6,7}.json
 	$(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr3.json
 	$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchmem ./internal/serve \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr5.json
 	$(GO) test -run '^$$' -bench BenchmarkPortfolioRace -benchmem ./internal/portfolio \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr6.json
+	$(GO) test -run '^$$' -bench BenchmarkFleetThroughput -benchmem ./internal/fleet \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr7.json
 
 bench-all: ## micro + table/figure benchmarks (quick preset)
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -42,6 +44,9 @@ placed-smoke: ## end-to-end placement-daemon smoke (same script CI runs)
 
 portfolio-smoke: ## end-to-end portfolio-race smoke, CLI + daemon (same script CI runs)
 	scripts/portfolio_smoke.sh
+
+fleet-smoke: ## end-to-end fleet smoke: SIGKILL a worker mid-job, migrate, bit-identical (same script CI runs)
+	scripts/fleet_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -61,6 +61,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "file to save crash-safe MCTS search snapshots to")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "commit steps between search snapshots")
 		resume     = flag.Bool("resume", false, "resume the MCTS stage from the -checkpoint file")
+		freshRoot  = flag.Bool("fresh-root", false, "rebuild the search tree after every commit; slower, but makes each step a pure function of the committed prefix, so resuming any checkpoint is bit-identical to the uninterrupted run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole flow to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		telemetry  = flag.String("telemetry-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :6060; empty = off)")
@@ -158,6 +159,7 @@ func main() {
 	opts.RL.Episodes = *episodes
 	opts.MCTS.Gamma = *gamma
 	opts.MCTS.Workers = *workers
+	opts.MCTS.FreshRoot = *freshRoot
 	opts.Agent = macroplace.AgentConfig{Zeta: *zeta, Channels: *channels, ResBlocks: *resblocks, Seed: *seed + 100}
 	opts.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "mctsplace: "+format+"\n", args...)

@@ -27,9 +27,16 @@
 // carries the winner plus every backend's outcome (the full
 // leaderboard also lands in race.json next to result.json).
 //
+// With -fleet the daemon registers as a worker of a placefleet
+// coordinator, heartbeating its address and load so the coordinator
+// can route jobs here and migrate them away (checkpoint in hand) if
+// this process dies or drains. -advertise overrides the URL other
+// machines reach this worker at.
+//
 // Usage:
 //
 //	placed -addr :8080 -workers 2 -queue 16 -dir /var/lib/placed
+//	placed -addr :8081 -fleet http://coordinator:9090 -advertise http://10.0.0.2:8081
 //	curl -s localhost:8080/v1/jobs -d '{"bench":"ibm01","scale":0.02,"episodes":20,"gamma":8}'
 //	curl -s localhost:8080/v1/jobs -d '{"bench":"ibm01","scale":0.02,"race":["mcts","se","mincut"],"effort":0.2,"race_grace_ms":5000}'
 //	curl -s localhost:8080/v1/jobs/job-000001
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"macroplace"
+	"macroplace/internal/fleet"
 	"macroplace/internal/serve"
 )
 
@@ -57,6 +65,9 @@ func main() {
 		drainTO    = flag.Duration("drain-timeout", time.Minute, "graceful-drain bound on shutdown; past it in-flight work is abandoned to its checkpoints")
 		runSummary = flag.String("run-summary", "", "write a JSON metric snapshot to this file at exit (crash-safe)")
 		quiet      = flag.Bool("q", false, "suppress per-job log lines")
+		fleetURL   = flag.String("fleet", "", "fleet coordinator base URL to register with (e.g. http://coordinator:9090; empty = standalone)")
+		advertise  = flag.String("advertise", "", "base URL the coordinator should reach this worker at (default: http://<bound addr>)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "heartbeat interval when registered with a fleet")
 	)
 	flag.Parse()
 
@@ -106,6 +117,26 @@ func main() {
 	}
 	fmt.Printf("placed: listening on http://%s (workers=%d queue=%d jobs in %s)\n",
 		bound, *workers, *queueCap, srv.Dir())
+
+	if *fleetURL != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + bound
+		}
+		hb := &fleet.Heartbeater{
+			Coordinator: *fleetURL,
+			Self:        self,
+			Every:       *heartbeat,
+			Load:        srv.LoadInfo,
+			Logf:        cfg.Logf,
+		}
+		// The heartbeater dies with the drain signal: once draining, the
+		// coordinator must stop routing new jobs here. It reports the
+		// draining flag while beats still flow, so the stop is graceful
+		// either way.
+		go hb.Run(ctx)
+		fmt.Printf("placed: registering with fleet %s as %s every %s\n", *fleetURL, self, *heartbeat)
+	}
 
 	<-ctx.Done()
 	fmt.Fprintln(os.Stderr, "placed: signal received; draining")

@@ -1,0 +1,140 @@
+// Command placefleet is the fault-tolerant placement fleet
+// coordinator: a long-lived process that fronts any number of placed
+// workers behind the exact single-daemon job API, so clients never
+// care whether one machine or forty serve their placements.
+//
+// Workers register themselves by heartbeating POST /fleet/v1/heartbeat
+// (placed does this when started with -fleet). The coordinator routes
+// each submitted job to the least-loaded healthy worker, relays the
+// worker's live event stream into the client's, and mirrors the
+// worker's crash-safe search checkpoint after every committed step.
+// When a worker stops beating (suspect → probed → dead) or breaks
+// mid-stream, the job migrates: the coordinator re-submits it to
+// another worker with the mirrored checkpoint attached, and — because
+// FreshRoot search is forced fleet-wide — the final placement is
+// bit-identical to an uninterrupted run. A corrupt or missing
+// checkpoint degrades to a restart from scratch; zero live workers
+// degrade to running the job in-process; past MaxInflight, admission
+// refuses with 429 + Retry-After. See DESIGN.md §12.
+//
+// API: everything placed serves (submit, status, SSE events, cancel,
+// checkpoint, /metrics with macroplace_fleet_* series), plus
+//
+//	POST /fleet/v1/heartbeat  worker heartbeat (placed -fleet does this)
+//	GET  /fleet/v1/workers    worker registry snapshot
+//
+// SIGTERM/SIGINT drains gracefully: admission stops, in-flight relays
+// forward the cancellation to their workers and collect best-so-far
+// results. A second signal force-exits 130.
+//
+// Usage:
+//
+//	placefleet -addr :9090 -dir /var/lib/placefleet
+//	placed -addr :8081 -fleet http://localhost:9090 &
+//	placed -addr :8082 -fleet http://localhost:9090 &
+//	curl -s localhost:9090/v1/jobs -d '{"bench":"ibm01","scale":0.02,"episodes":20,"gamma":8,"fresh_root":true}'
+//	curl -s localhost:9090/fleet/v1/workers
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"macroplace"
+	"macroplace/internal/fleet"
+	"macroplace/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9090", "HTTP listen address (host:port; port 0 picks a free one)")
+		dir          = flag.String("dir", "", "root directory for per-job artifacts and mirrored checkpoints (default: a fresh temp dir)")
+		maxInflight  = flag.Int("max-inflight", 16, "concurrently routed jobs (beyond it: 429)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint returned with 429 responses")
+		suspectAfter = flag.Duration("suspect-after", 3*time.Second, "heartbeat silence before a worker is suspect (and probed)")
+		deadAfter    = flag.Duration("dead-after", 10*time.Second, "heartbeat silence before an unreachable suspect is declared dead")
+		rpcTimeout   = flag.Duration("rpc-timeout", 10*time.Second, "per-attempt deadline on worker RPCs (the event stream excepted)")
+		retryBudget  = flag.Int("retry-budget", 3, "attempts per worker RPC, with jittered exponential backoff between them")
+		migrations   = flag.Int("migration-budget", 3, "migrations allowed per job before it fails")
+		noLocalRun   = flag.Bool("no-local-run", false, "fail jobs instead of running them in-process when no workers are live")
+		drainTO      = flag.Duration("drain-timeout", time.Minute, "graceful-drain bound on shutdown")
+		runSummary   = flag.String("run-summary", "", "write a JSON metric snapshot to this file at exit (crash-safe)")
+		quiet        = flag.Bool("q", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	runFields := map[string]any{"command": "placefleet", "forced": false}
+	writeSummary := func() {
+		if *runSummary == "" {
+			return
+		}
+		if err := macroplace.WriteRunSummary(*runSummary, runFields); err != nil {
+			fmt.Fprintln(os.Stderr, "placefleet: run-summary:", err)
+		}
+	}
+
+	cfg := fleet.Config{
+		Dir:             *dir,
+		MaxInflight:     *maxInflight,
+		RetryAfter:      *retryAfter,
+		SuspectAfter:    *suspectAfter,
+		DeadAfter:       *deadAfter,
+		RPCTimeout:      *rpcTimeout,
+		RetryBudget:     *retryBudget,
+		MigrationBudget: *migrations,
+		NoLocalRun:      *noLocalRun,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "placefleet: "+format+"\n", args...)
+		}
+	}
+	c, err := fleet.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "placefleet:", err)
+		os.Exit(1)
+	}
+
+	// First signal starts the graceful drain below; a second one
+	// force-exits 130 with the summary flushed.
+	ctx, stop := serve.Signals(context.Background(), func() {
+		runFields["forced"] = true
+		writeSummary()
+		fmt.Fprintln(os.Stderr, "placefleet: forced exit")
+	})
+	defer stop()
+
+	bound, err := c.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "placefleet:", err)
+		runFields["error"] = err.Error()
+		writeSummary()
+		os.Exit(1)
+	}
+	fmt.Printf("placefleet: coordinating on http://%s (max-inflight=%d jobs in %s)\n",
+		bound, *maxInflight, c.Server().Dir())
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "placefleet: signal received; draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := c.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "placefleet: drain:", err)
+		runFields["drain_error"] = err.Error()
+	}
+	jobs := c.Server().Jobs()
+	byState := map[serve.State]int{}
+	for _, j := range jobs {
+		byState[j.State()]++
+	}
+	runFields["jobs"] = len(jobs)
+	for st, n := range byState {
+		runFields["jobs_"+string(st)] = n
+	}
+	runFields["workers"] = len(c.Workers())
+	writeSummary()
+	fmt.Printf("placefleet: drained %d job(s); bye\n", len(jobs))
+}

@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FleetInjector injects deterministic failures into a placement
+// worker's HTTP surface and heartbeat loop, for exercising the fleet
+// coordinator's recovery paths: health-state demotion on dropped
+// heartbeats, RPC retry on 5xx, checkpoint-corruption fallback, and
+// mid-job worker death at a scripted search commit. Like Injector, the
+// zero value injects nothing and all faults are counter-driven — the
+// same request/commit sequence reproduces the same failures.
+//
+// It is generic over net/http so internal/faults stays independent of
+// internal/serve: wrap any worker handler with Middleware and feed
+// commit observations in with CommitObserved.
+type FleetInjector struct {
+	// DropBeatsAfter makes BeatAllowed return false from the Nth call
+	// onward (1 drops every heartbeat; 0 keeps them flowing). The
+	// worker's heartbeat loop consults it before each POST, simulating
+	// a partition between worker and coordinator.
+	DropBeatsAfter int
+	// Fail5xxFirst makes the middleware answer the first N requests
+	// with 503 before letting traffic through — the transient-error
+	// window the coordinator's retry/backoff must ride out.
+	Fail5xxFirst int
+	// HangFirst makes the middleware hold the first N requests open
+	// until the client gives up — the per-RPC timeout path. Hung
+	// requests never reach the inner handler.
+	HangFirst int
+	// CorruptCheckpoints mangles the body of every response whose
+	// request path ends in "/checkpoint", so a migration sees a fetched
+	// checkpoint that no longer parses and must fall back to a
+	// restart-from-scratch.
+	CorruptCheckpoints bool
+	// DieAtCommit arms worker death: once CommitObserved has been
+	// called at least DieAtCommit times AND the checkpoint endpoint has
+	// fully served (200, flushed to the wire) at least
+	// MinCheckpointFetches responses, OnDie fires (exactly once). The
+	// fetch precondition keeps the scripted death from outrunning the
+	// coordinator's checkpoint mirror — the test stays deterministic
+	// without sleeps. 0 disarms.
+	DieAtCommit          int
+	MinCheckpointFetches int
+	// OnDie is the scripted kill switch — tests close the worker's
+	// listener and gate its heartbeats here.
+	OnDie func()
+
+	beats    atomic.Int64
+	requests atomic.Int64
+	commits  atomic.Int64
+	fetches  atomic.Int64
+	died     atomic.Bool
+	dieOnce  sync.Once
+}
+
+// BeatAllowed reports whether the next heartbeat may be sent, counting
+// calls from 1. After the injector has fired OnDie the answer is
+// always no — a dead worker does not beat.
+func (inj *FleetInjector) BeatAllowed() bool {
+	if inj.died.Load() {
+		return false
+	}
+	n := inj.beats.Add(1)
+	return inj.DropBeatsAfter <= 0 || n < int64(inj.DropBeatsAfter)
+}
+
+// CommitObserved records one search commit on the faulted worker and
+// fires the scripted death when both arming conditions hold. Call it
+// from the worker's progress-event path.
+func (inj *FleetInjector) CommitObserved() {
+	inj.commits.Add(1)
+	inj.maybeDie()
+}
+
+// Commits reports how many commits have been observed.
+func (inj *FleetInjector) Commits() int { return int(inj.commits.Load()) }
+
+// Died reports whether the scripted death has fired.
+func (inj *FleetInjector) Died() bool { return inj.died.Load() }
+
+func (inj *FleetInjector) maybeDie() {
+	if inj.DieAtCommit <= 0 || inj.died.Load() {
+		return
+	}
+	if inj.commits.Load() < int64(inj.DieAtCommit) {
+		return
+	}
+	if inj.fetches.Load() < int64(inj.MinCheckpointFetches) {
+		return
+	}
+	inj.dieOnce.Do(func() {
+		inj.died.Store(true)
+		if inj.OnDie != nil {
+			inj.OnDie()
+		}
+	})
+}
+
+// Middleware wraps a worker's HTTP handler with the injector's
+// request-level faults. Requests are counted from 1 across all paths.
+func (inj *FleetInjector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := inj.requests.Add(1)
+		if n <= int64(inj.HangFirst) {
+			// Hold until the client's per-RPC timeout (or disconnect)
+			// frees us; the inner handler never sees the request.
+			<-r.Context().Done()
+			return
+		}
+		if n <= int64(inj.HangFirst)+int64(inj.Fail5xxFirst) {
+			http.Error(w, "faults: injected 503", http.StatusServiceUnavailable)
+			return
+		}
+		if strings.HasSuffix(r.URL.Path, "/checkpoint") {
+			rec := &statusRecorder{inner: w}
+			defer func() {
+				// Flush before (possibly) dying: OnDie typically closes
+				// the server, and the fetch this death was armed on must
+				// reach the coordinator intact — otherwise the "mirror is
+				// ahead of the kill" guarantee silently breaks.
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+				if rec.status() == http.StatusOK {
+					inj.fetches.Add(1)
+				}
+				inj.maybeDie()
+			}()
+			if inj.CorruptCheckpoints {
+				next.ServeHTTP(&corruptingWriter{inner: rec}, r)
+			} else {
+				next.ServeHTTP(rec, r)
+			}
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder remembers the response code so only successful
+// checkpoint fetches count toward the death-arming precondition.
+type statusRecorder struct {
+	inner http.ResponseWriter
+	code  int
+}
+
+func (sr *statusRecorder) Header() http.Header { return sr.inner.Header() }
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.inner.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	return sr.inner.Write(p)
+}
+
+func (sr *statusRecorder) status() int {
+	if sr.code == 0 {
+		return http.StatusOK
+	}
+	return sr.code
+}
+
+// corruptingWriter flips bytes in everything written through it, so a
+// well-formed JSON checkpoint arrives unparsable but the same length —
+// the bit-rot case, distinct from truncation or a 404.
+type corruptingWriter struct {
+	inner http.ResponseWriter
+}
+
+func (cw *corruptingWriter) Header() http.Header { return cw.inner.Header() }
+
+func (cw *corruptingWriter) WriteHeader(code int) { cw.inner.WriteHeader(code) }
+
+func (cw *corruptingWriter) Write(p []byte) (int, error) {
+	mangled := make([]byte, len(p))
+	for i, b := range p {
+		mangled[i] = b ^ 0xa5
+	}
+	n, err := cw.inner.Write(mangled)
+	return n, err
+}

@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFleetInjectorZeroValuePassesThrough(t *testing.T) {
+	inj := &FleetInjector{}
+	h := inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || string(body) != "ok" {
+			t.Fatalf("request %d: status %d body %q", i, resp.StatusCode, body)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if !inj.BeatAllowed() {
+			t.Fatalf("beat %d dropped by zero-value injector", i+1)
+		}
+	}
+}
+
+func TestFleetInjectorFail5xxFirst(t *testing.T) {
+	inj := &FleetInjector{Fail5xxFirst: 2}
+	h := inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	want := []int{503, 503, 200, 200}
+	for i, code := range want {
+		resp, err := http.Get(srv.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != code {
+			t.Fatalf("request %d: status %d, want %d", i+1, resp.StatusCode, code)
+		}
+	}
+}
+
+func TestFleetInjectorHangFirst(t *testing.T) {
+	inj := &FleetInjector{HangFirst: 1}
+	h := inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/", nil)
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("first request should hang past the client deadline")
+	}
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("second request: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestFleetInjectorDropBeatsAfter(t *testing.T) {
+	inj := &FleetInjector{DropBeatsAfter: 3}
+	got := []bool{inj.BeatAllowed(), inj.BeatAllowed(), inj.BeatAllowed(), inj.BeatAllowed()}
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("beat %d allowed=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+}
+
+func TestFleetInjectorCorruptCheckpoints(t *testing.T) {
+	const payload = `{"committed":[1,2,3]}`
+	inj := &FleetInjector{CorruptCheckpoints: true}
+	h := inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/job-000001/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) == payload {
+		t.Fatal("checkpoint body not corrupted")
+	}
+	if len(body) != len(payload) {
+		t.Fatalf("corruption changed length: %d != %d", len(body), len(payload))
+	}
+
+	// Non-checkpoint paths stay clean.
+	resp, err = http.Get(srv.URL + "/v1/jobs/job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != payload {
+		t.Fatalf("non-checkpoint body corrupted: %q", body)
+	}
+}
+
+// TestFleetInjectorScriptedDeath pins the two arming conditions: death
+// fires only once BOTH the commit count and the checkpoint-fetch count
+// reach their thresholds, and it fires exactly once.
+func TestFleetInjectorScriptedDeath(t *testing.T) {
+	deaths := 0
+	inj := &FleetInjector{DieAtCommit: 2, MinCheckpointFetches: 1, OnDie: func() { deaths++ }}
+	h := inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "{}")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	inj.CommitObserved()
+	inj.CommitObserved()
+	if inj.Died() {
+		t.Fatal("died before any checkpoint fetch")
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/x/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if !inj.Died() {
+		t.Fatal("fetch after threshold commits should fire death")
+	}
+	inj.CommitObserved()
+	if deaths != 1 {
+		t.Fatalf("OnDie fired %d times, want exactly 1", deaths)
+	}
+	if inj.BeatAllowed() {
+		t.Fatal("dead worker must not beat")
+	}
+	if inj.Commits() != 3 {
+		t.Fatalf("commits = %d, want 3", inj.Commits())
+	}
+}
+
+func TestFleetInjectorDeathWithoutFetchPrecondition(t *testing.T) {
+	deaths := 0
+	inj := &FleetInjector{DieAtCommit: 1, OnDie: func() { deaths++ }}
+	inj.CommitObserved()
+	if deaths != 1 || !inj.Died() {
+		t.Fatalf("MinCheckpointFetches=0 should arm on commits alone (deaths=%d)", deaths)
+	}
+	if !strings.Contains("x/checkpoint", "/checkpoint") {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,143 @@
+// Package fleet is the fault-tolerant placement fleet: a coordinator
+// (cmd/placefleet) that fronts a set of placed workers behind the same
+// job API a single daemon exposes, so clients keep one endpoint while
+// jobs are routed to the least-loaded healthy worker, retried across
+// transient failures, and migrated — checkpoint and all — off workers
+// that die or drain mid-job.
+//
+// The pieces, coordinator-side: a worker registry driven by heartbeats
+// and probes (healthy → suspect → dead), a seeded-jittered exponential
+// backoff with a per-job retry budget, an elastic dispatch pool that
+// plugs into serve.Server's Pool seam, and the job runner that proxies
+// the worker's event stream while mirroring its checkpoints so a
+// mid-job failure resumes elsewhere. Worker-side: a Heartbeater that
+// placed runs when pointed at a coordinator.
+//
+// Degradation ladder (DESIGN.md §12): healthy worker → other healthy
+// worker (migration, resume-from-checkpoint) → restart from scratch
+// (checkpoint missing or corrupt) → run locally on the coordinator
+// (zero live workers) → refuse admission (429/503, local pool full).
+// Every rung keeps the client's single SSE stream alive; with
+// Spec.FreshRoot forced on, the final placement is bit-identical to an
+// uninterrupted run no matter which rungs fired.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes jittered exponential delays: attempt k (0-based)
+// waits Base·Factor^k, capped at Max, then stretched by a uniform
+// factor in [1-Jitter, 1+Jitter]. The jitter draws from a seeded
+// source, so a fixed seed reproduces the exact schedule — retry tests
+// pin the sequence instead of sleeping and hoping.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+	Jitter float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff returns a Backoff with the fleet defaults (100ms base,
+// 5s cap, doubling, ±20% jitter) and the given jitter seed.
+func NewBackoff(seed int64) *Backoff {
+	return &Backoff{
+		Base:   100 * time.Millisecond,
+		Max:    5 * time.Second,
+		Factor: 2,
+		Jitter: 0.2,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Delay returns the wait before retry attempt (0-based: the delay
+// after the first failure is Delay(0)).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		b.mu.Lock()
+		if b.rng == nil {
+			b.rng = rand.New(rand.NewSource(1))
+		}
+		f := 1 + b.Jitter*(2*b.rng.Float64()-1)
+		b.mu.Unlock()
+		d *= f
+	}
+	return time.Duration(d)
+}
+
+// errPermanent marks an error Retry must not retry.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately instead of burning
+// the rest of its budget — a 400 from a worker will be a 400 forever.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errPermanent{err}
+}
+
+// Retry runs fn up to attempts times with per-attempt timeout and
+// backoff delays between attempts. On exhaustion it returns the
+// joined errors of every attempt, each labelled with the target and
+// attempt number, so a post-mortem names every worker RPC that failed
+// rather than just the last one. A Permanent-wrapped error (or ctx
+// ending) stops early.
+func Retry(ctx context.Context, attempts int, timeout time.Duration, b *Backoff, label string, fn func(ctx context.Context) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var errs []error
+	for k := 0; k < attempts; k++ {
+		actx := ctx
+		var cancel context.CancelFunc
+		if timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		err := fn(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		errs = append(errs, fmt.Errorf("%s attempt %d/%d: %w", label, k+1, attempts, err))
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if k < attempts-1 {
+			obsRetries.Inc()
+			select {
+			case <-time.After(b.Delay(k)):
+			case <-ctx.Done():
+				return errors.Join(append(errs, ctx.Err())...)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

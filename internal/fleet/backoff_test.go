@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedulePinned pins the jittered schedule under a fixed
+// seed: the exact delays are reproducible, every delay sits inside its
+// jitter band, and the cap holds. If the jitter math changes, this
+// test names the new schedule rather than silently shifting retry
+// behaviour across the fleet.
+func TestBackoffSchedulePinned(t *testing.T) {
+	b := NewBackoff(42)
+	got := make([]time.Duration, 6)
+	for k := range got {
+		got[k] = b.Delay(k)
+	}
+	// Nominal (pre-jitter) delays: 100ms, 200ms, 400ms, 800ms, 1.6s,
+	// 3.2s; jitter is ±20%.
+	nominal := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 3200 * time.Millisecond,
+	}
+	for k, d := range got {
+		lo := time.Duration(float64(nominal[k]) * 0.8)
+		hi := time.Duration(float64(nominal[k]) * 1.2)
+		if d < lo || d > hi {
+			t.Errorf("Delay(%d) = %v outside jitter band [%v, %v]", k, d, lo, hi)
+		}
+	}
+	// Reproducibility: the same seed replays the same schedule.
+	b2 := NewBackoff(42)
+	for k := range got {
+		if d := b2.Delay(k); d != got[k] {
+			t.Errorf("seed 42 replay: Delay(%d) = %v, want %v", k, d, got[k])
+		}
+	}
+	// And a different seed draws a different one (vanishingly unlikely
+	// to collide across all six draws).
+	b3 := NewBackoff(43)
+	same := true
+	for k := range got {
+		if b3.Delay(k) != got[k] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	b := &Backoff{Base: time.Second, Max: 4 * time.Second, Factor: 2}
+	if d := b.Delay(10); d != 4*time.Second {
+		t.Fatalf("Delay(10) = %v, want the 4s cap", d)
+	}
+}
+
+// TestRetryBudgetExhaustion pins the joined-error contract: when every
+// attempt fails, the returned error names every attempt (worker label
+// + attempt number), so an operator reads the full story, not just the
+// last failure.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	b := &Backoff{Base: time.Microsecond, Max: time.Microsecond, Factor: 1}
+	calls := 0
+	err := Retry(context.Background(), 3, 0, b, "submit to http://w1", func(ctx context.Context) error {
+		calls++
+		return fmt.Errorf("boom %d", calls)
+	})
+	if err == nil {
+		t.Fatal("want error after exhausted budget")
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	for k := 1; k <= 3; k++ {
+		want := fmt.Sprintf("submit to http://w1 attempt %d/3: boom %d", k, k)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestRetryPermanentStopsEarly(t *testing.T) {
+	b := &Backoff{Base: time.Microsecond, Max: time.Microsecond, Factor: 1}
+	calls := 0
+	err := Retry(context.Background(), 5, 0, b, "x", func(ctx context.Context) error {
+		calls++
+		return Permanent(errors.New("400 bad spec"))
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("permanent error retried: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	b := &Backoff{Base: time.Microsecond, Max: time.Microsecond, Factor: 1}
+	calls := 0
+	err := Retry(context.Background(), 4, 0, b, "x", func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v, want success on 3rd", calls, err)
+	}
+}
+
+func TestRetryHonorsAttemptTimeout(t *testing.T) {
+	b := &Backoff{Base: time.Microsecond, Max: time.Microsecond, Factor: 1}
+	var deadlines int
+	err := Retry(context.Background(), 2, 10*time.Millisecond, b, "x", func(ctx context.Context) error {
+		<-ctx.Done()
+		deadlines++
+		return ctx.Err()
+	})
+	if err == nil || deadlines != 2 {
+		t.Fatalf("per-attempt timeout not applied: deadlines=%d err=%v", deadlines, err)
+	}
+}

@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"macroplace/internal/serve"
+)
+
+// BenchmarkFleetThroughput measures coordinator overhead per job —
+// submit → route to a worker → relay the stream → collect the result —
+// with stub runners so the placement itself costs nothing. This is the
+// control-plane cost a fleet adds over a bare daemon, gated by
+// scripts/benchgate.sh.
+func BenchmarkFleetThroughput(b *testing.B) {
+	c, err := New(Config{
+		Dir:          b.TempDir(),
+		MaxInflight:  4,
+		SuspectAfter: time.Minute,
+		DeadAfter:    2 * time.Minute,
+		RPCTimeout:   10 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := c.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := "http://" + addr
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			b.Errorf("coordinator shutdown: %v", err)
+		}
+	}()
+
+	stub := func(ctx context.Context, j *serve.Job) (*serve.Result, error) {
+		j.AppendEvent("progress", "1/1 groups committed")
+		if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		return &serve.Result{Design: j.Spec.Bench, HPWL: 1}, nil
+	}
+	for i := 0; i < 2; i++ {
+		srv, hbStop := startBenchWorker(b, base, stub)
+		defer func() {
+			hbStop()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+	}
+	waitWorkersBench(b, base, 2)
+
+	sp := serve.Spec{Bench: "ibm01", Scale: 0.01, Zeta: 8, Episodes: 1, Gamma: 1, Workers: 1, Channels: 4, ResBlocks: 1, Seed: 1}
+	// Warm the coordinator↔worker connection pools and the relay path
+	// before the timer, so a 1-iteration gate run measures the same
+	// steady state a long run does.
+	for i := 0; i < 2; i++ {
+		j, err := c.Server().Submit(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		st, err := j.WaitTerminal(ctx)
+		cancel()
+		if err != nil || st != serve.StateDone {
+			b.Fatalf("warmup job %s ended %s (%v)", j.ID, st, err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := c.Server().Submit(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		st, err := j.WaitTerminal(ctx)
+		cancel()
+		if err != nil || st != serve.StateDone {
+			b.Fatalf("job %s ended %s (%v)", j.ID, st, err)
+		}
+	}
+	// The deferred worker/coordinator shutdowns drain politely; keep
+	// that teardown out of the per-job figure.
+	b.StopTimer()
+}
+
+func startBenchWorker(b *testing.B, coordBase string,
+	runner func(context.Context, *serve.Job) (*serve.Result, error)) (*serve.Server, func()) {
+	b.Helper()
+	srv, err := serve.NewServer(serve.Config{Workers: 4, QueueCap: 16, Dir: b.TempDir(), Runner: runner})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hbCtx, hbCancel := context.WithCancel(context.Background())
+	hbDone := make(chan struct{})
+	hb := &Heartbeater{
+		Coordinator: coordBase,
+		Self:        "http://" + addr,
+		Every:       100 * time.Millisecond,
+		Load:        srv.LoadInfo,
+	}
+	go func() { defer close(hbDone); hb.Run(hbCtx) }()
+	return srv, func() { hbCancel(); <-hbDone }
+}
+
+func waitWorkersBench(b *testing.B, base string, n int) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if healthyWorkers(base) >= n {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	b.Fatalf("coordinator never reported %d healthy workers", n)
+}

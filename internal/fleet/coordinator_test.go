@@ -1,0 +1,591 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"macroplace/internal/faults"
+	"macroplace/internal/serve"
+)
+
+// fleetSpec is sized for the single-core CI container but with enough
+// macro groups (6 at scale 0.03) that a scripted mid-search death
+// leaves real work to migrate.
+func fleetSpec(seed int64) serve.Spec {
+	return serve.Spec{
+		Bench: "ibm01", Scale: 0.03, Zeta: 8,
+		Episodes: 4, Gamma: 8, Workers: 1,
+		Channels: 4, ResBlocks: 1, Seed: seed,
+		FreshRoot: true,
+	}
+}
+
+// testWorker is one in-process placed worker: a real serve.Server on a
+// real socket, optionally behind a fault-injection middleware, with a
+// heartbeater pointed at the coordinator.
+type testWorker struct {
+	t       *testing.T
+	srv     *serve.Server
+	httpSrv *http.Server
+	ln      net.Listener
+	url     string
+
+	hbCancel context.CancelFunc
+	hbDone   chan struct{}
+
+	killOnce sync.Once
+}
+
+func startWorker(t *testing.T, coordBase string, inj *faults.FleetInjector,
+	runner func(context.Context, *serve.Job) (*serve.Result, error)) *testWorker {
+	t.Helper()
+	srv, err := serve.NewServer(serve.Config{Workers: 1, QueueCap: 4, Dir: t.TempDir(), Runner: runner, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h http.Handler = srv.Handler()
+	if inj != nil {
+		h = inj.Middleware(h)
+	}
+	w := &testWorker{
+		t:       t,
+		srv:     srv,
+		httpSrv: &http.Server{Handler: h},
+		ln:      ln,
+		url:     "http://" + ln.Addr().String(),
+		hbDone:  make(chan struct{}),
+	}
+	go func() { _ = w.httpSrv.Serve(ln) }()
+
+	hbCtx, cancel := context.WithCancel(context.Background())
+	w.hbCancel = cancel
+	hb := &Heartbeater{
+		Coordinator: coordBase,
+		Self:        w.url,
+		Every:       50 * time.Millisecond,
+		Load:        srv.LoadInfo,
+	}
+	if inj != nil {
+		hb.Gate = inj.BeatAllowed
+	}
+	go func() { defer close(w.hbDone); hb.Run(hbCtx) }()
+
+	t.Cleanup(func() {
+		w.kill()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("worker %s shutdown: %v", w.url, err)
+		}
+	})
+	return w
+}
+
+// kill emulates a SIGKILL as observed from the network: the listener
+// and every live connection (the coordinator's SSE relay included)
+// drop, and the heartbeats stop. The in-process flow goroutine cannot
+// be killed — cleanup drains it — but nothing reaches it from outside.
+func (w *testWorker) kill() {
+	w.killOnce.Do(func() {
+		w.hbCancel()
+		<-w.hbDone
+		_ = w.httpSrv.Close()
+	})
+}
+
+// commitWatchingRunner wraps serve.RunSpec, feeding every progress
+// event of the worker's own job into the injector's commit counter so
+// the scripted death lands at an exact commit.
+func commitWatchingRunner(inj *faults.FleetInjector) func(context.Context, *serve.Job) (*serve.Result, error) {
+	return func(ctx context.Context, j *serve.Job) (*serve.Result, error) {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			seen := 0
+			for {
+				evs, more := j.EventsSince(seen)
+				seen += len(evs)
+				for _, ev := range evs {
+					if ev.Type == "progress" {
+						inj.CommitObserved()
+					}
+				}
+				if more == nil {
+					return
+				}
+				select {
+				case <-more:
+				case <-stop:
+					return
+				}
+			}
+		}()
+		return serve.RunSpec(ctx, j)
+	}
+}
+
+func startCoordinator(t *testing.T, cfg Config) (*Coordinator, string) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			t.Errorf("coordinator shutdown: %v", err)
+		}
+	})
+	return c, "http://" + addr
+}
+
+// healthyWorkers counts workers the coordinator currently lists as
+// healthy (shared by the tests and the benchmark).
+func healthyWorkers(base string) int {
+	resp, err := http.Get(base + "/fleet/v1/workers")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var infos []WorkerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return 0
+	}
+	healthy := 0
+	for _, wi := range infos {
+		if wi.State == StateHealthy {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+func waitWorkers(t *testing.T, base string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if healthyWorkers(base) >= n {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("coordinator never reported %d healthy workers", n)
+}
+
+func submitSpec(t *testing.T, base string, sp serve.Spec) serve.Status {
+	t.Helper()
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, msg)
+	}
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// streamAll consumes the job's SSE stream on its own goroutine from
+// submission to terminal, returning the collected events — the single
+// continuous client stream the migration must keep alive.
+func streamAll(t *testing.T, base, id string) func() []serve.Event {
+	t.Helper()
+	var mu sync.Mutex
+	var events []serve.Event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+		if err != nil {
+			t.Errorf("stream: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev serve.Event
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+				t.Errorf("stream decode: %v", err)
+				return
+			}
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}
+	}()
+	return func() []serve.Event {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Minute):
+			t.Fatal("event stream never completed")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return events
+	}
+}
+
+func waitJobDone(t *testing.T, base, id string) serve.Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("job never terminal")
+	return serve.Status{}
+}
+
+// directResult runs the spec on a plain (non-fleet) daemon and returns
+// the uninterrupted reference result.
+func directResult(t *testing.T, sp serve.Spec) *serve.Result {
+	t.Helper()
+	d, err := serve.NewServer(serve.Config{Workers: 1, QueueCap: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("direct daemon shutdown: %v", err)
+		}
+	}()
+	j, err := d.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := j.WaitTerminal(ctx)
+	if err != nil || st != serve.StateDone {
+		t.Fatalf("direct run ended %s (%v)", st, err)
+	}
+	return j.Result()
+}
+
+func hasEvent(events []serve.Event, typ, substr string) bool {
+	for _, ev := range events {
+		if ev.Type == typ && strings.Contains(ev.Data, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFleetMigrationE2E is the acceptance scenario: two workers behind
+// a coordinator, deterministic fault injection kills the assigned
+// worker mid-search (after 2 of 6 commits, once the coordinator has
+// mirrored a checkpoint), and the job must finish on the second worker
+// by resuming from the fetched checkpoint — while the client watches
+// one continuous SSE stream and the final placement is bit-identical
+// to an uninterrupted direct run.
+func TestFleetMigrationE2E(t *testing.T) {
+	spec := fleetSpec(11)
+	direct := directResult(t, spec)
+
+	_, base := startCoordinator(t, Config{
+		// Generous beat thresholds: death detection in this test flows
+		// from the broken relay + failed probe, not sweep timing.
+		SuspectAfter: 30 * time.Second,
+		DeadAfter:    60 * time.Second,
+		RPCTimeout:   5 * time.Second,
+		RetryBudget:  2,
+	})
+
+	inj := &faults.FleetInjector{DieAtCommit: 2, MinCheckpointFetches: 1}
+	w1 := startWorker(t, base, inj, commitWatchingRunner(inj))
+	inj.OnDie = w1.kill
+	waitWorkers(t, base, 1)
+	w2 := startWorker(t, base, nil, nil)
+	waitWorkers(t, base, 2)
+
+	st := submitSpec(t, base, spec)
+	collect := streamAll(t, base, st.ID)
+	final := waitJobDone(t, base, st.ID)
+
+	if final.State != serve.StateDone {
+		t.Fatalf("job ended %s (error: %s)", final.State, final.Error)
+	}
+	if !inj.Died() {
+		t.Fatal("scripted death never fired — the test exercised nothing")
+	}
+	res := final.Result
+	if res == nil {
+		t.Fatal("done without result")
+	}
+	if res.Migrations != 1 {
+		t.Errorf("migrations = %d, want 1", res.Migrations)
+	}
+	if res.Worker != w2.url {
+		t.Errorf("result worker = %q, want the second worker %q", res.Worker, w2.url)
+	}
+
+	events := collect()
+	if !hasEvent(events, "fleet", "assigned to worker "+w1.url) {
+		t.Error("stream missing assignment to worker 1")
+	}
+	if !hasEvent(events, "fleet", "migrating with checkpoint") {
+		t.Error("stream missing the checkpoint migration event")
+	}
+	if !hasEvent(events, "fleet", "assigned to worker "+w2.url) {
+		t.Error("stream missing re-assignment to worker 2")
+	}
+	if !hasEvent(events, "stage", "resuming search from checkpoint") {
+		t.Error("stream missing worker 2's resume stage event")
+	}
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			t.Errorf("event %d has seq %d — client stream not dense", i, ev.Seq)
+			break
+		}
+	}
+
+	// The acceptance bar: bit-identical to the uninterrupted run.
+	if res.HPWL != direct.HPWL {
+		t.Errorf("migrated HPWL %v != direct %v", res.HPWL, direct.HPWL)
+	}
+	if res.RLHPWL != direct.RLHPWL {
+		t.Errorf("migrated RL HPWL %v != direct %v", res.RLHPWL, direct.RLHPWL)
+	}
+	if res.Explorations != direct.Explorations {
+		t.Errorf("migrated explorations %d != direct %d", res.Explorations, direct.Explorations)
+	}
+	if len(res.Anchors) != len(direct.Anchors) {
+		t.Fatalf("anchor count %d != %d", len(res.Anchors), len(direct.Anchors))
+	}
+	for i := range res.Anchors {
+		if res.Anchors[i] != direct.Anchors[i] {
+			t.Fatalf("anchor %d: migrated %d != direct %d", i, res.Anchors[i], direct.Anchors[i])
+		}
+	}
+}
+
+// TestFleetMigrationCorruptCheckpoint is the companion fallback: every
+// checkpoint the coordinator fetches arrives bit-flipped, so the
+// migration must restart from scratch — and still land the identical
+// final placement, because FreshRoot makes the job a pure function of
+// the spec.
+func TestFleetMigrationCorruptCheckpoint(t *testing.T) {
+	spec := fleetSpec(13)
+	direct := directResult(t, spec)
+
+	_, base := startCoordinator(t, Config{
+		SuspectAfter: 30 * time.Second,
+		DeadAfter:    60 * time.Second,
+		RPCTimeout:   5 * time.Second,
+		RetryBudget:  2,
+	})
+
+	inj := &faults.FleetInjector{DieAtCommit: 2, MinCheckpointFetches: 1, CorruptCheckpoints: true}
+	w1 := startWorker(t, base, inj, commitWatchingRunner(inj))
+	inj.OnDie = w1.kill
+	waitWorkers(t, base, 1)
+	w2 := startWorker(t, base, nil, nil)
+	waitWorkers(t, base, 2)
+
+	st := submitSpec(t, base, spec)
+	collect := streamAll(t, base, st.ID)
+	final := waitJobDone(t, base, st.ID)
+
+	if final.State != serve.StateDone {
+		t.Fatalf("job ended %s (error: %s)", final.State, final.Error)
+	}
+	res := final.Result
+	if res == nil || res.Migrations != 1 {
+		t.Fatalf("result %+v, want 1 migration", res)
+	}
+	if res.Worker != w2.url {
+		t.Errorf("result worker = %q, want %q", res.Worker, w2.url)
+	}
+	events := collect()
+	if !hasEvent(events, "fleet", "restarting from scratch") {
+		t.Error("stream missing the restart-from-scratch fallback event")
+	}
+	if hasEvent(events, "fleet", "migrating with checkpoint") {
+		t.Error("corrupt checkpoints must not be migrated with")
+	}
+	if res.HPWL != direct.HPWL || res.Explorations != direct.Explorations {
+		t.Errorf("restarted run (hpwl=%v expl=%d) != direct (hpwl=%v expl=%d)",
+			res.HPWL, res.Explorations, direct.HPWL, direct.Explorations)
+	}
+}
+
+// TestFleetLocalFallback: zero live workers — the coordinator runs the
+// job in-process and says so in the stream.
+func TestFleetLocalFallback(t *testing.T) {
+	_, base := startCoordinator(t, Config{RPCTimeout: 2 * time.Second})
+	sp := serve.Spec{
+		Bench: "ibm01", Scale: 0.01, Zeta: 8,
+		Episodes: 4, Gamma: 2, Workers: 1,
+		Channels: 4, ResBlocks: 1, Seed: 3,
+	}
+	st := submitSpec(t, base, sp)
+	collect := streamAll(t, base, st.ID)
+	final := waitJobDone(t, base, st.ID)
+	if final.State != serve.StateDone {
+		t.Fatalf("job ended %s (error: %s)", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Worker != "local" {
+		t.Fatalf("result %+v, want Worker=local", final.Result)
+	}
+	if !hasEvent(collect(), "fleet", "no live workers") {
+		t.Error("stream missing the local-fallback event")
+	}
+}
+
+// TestFleetRetriesTransient5xx: the worker's first responses fail with
+// 503; the submit must ride it out on retry/backoff and the job must
+// complete on that worker without migrating.
+func TestFleetRetriesTransient5xx(t *testing.T) {
+	_, base := startCoordinator(t, Config{
+		SuspectAfter: 30 * time.Second,
+		DeadAfter:    60 * time.Second,
+		RPCTimeout:   5 * time.Second,
+		RetryBudget:  3,
+	})
+	inj := &faults.FleetInjector{Fail5xxFirst: 2}
+	w1 := startWorker(t, base, inj, nil)
+	waitWorkers(t, base, 1)
+
+	sp := serve.Spec{
+		Bench: "ibm01", Scale: 0.01, Zeta: 8,
+		Episodes: 4, Gamma: 2, Workers: 1,
+		Channels: 4, ResBlocks: 1, Seed: 5,
+	}
+	st := submitSpec(t, base, sp)
+	final := waitJobDone(t, base, st.ID)
+	if final.State != serve.StateDone {
+		t.Fatalf("job ended %s (error: %s)", final.State, final.Error)
+	}
+	if final.Result.Worker != w1.url || final.Result.Migrations != 0 {
+		t.Fatalf("result worker=%q migrations=%d, want %q/0", final.Result.Worker, final.Result.Migrations, w1.url)
+	}
+}
+
+// TestFleetAdmissionControl: MaxInflight bounds the fleet the same way
+// QueueCap bounds a single daemon — 429 + Retry-After, composing
+// across the layers.
+func TestFleetAdmissionControl(t *testing.T) {
+	_, base := startCoordinator(t, Config{MaxInflight: 1, RetryAfter: 2 * time.Second})
+	release := make(chan struct{})
+	var once sync.Once
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+	startWorker(t, base, nil, func(ctx context.Context, j *serve.Job) (*serve.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		return &serve.Result{Design: "stub"}, nil
+	})
+	waitWorkers(t, base, 1)
+
+	sp := serve.Spec{Bench: "ibm01", Scale: 0.01, Zeta: 8, Episodes: 4, Gamma: 2, Workers: 1, Channels: 4, ResBlocks: 1, Seed: 9}
+	submitSpec(t, base, sp)
+
+	body, _ := json.Marshal(sp)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	once.Do(func() { close(release) })
+}
+
+// TestFleetHeartbeatEndpoint pins the beat API's validation.
+func TestFleetHeartbeatEndpoint(t *testing.T) {
+	_, base := startCoordinator(t, Config{})
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"url":"http://127.0.0.1:1","running":1,"queued":2}`, 200},
+		{`{"url":"ftp://nope"}`, 400},
+		{`{"url":""}`, 400},
+		{`{"url":"http://x","bogus":1}`, 400},
+		{`not json`, 400},
+	} {
+		resp, err := http.Post(base+"/fleet/v1/heartbeat", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("beat %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(base + "/fleet/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []WorkerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].URL != "http://127.0.0.1:1" || infos[0].State != StateHealthy {
+		t.Fatalf("workers = %+v, want the one beaten worker healthy", infos)
+	}
+}

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"sync"
+
+	"macroplace/internal/serve"
+)
+
+// dispatchPool is the coordinator's serve.Pool: where the local
+// Scheduler queues tasks for a fixed worker pool, the fleet has no
+// local compute to ration — each admitted job gets its own goroutine
+// that spends its life relaying to a remote worker. Admission control
+// still applies: at most maxInflight jobs in flight, and a submit
+// beyond that is refused with ErrQueueFull so the HTTP layer's
+// 429 + Retry-After composes across the fleet exactly as it does for a
+// single daemon.
+type dispatchPool struct {
+	sem chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	tasks    sync.WaitGroup
+}
+
+func newDispatchPool(maxInflight int) *dispatchPool {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	return &dispatchPool{sem: make(chan struct{}, maxInflight)}
+}
+
+// Submit starts t on its own goroutine if an inflight slot is free.
+func (p *dispatchPool) Submit(t serve.Task) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return serve.ErrDraining
+	}
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		return serve.ErrQueueFull
+	}
+	p.tasks.Add(1)
+	obsInflight.Add(1)
+	go func() {
+		defer func() {
+			<-p.sem
+			obsInflight.Add(-1)
+			p.tasks.Done()
+			if v := recover(); v != nil && t.OnPanic != nil {
+				t.OnPanic(v)
+			}
+		}()
+		t.Run()
+	}()
+	return nil
+}
+
+// QueueLen is always 0: dispatch never queues, it admits or refuses.
+func (p *dispatchPool) QueueLen() int { return 0 }
+
+// Wait blocks until every admitted task has finished.
+func (p *dispatchPool) Wait() { p.tasks.Wait() }
+
+// Drain stops admission and waits for in-flight tasks to finish.
+func (p *dispatchPool) Drain() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+	p.tasks.Wait()
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Heartbeater is the worker-side half of the fleet protocol: placed
+// runs one per process when started with -fleet, POSTing a Beat to the
+// coordinator every Every interval until its context ends. A missing
+// coordinator is not an error — the worker keeps serving and keeps
+// trying, so start order between coordinator and workers is free.
+type Heartbeater struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Self is the worker's advertised base URL, as clients of the
+	// coordinator must reach it.
+	Self string
+	// Every is the beat interval (default 1s).
+	Every time.Duration
+	// Load supplies the worker's current load (serve.Server.LoadInfo).
+	Load func() (running, queued int, draining bool)
+	// Gate, when set, is consulted before each beat; false skips it.
+	// Fault injection hooks in here to simulate partitions.
+	Gate func() bool
+	// Client is the HTTP client (default: 5s-timeout client).
+	Client *http.Client
+	// Logf receives beat diagnostics (nil discards). Only transitions
+	// are logged — a steady heartbeat is silent.
+	Logf func(format string, args ...any)
+}
+
+// Run beats until ctx ends. It always sends one beat immediately so a
+// freshly started worker is routable without waiting out an interval.
+func (h *Heartbeater) Run(ctx context.Context) {
+	every := h.Every
+	if every <= 0 {
+		every = time.Second
+	}
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	ok := true // log only on state changes
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		if h.Gate == nil || h.Gate() {
+			err := h.beat(ctx, client)
+			if err != nil && ok {
+				h.logf("fleet: heartbeat to %s failing: %v", h.Coordinator, err)
+			}
+			if err == nil && !ok {
+				h.logf("fleet: heartbeat to %s restored", h.Coordinator)
+			}
+			ok = err == nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (h *Heartbeater) beat(ctx context.Context, client *http.Client) error {
+	var b Beat
+	b.URL = h.Self
+	if h.Load != nil {
+		b.Running, b.Queued, b.Draining = h.Load()
+	}
+	body, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		h.Coordinator+"/fleet/v1/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: heartbeat: coordinator answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (h *Heartbeater) logf(format string, args ...any) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+	}
+}

@@ -1,0 +1,40 @@
+package fleet
+
+import (
+	"time"
+
+	"macroplace/internal/obs"
+)
+
+// Fleet telemetry, registered on the Default registry so the
+// coordinator's /metrics endpoint exposes routing health next to the
+// search counters. The live-worker and heartbeat-lag series are
+// callback gauges bound per coordinator (latest wins), since their
+// truth lives in the worker registry.
+var (
+	obsJobsRouted = obs.NewCounter("macroplace_fleet_jobs_routed_total",
+		"Jobs dispatched to a remote worker (each migration re-dispatch counts).")
+	obsMigrations = obs.NewCounter("macroplace_fleet_migrations_total",
+		"Jobs migrated off a dead or draining worker.")
+	obsResumeFallbacks = obs.NewCounter("macroplace_fleet_resume_fallbacks_total",
+		"Migrations that restarted from scratch because the checkpoint was missing or corrupt.")
+	obsRetries = obs.NewCounter("macroplace_fleet_retries_total",
+		"Worker RPC retries after transient failures.")
+	obsLocalRuns = obs.NewCounter("macroplace_fleet_local_runs_total",
+		"Jobs run in-process on the coordinator because no live worker was available.")
+	obsBeats = obs.NewCounter("macroplace_fleet_heartbeats_total",
+		"Worker heartbeats received.")
+	obsInflight = obs.NewGauge("macroplace_fleet_jobs_inflight",
+		"Fleet jobs currently admitted and in flight.")
+)
+
+// bindGauges points the per-coordinator callback gauges at this
+// coordinator's registry (a re-created coordinator rebinds them).
+func bindGauges(reg *registry, now func() time.Time) {
+	obs.NewGaugeFunc("macroplace_fleet_workers_live",
+		"Workers currently in the healthy state.",
+		func() float64 { return float64(reg.live()) })
+	obs.NewGaugeFunc("macroplace_fleet_heartbeat_lag_seconds",
+		"Age of the oldest live worker heartbeat.",
+		func() float64 { return reg.maxLag(now()).Seconds() })
+}

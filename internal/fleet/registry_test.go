@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+
+func TestRegistryHealthStateMachine(t *testing.T) {
+	r := newRegistry()
+	w := r.beat(Beat{URL: "http://w1"}, t0)
+	if got := r.state(w); got != StateHealthy {
+		t.Fatalf("after beat: %s, want healthy", got)
+	}
+
+	// Within the suspect window nothing changes.
+	r.sweep(t0.Add(2*time.Second), 3*time.Second, 10*time.Second, func(string) bool { return false })
+	if got := r.state(w); got != StateHealthy {
+		t.Fatalf("fresh worker swept to %s", got)
+	}
+
+	// Past SuspectAfter with a passing probe: demoted and restored.
+	probed := 0
+	r.sweep(t0.Add(4*time.Second), 3*time.Second, 10*time.Second, func(string) bool { probed++; return true })
+	if probed != 1 {
+		t.Fatalf("probe called %d times, want 1", probed)
+	}
+	if got := r.state(w); got != StateHealthy {
+		t.Fatalf("reachable suspect settled at %s, want healthy", got)
+	}
+
+	// Past SuspectAfter with a failing probe but inside DeadAfter:
+	// stays suspect (benefit of the doubt until DeadAfter).
+	r.sweep(t0.Add(5*time.Second), 3*time.Second, 10*time.Second, func(string) bool { return false })
+	if got := r.state(w); got != StateSuspect {
+		t.Fatalf("unreachable suspect inside DeadAfter: %s, want suspect", got)
+	}
+	select {
+	case <-r.deadCh(w):
+		t.Fatal("dead channel closed while suspect")
+	default:
+	}
+
+	// Past DeadAfter with a failing probe: dead, channel closed.
+	r.sweep(t0.Add(11*time.Second), 3*time.Second, 10*time.Second, func(string) bool { return false })
+	if got := r.state(w); got != StateDead {
+		t.Fatalf("silent worker past DeadAfter: %s, want dead", got)
+	}
+	select {
+	case <-r.deadCh(w):
+	default:
+		t.Fatal("dead channel not closed on death")
+	}
+	if r.live() != 0 {
+		t.Fatalf("live() = %d with only a dead worker", r.live())
+	}
+
+	// A fresh beat revives it with a fresh dead channel.
+	r.beat(Beat{URL: "http://w1"}, t0.Add(12*time.Second))
+	if got := r.state(w); got != StateHealthy {
+		t.Fatalf("revived worker: %s, want healthy", got)
+	}
+	select {
+	case <-r.deadCh(w):
+		t.Fatal("revived worker's dead channel already closed")
+	default:
+	}
+	if r.live() != 1 {
+		t.Fatalf("live() = %d after revival, want 1", r.live())
+	}
+}
+
+func TestRegistryPickLeastLoaded(t *testing.T) {
+	r := newRegistry()
+	r.beat(Beat{URL: "http://w1"}, t0)
+	r.beat(Beat{URL: "http://w2"}, t0)
+
+	// Tie on active count breaks by registration order.
+	a := r.pick()
+	if a == nil || a.URL() != "http://w1" {
+		t.Fatalf("first pick = %v, want w1 (registration order tie-break)", a)
+	}
+	// w1 now has one active job; w2 wins.
+	b := r.pick()
+	if b == nil || b.URL() != "http://w2" {
+		t.Fatalf("second pick = %v, want w2 (least loaded)", b)
+	}
+	// Both loaded equally again: back to w1.
+	c := r.pick()
+	if c == nil || c.URL() != "http://w1" {
+		t.Fatalf("third pick = %v, want w1", c)
+	}
+	r.done(a)
+	r.done(b)
+	r.done(c)
+
+	// Draining workers take no new jobs.
+	r.beat(Beat{URL: "http://w1", Draining: true}, t0)
+	if w := r.pick(); w == nil || w.URL() != "http://w2" {
+		t.Fatalf("pick with w1 draining = %v, want w2", w)
+	}
+
+	// Dead workers neither.
+	r.markDead("http://w2")
+	r.beat(Beat{URL: "http://w1", Draining: true}, t0)
+	if w := r.pick(); w != nil {
+		t.Fatalf("pick with w1 draining and w2 dead = %v, want nil", w)
+	}
+}
+
+func TestRegistryMaxLag(t *testing.T) {
+	r := newRegistry()
+	r.beat(Beat{URL: "http://w1"}, t0)
+	r.beat(Beat{URL: "http://w2"}, t0.Add(2*time.Second))
+	if lag := r.maxLag(t0.Add(3 * time.Second)); lag != 3*time.Second {
+		t.Fatalf("maxLag = %v, want 3s (oldest beat)", lag)
+	}
+	r.markDead("http://w1")
+	if lag := r.maxLag(t0.Add(3 * time.Second)); lag != time.Second {
+		t.Fatalf("maxLag after w1 death = %v, want 1s (dead excluded)", lag)
+	}
+}
+
+func TestRegistryInfosOrder(t *testing.T) {
+	r := newRegistry()
+	r.beat(Beat{URL: "http://w2", Running: 1}, t0)
+	r.beat(Beat{URL: "http://w1", Queued: 3}, t0)
+	infos := r.infos()
+	if len(infos) != 2 || infos[0].URL != "http://w2" || infos[1].URL != "http://w1" {
+		t.Fatalf("infos order = %+v, want registration order", infos)
+	}
+	if infos[0].Running != 1 || infos[1].Queued != 3 {
+		t.Fatalf("infos lost load fields: %+v", infos)
+	}
+}

@@ -1,0 +1,81 @@
+package mcts
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFreshRootResumeBitIdentical pins the property checkpoint
+// migration is built on: with Config.FreshRoot, a Workers=1 search
+// resumed from ANY of its own snapshots lands the byte-for-byte same
+// Result as the uninterrupted run — same anchors, same wirelength,
+// same exploration/terminal counters. Without FreshRoot the subtree
+// statistics inherited across commits make this impossible (a resumed
+// run rebuilds them from scratch), which is why the fleet forces the
+// mode on migratable jobs.
+func TestFreshRootResumeBitIdentical(t *testing.T) {
+	env, wl := cornerEnv()
+	cfg := Config{Gamma: 24, Seed: 7, Workers: 1, FreshRoot: true}
+
+	var snaps []Snapshot
+	s := New(cfg, untrained(), wl, testScaler())
+	s.OnSnapshot = func(sn Snapshot) {
+		sn.Committed = append([]int(nil), sn.Committed...)
+		sn.BestAnchors = append([]int(nil), sn.BestAnchors...)
+		snaps = append(snaps, sn)
+	}
+	fresh := s.Run(env)
+	if len(snaps) != len(fresh.Anchors) {
+		t.Fatalf("got %d snapshots for %d commit steps", len(snaps), len(fresh.Anchors))
+	}
+
+	for i := range snaps {
+		snap := snaps[i]
+		if err := snap.Check(env); err != nil {
+			t.Fatalf("snapshot %d failed Check: %v", i, err)
+		}
+		r := New(cfg, untrained(), wl, testScaler())
+		r.Resume = &snap
+		res := r.Run(env)
+
+		if !reflect.DeepEqual(res.Anchors, fresh.Anchors) {
+			t.Errorf("snapshot %d: resumed anchors %v != uninterrupted %v", i, res.Anchors, fresh.Anchors)
+		}
+		if res.Wirelength != fresh.Wirelength {
+			t.Errorf("snapshot %d: resumed wirelength %v != uninterrupted %v", i, res.Wirelength, fresh.Wirelength)
+		}
+		if res.Explorations != fresh.Explorations {
+			t.Errorf("snapshot %d: resumed explorations %d != uninterrupted %d", i, res.Explorations, fresh.Explorations)
+		}
+		if res.TerminalEvals != fresh.TerminalEvals {
+			t.Errorf("snapshot %d: resumed terminal evals %d != uninterrupted %d", i, res.TerminalEvals, fresh.TerminalEvals)
+		}
+		if !reflect.DeepEqual(res.BestAnchors, fresh.BestAnchors) || res.BestWirelength != fresh.BestWirelength {
+			t.Errorf("snapshot %d: resumed best state (%v, %v) != uninterrupted (%v, %v)",
+				i, res.BestAnchors, res.BestWirelength, fresh.BestAnchors, fresh.BestWirelength)
+		}
+	}
+}
+
+// TestFreshRootStillLegalParallel: FreshRoot composes with the
+// tree-parallel driver — no bit-identity claim (scheduling decides
+// in-flight leaves), but every run must stay complete and legal and
+// spend the full budget.
+func TestFreshRootStillLegalParallel(t *testing.T) {
+	env, wl := cornerEnv()
+	s := New(Config{Gamma: 24, Seed: 7, Workers: 4, FreshRoot: true}, untrained(), wl, testScaler())
+	res := s.Run(env)
+	e := env.Clone()
+	e.Reset()
+	for k, a := range res.Anchors {
+		if err := e.Step(a); err != nil {
+			t.Fatalf("anchor %d (cell %d) illegal on replay: %v", k, a, err)
+		}
+	}
+	if !e.Done() {
+		t.Fatal("allocation incomplete")
+	}
+	if res.Explorations < 3*24 {
+		t.Errorf("explorations = %d, want >= 72", res.Explorations)
+	}
+}

@@ -70,6 +70,17 @@ type Config struct {
 	// count is capped at Gamma — more workers than explorations per
 	// commit can never be busy at once.
 	Workers int
+	// FreshRoot discards the inherited subtree after every commit, so
+	// each step's decision is a pure function of the committed prefix
+	// (plus the frozen evaluator) instead of also depending on the
+	// statistics accumulated during earlier steps. This makes a
+	// snapshot resume bit-identical to the uninterrupted run at
+	// Workers=1 with ValueNet evaluation — the property checkpoint
+	// migration in the placement fleet relies on (a job killed on one
+	// worker and resumed from its search.ckpt on another lands the
+	// same final placement). The cost is losing the inter-step
+	// statistics reuse, which the default mode keeps.
+	FreshRoot bool
 }
 
 // Normalize fills defaults.
@@ -287,8 +298,23 @@ func (s *Search) RunContext(ctx context.Context, env *grid.Env) Result {
 		if s.OnSnapshot != nil {
 			s.OnSnapshot(s.snapshotNow(committed))
 		}
+		root = s.maybeFreshRoot(root)
 	}
 	return s.finishRun(root)
+}
+
+// maybeFreshRoot implements Config.FreshRoot: after a commit, replace
+// the committed child (and whatever subtree it inherited) with a
+// statistics-free node over the same env, so the next step explores
+// from scratch exactly as a resumed search would. Callable only while
+// the tree is quiescent.
+func (s *Search) maybeFreshRoot(root *node) *node {
+	if !s.Cfg.FreshRoot || root.env.Done() {
+		return root
+	}
+	e := cloneEnv(root.env)
+	releaseDiscarded(root, nil)
+	return s.scratch.arena.newNode(e)
 }
 
 // captureCacheBase records the evaluator's cache counters at run

@@ -180,6 +180,7 @@ func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 		if s.OnSnapshot != nil {
 			s.OnSnapshot(s.snapshotNow(committed))
 		}
+		root = s.maybeFreshRoot(root)
 	}
 	return s.finishRun(root)
 }

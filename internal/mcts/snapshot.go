@@ -3,6 +3,7 @@ package mcts
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"macroplace/internal/atomicio"
@@ -51,6 +52,24 @@ func (sn *Snapshot) Check(env *grid.Env) error {
 	if sn.Explorations < 0 || sn.TerminalEvals < 0 || sn.WorkerPanics < 0 {
 		return fmt.Errorf("mcts: snapshot has negative counters")
 	}
+	// BestAnchors, when present, is a complete terminal allocation by
+	// construction; a bit-flipped checkpoint that still parses as JSON
+	// shows up here as a wrong length or an illegal replay.
+	if len(sn.BestAnchors) > 0 {
+		if len(sn.BestAnchors) != steps {
+			return fmt.Errorf("mcts: snapshot best state has %d anchors, episode has %d steps", len(sn.BestAnchors), steps)
+		}
+		b := env.Clone()
+		b.Reset()
+		for i, a := range sn.BestAnchors {
+			if err := b.Step(a); err != nil {
+				return fmt.Errorf("mcts: snapshot best anchor %d (cell %d) is illegal: %w", i, a, err)
+			}
+		}
+		if math.IsNaN(sn.BestWirelength) || math.IsInf(sn.BestWirelength, 0) || sn.BestWirelength < 0 {
+			return fmt.Errorf("mcts: snapshot best wirelength %v is not a finite non-negative number", sn.BestWirelength)
+		}
+	}
 	return nil
 }
 
@@ -72,16 +91,41 @@ func mustJSON(sn Snapshot) []byte {
 	return append(data, '\n')
 }
 
+// maxSnapshotBytes bounds how large a checkpoint file LoadSnapshot is
+// willing to parse. A real snapshot is a few hundred bytes plus two
+// ints per committed step; a multi-gigabyte file is corruption (or an
+// attack), not progress, and must be refused before it is slurped into
+// memory — the fleet coordinator calls this on bytes fetched from
+// untrusted-after-a-crash workers.
+const maxSnapshotBytes = 16 << 20
+
 // LoadSnapshot reads a snapshot previously written by SaveSnapshot.
+// Corruption — truncation, bit flips, trailing garbage, an absurd
+// size — is reported as an error, never a panic (FuzzLoadSnapshot pins
+// this); callers fall back to restarting the search from scratch.
 // Callers should Check it against their env before resuming from it.
 func LoadSnapshot(path string) (*Snapshot, error) {
+	if fi, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("mcts: %w", err)
+	} else if fi.Size() > maxSnapshotBytes {
+		return nil, fmt.Errorf("mcts: corrupt snapshot %s: %d bytes exceeds the %d-byte cap", path, fi.Size(), maxSnapshotBytes)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("mcts: %w", err)
 	}
+	return ParseSnapshot(data, path)
+}
+
+// ParseSnapshot decodes snapshot bytes (the body of a search.ckpt
+// file, however it was transported); name labels errors.
+func ParseSnapshot(data []byte, name string) (*Snapshot, error) {
+	if len(data) > maxSnapshotBytes {
+		return nil, fmt.Errorf("mcts: corrupt snapshot %s: %d bytes exceeds the %d-byte cap", name, len(data), maxSnapshotBytes)
+	}
 	var sn Snapshot
 	if err := json.Unmarshal(data, &sn); err != nil {
-		return nil, fmt.Errorf("mcts: corrupt snapshot %s: %w", path, err)
+		return nil, fmt.Errorf("mcts: corrupt snapshot %s: %w", name, err)
 	}
 	return &sn, nil
 }

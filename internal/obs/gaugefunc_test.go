@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeFuncRendersAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.GaugeFunc("macroplace_test_live", "live things", func() float64 { return v })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# TYPE macroplace_test_live gauge\nmacroplace_test_live 3\n") {
+		t.Fatalf("exposition missing callback gauge:\n%s", sb.String())
+	}
+
+	v = 7.5
+	sum := r.Snapshot(nil)
+	if got := sum.Gauges["macroplace_test_live"]; got != 7.5 {
+		t.Fatalf("snapshot gauge = %v, want 7.5 (callback must be re-evaluated)", got)
+	}
+}
+
+// TestGaugeFuncLatestWins pins the re-registration semantics: a second
+// registration under the same name rebinds the callback rather than
+// keeping the first closure alive — a re-created coordinator must
+// report its own state, not its predecessor's.
+func TestGaugeFuncLatestWins(t *testing.T) {
+	r := NewRegistry()
+	g1 := r.GaugeFunc("macroplace_test_rebind", "", func() float64 { return 1 })
+	g2 := r.GaugeFunc("macroplace_test_rebind", "", func() float64 { return 2 })
+	if g1 != g2 {
+		t.Fatal("same name must return the same series")
+	}
+	if got := g1.Value(); got != 2 {
+		t.Fatalf("Value() = %v, want the latest callback's 2", got)
+	}
+}
+
+func TestGaugeFuncNilCallbackReportsZero(t *testing.T) {
+	r := NewRegistry()
+	g := r.GaugeFunc("macroplace_test_nilfn", "", nil)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil callback Value() = %v, want 0", got)
+	}
+}
+
+func TestGaugeFuncKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("macroplace_test_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a GaugeFunc over a Counter must panic")
+		}
+	}()
+	r.GaugeFunc("macroplace_test_conflict", "", func() float64 { return 0 })
+}

@@ -79,6 +79,40 @@ func (g *Gauge) Add(v float64) {
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// GaugeFunc is a gauge whose value is computed by a callback at render
+// and snapshot time, for values that already live elsewhere (the fleet
+// registry's live-worker count, heartbeat lag) — polling them into a
+// stored Gauge would add a ticker and a staleness window for nothing.
+// The callback must be safe for concurrent use, must not block, and
+// must not touch the registry it is registered on (it is evaluated
+// under the registry lock during render/snapshot).
+type GaugeFunc struct {
+	name, help string
+	mu         sync.Mutex
+	fn         func() float64
+}
+
+// Value evaluates the callback. A GaugeFunc whose callback was never
+// set (or was cleared) reports 0.
+func (g *GaugeFunc) Value() float64 {
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// set installs the callback, replacing any previous one (latest wins —
+// a re-created component re-binds the series to its own state instead
+// of leaving the old component's closure pinned).
+func (g *GaugeFunc) set(fn func() float64) {
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
 // Histogram counts observations into fixed cumulative buckets
 // (Prometheus histogram semantics: bucket i counts observations
 // <= Bounds[i], plus an implicit +Inf bucket).
@@ -165,6 +199,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindSpan
+	kindGaugeFunc
 )
 
 // entry is one registered metric.
@@ -174,6 +209,7 @@ type entry struct {
 	g    *Gauge
 	h    *Histogram
 	s    *Span
+	gf   *GaugeFunc
 }
 
 // Registry holds named metrics and renders them. Registration is
@@ -267,6 +303,18 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return e.h
 }
 
+// GaugeFunc registers fn as a callback gauge under name, creating the
+// series on first use. Unlike the stored metrics, re-registration
+// replaces the callback (latest wins) — see GaugeFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	e := r.lookup(name, kindGaugeFunc)
+	if e.gf == nil {
+		e.gf = &GaugeFunc{name: name, help: help}
+	}
+	e.gf.set(fn)
+	return e.gf
+}
+
 // Span returns the phase span registered under name, creating it on
 // first use.
 func (r *Registry) Span(name, help string) *Span {
@@ -286,6 +334,11 @@ func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
 // NewHistogram registers a histogram on the Default registry.
 func NewHistogram(name, help string, bounds []float64) *Histogram {
 	return Default.Histogram(name, help, bounds)
+}
+
+// NewGaugeFunc registers a callback gauge on the Default registry.
+func NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return Default.GaugeFunc(name, help, fn)
 }
 
 // NewSpan registers a phase span on the Default registry.
@@ -366,6 +419,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			err = writeSimple(w, name, e.c.help, "counter", strconv.FormatUint(e.c.Value(), 10))
 		case kindGauge:
 			err = writeSimple(w, name, e.g.help, "gauge", formatFloat(e.g.Value()))
+		case kindGaugeFunc:
+			err = writeSimple(w, name, e.gf.help, "gauge", formatFloat(e.gf.Value()))
 		case kindHistogram:
 			err = writeHistogram(w, e.h)
 		case kindSpan:

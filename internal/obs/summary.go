@@ -60,6 +60,11 @@ func (r *Registry) Snapshot(run map[string]any) Summary {
 				sum.Gauges = make(map[string]float64)
 			}
 			sum.Gauges[name] = e.g.Value()
+		case kindGaugeFunc:
+			if sum.Gauges == nil {
+				sum.Gauges = make(map[string]float64)
+			}
+			sum.Gauges[name] = e.gf.Value()
 		case kindHistogram:
 			if sum.Histograms == nil {
 				sum.Histograms = make(map[string]HistogramSnapshot)

@@ -27,6 +27,14 @@ var ErrCancelled = errors.New("serve: job cancelled by client")
 // and still counts as done, just interrupted — "finish or checkpoint".
 var errDrainJob = errors.New("serve: daemon draining")
 
+// errJobDone is the benign cancellation cause installed once a job is
+// terminal: the job's context must not outlive the job, or every
+// completed job pins a child of the daemon's base context until
+// shutdown (and a DELETE after completion would flip the recorded
+// cause). runJob distinguishes real causes from this one by ordering —
+// it is only ever installed after the terminal transition.
+var errJobDone = errors.New("serve: job finished")
+
 // Config tunes a daemon Server. The zero value serves one worker, an
 // 8-deep queue, and stages job artifacts under the OS temp directory.
 type Config struct {
@@ -43,8 +51,13 @@ type Config struct {
 	// Logf receives daemon diagnostics (nil discards).
 	Logf func(format string, args ...any)
 	// Runner overrides how a job's flow executes — tests inject faults
-	// here. nil selects RunSpec, the production runner.
+	// here, and the fleet coordinator routes jobs to remote workers.
+	// nil selects RunSpec, the production runner.
 	Runner func(ctx context.Context, j *Job) (*Result, error)
+	// Pool overrides the queue/placement policy. nil selects
+	// NewScheduler(Workers, QueueCap), the local bounded-FIFO pool; the
+	// fleet coordinator injects an elastic dispatch pool instead.
+	Pool Pool
 }
 
 func (c Config) normalize() (Config, error) {
@@ -76,7 +89,7 @@ func (c Config) normalize() (Config, error) {
 // Scheduler, the job table, and the HTTP API (Handler / Start).
 type Server struct {
 	cfg   Config
-	sched *Scheduler
+	sched Pool
 
 	base      context.Context
 	cancelAll context.CancelFunc
@@ -99,9 +112,13 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	base, cancel := context.WithCancel(context.Background())
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewScheduler(cfg.Workers, cfg.QueueCap)
+	}
 	return &Server{
 		cfg:       cfg,
-		sched:     NewScheduler(cfg.Workers, cfg.QueueCap),
+		sched:     pool,
 		base:      base,
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
@@ -136,6 +153,7 @@ func (d *Server) Submit(spec Spec) (*Job, error) {
 		ID:      id,
 		Spec:    spec,
 		Dir:     filepath.Join(d.cfg.Dir, id),
+		ctx:     ctx,
 		cancel:  cancel,
 		state:   StateQueued,
 		created: time.Now(),
@@ -146,7 +164,7 @@ func (d *Server) Submit(spec Spec) (*Job, error) {
 
 	// The "queued" event lands before the task is handed to the pool,
 	// so a worker's "running" transition can never precede it.
-	j.appendEvent("state", string(StateQueued))
+	j.AppendEvent("state", string(StateQueued))
 	err := d.sched.Submit(Task{
 		Run: func() { d.runJob(ctx, j) },
 		// The scheduler-level recover is a backstop; runJob recovers
@@ -192,6 +210,24 @@ func (d *Server) Jobs() []*Job {
 	return out
 }
 
+// LoadInfo snapshots the daemon's load for heartbeats: jobs currently
+// running, jobs admitted but not yet started, and whether the daemon
+// is draining (a draining worker accepts no new jobs but still
+// checkpoints the ones it has — the fleet migrates them away).
+func (d *Server) LoadInfo() (running, queued int, draining bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, j := range d.jobs {
+		switch j.State() {
+		case StateRunning:
+			running++
+		case StateQueued:
+			queued++
+		}
+	}
+	return running, queued, d.draining
+}
+
 // Cancel cancels the job with the given id (queued or running).
 func (d *Server) Cancel(id string) bool {
 	j, ok := d.Job(id)
@@ -234,6 +270,12 @@ func (d *Server) Drain(ctx context.Context) error {
 // runJob is the worker-side job lifecycle: skip-if-cancelled, state
 // transitions, panic containment, artifact persistence, metrics.
 func (d *Server) runJob(ctx context.Context, j *Job) {
+	// Release the job's context once the job is terminal: a completed
+	// job must not pin a live child of the daemon's base context, and a
+	// late DELETE must not install ErrCancelled over the real outcome.
+	// WithCancelCause keeps the FIRST cause, so this deferred call is a
+	// no-op whenever a real cancellation already happened.
+	defer j.cancel(errJobDone)
 	obsQueueWait.Observe(time.Since(j.Status().Created).Seconds())
 	if ctx.Err() != nil {
 		// Cancelled (client or drain) before a worker picked it up.
@@ -277,7 +319,7 @@ func (d *Server) failJob(j *Job, err error) {
 	j.mu.Lock()
 	j.err = err.Error()
 	j.mu.Unlock()
-	j.appendEvent("error", err.Error())
+	j.AppendEvent("error", err.Error())
 	j.setState(StateFailed)
 	obsFailed.Inc()
 	d.logf("job %s failed: %v", j.ID, err)
@@ -321,31 +363,57 @@ func WriteResult(path string, res *Result) error {
 // Specs with a Race list dispatch to the portfolio-race job class
 // (runRaceSpec) instead of the single flow.
 func RunSpec(ctx context.Context, j *Job) (*Result, error) {
-	if len(j.Spec.Race) > 0 {
+	return RunSpecAs(ctx, j, j.Spec)
+}
+
+// RunSpecAs runs spec against j's working directory and event stream
+// instead of j.Spec. The fleet coordinator's local-fallback rung uses
+// it to run the job in-process with FreshRoot forced and the migrated
+// resume snapshot attached, without mutating the admitted (client-
+// visible) spec under concurrent Status readers.
+func RunSpecAs(ctx context.Context, j *Job, spec Spec) (*Result, error) {
+	if len(spec.Race) > 0 {
 		return runRaceSpec(ctx, j)
 	}
 	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job dir: %w", err)
 	}
-	design, err := j.Spec.LoadDesign(j.Dir)
+	design, err := spec.LoadDesign(j.Dir)
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.New(design, j.Spec.Options())
+	p, err := core.New(design, spec.Options())
 	if err != nil {
 		return nil, err
+	}
+	if sn := spec.Resume; sn != nil {
+		// Check needs the materialised search environment; PlaceContext
+		// skips preprocessing when it already ran, so nothing doubles.
+		if err := p.Preprocess(); err != nil {
+			return nil, err
+		}
+		// Full legality replay against the materialised design; a
+		// snapshot that passes Check here is safe to hand to the search.
+		// Rejecting (rather than silently restarting) is deliberate: the
+		// fleet coordinator owns the restart-from-scratch fallback and
+		// needs to see the refusal to count it.
+		if err := sn.Check(p.Env); err != nil {
+			return nil, fmt.Errorf("serve: resume rejected: %w", err)
+		}
+		p.Opts.SearchResume = sn
+		j.AppendEvent("stage", fmt.Sprintf("resuming search from checkpoint: %d/%d groups committed", len(sn.Committed), p.Env.NumSteps()))
 	}
 	p.Opts.OnStage = func(ev core.StageEvent) {
 		if ev.Done {
-			j.appendEvent("stage", fmt.Sprintf("%s done in %s", ev.Stage, ev.Elapsed.Round(time.Millisecond)))
+			j.AppendEvent("stage", fmt.Sprintf("%s done in %s", ev.Stage, ev.Elapsed.Round(time.Millisecond)))
 		} else {
-			j.appendEvent("stage", ev.Stage+" start")
+			j.AppendEvent("stage", ev.Stage+" start")
 		}
 	}
 	ckpt := filepath.Join(j.Dir, "search.ckpt")
 	p.Opts.SearchSnapshot = func(sn mcts.Snapshot) {
 		if err := mcts.SaveSnapshot(ckpt, sn); err == nil {
-			j.appendEvent("progress", fmt.Sprintf("%d/%d groups committed", len(sn.Committed), p.Env.NumSteps()))
+			j.AppendEvent("progress", fmt.Sprintf("%d/%d groups committed", len(sn.Committed), p.Env.NumSteps()))
 		}
 	}
 	start := time.Now()

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -19,11 +21,12 @@ const maxSpecBytes = 64 << 20
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs             submit a job (JSON Spec) → 202 + Status
-//	GET    /v1/jobs             list job statuses, admission order
-//	GET    /v1/jobs/{id}        one job's status (result once done)
-//	DELETE /v1/jobs/{id}        cancel (queued or running) → 202
-//	GET    /v1/jobs/{id}/events stream the job's event log (SSE)
+//	POST   /v1/jobs                  submit a job (JSON Spec) → 202 + Status
+//	GET    /v1/jobs                  list job statuses, admission order
+//	GET    /v1/jobs/{id}             one job's status (result once done)
+//	DELETE /v1/jobs/{id}             cancel → 202; idempotent 200 once terminal
+//	GET    /v1/jobs/{id}/events      stream the job's event log (SSE)
+//	GET    /v1/jobs/{id}/checkpoint  the job's latest search.ckpt bytes
 //
 // plus the whole telemetry mux (/metrics, /healthz, /debug/pprof/) on
 // the same listener, so one scrape target covers queue metrics and
@@ -36,6 +39,7 @@ func (d *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", d.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", d.handleCheckpoint)
 	mux.Handle("/", obs.Handler(obs.Default))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		obsHTTPRequests.Inc()
@@ -100,13 +104,45 @@ func (d *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !d.Cancel(id) {
+	j, ok := d.Job(r.PathValue("id"))
+	if !ok {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	j, _ := d.Job(id)
+	// Idempotent on terminal jobs: a retried or racing DELETE answers
+	// 200 with the settled status instead of re-cancelling (the job's
+	// context is already released with its benign terminal cause, so
+	// there is nothing left to cancel anyway).
+	if j.State().Terminal() {
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
+	j.Cancel(ErrCancelled)
 	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleCheckpoint serves the job's latest crash-safe search checkpoint
+// verbatim — the fleet coordinator fetches it to migrate a job off a
+// dying or draining worker. 404 until the search stage has committed at
+// least one step (there is simply no checkpoint yet).
+func (d *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(j.Dir, "search.ckpt"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no checkpoint yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	// Explicit length keeps the response self-delimiting even when the
+	// connection dies right after the bytes are flushed — a migrating
+	// coordinator may be fetching from a worker in its last moments.
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // handleEvents streams the job's event log as server-sent events: the

@@ -13,6 +13,7 @@ import (
 	"macroplace/internal/agent"
 	"macroplace/internal/core"
 	"macroplace/internal/gen"
+	"macroplace/internal/mcts"
 	"macroplace/internal/netlist"
 	"macroplace/internal/netlist/bookshelf"
 	"macroplace/internal/portfolio"
@@ -60,6 +61,20 @@ type Spec struct {
 	// that long after the first finisher (dominated-loser pruning).
 	// 0 keeps the race deterministic: every backend runs to completion.
 	RaceGraceMS int64 `json:"race_grace_ms,omitempty"`
+
+	// FreshRoot makes the search discard its subtree after every commit
+	// step, so a resume from any checkpoint is bit-identical to the
+	// uninterrupted run (mcts.Config.FreshRoot). The fleet coordinator
+	// forces it on so migrated jobs land the same answer they would have
+	// without the failure.
+	FreshRoot bool `json:"fresh_root,omitempty"`
+	// Resume, when set, restarts the search stage from this checkpoint
+	// instead of from scratch — the migration path: the fleet fetches a
+	// dead worker's search.ckpt and re-submits the job elsewhere with
+	// the snapshot inline. It is validated cheaply here and fully
+	// (legality replay against the materialised design) by RunSpec.
+	// Mutually exclusive with Race.
+	Resume *mcts.Snapshot `json:"resume,omitempty"`
 }
 
 // normalize fills the cmd/mctsplace-compatible defaults.
@@ -164,6 +179,25 @@ func (sp Spec) Validate() error {
 		}
 		seen[name] = true
 	}
+
+	if sp.Resume != nil {
+		if len(sp.Race) > 0 {
+			return fmt.Errorf("serve: resume snapshot cannot combine with a race job")
+		}
+		// Cheap structural sanity before admission; the full legality
+		// replay (Snapshot.Check) needs the materialised design and runs
+		// in RunSpec. The caps mirror mcts's own snapshot limits.
+		sn := sp.Resume
+		if len(sn.Committed) > 1_000_000 {
+			return fmt.Errorf("serve: resume snapshot commits %d steps (max 1000000)", len(sn.Committed))
+		}
+		if sn.Explorations < 0 || sn.TerminalEvals < 0 || sn.WorkerPanics < 0 {
+			return fmt.Errorf("serve: resume snapshot has negative counters")
+		}
+		if math.IsNaN(sn.BestWirelength) || math.IsInf(sn.BestWirelength, 0) || sn.BestWirelength < 0 {
+			return fmt.Errorf("serve: resume snapshot best wirelength %v is not a finite non-negative number", sn.BestWirelength)
+		}
+	}
 	return nil
 }
 
@@ -176,6 +210,7 @@ func (sp Spec) Options() core.Options {
 	opts.RL.Episodes = sp.Episodes
 	opts.MCTS.Gamma = sp.Gamma
 	opts.MCTS.Workers = sp.Workers
+	opts.MCTS.FreshRoot = sp.FreshRoot
 	opts.Agent = agent.Config{Zeta: sp.Zeta, Channels: sp.Channels, ResBlocks: sp.ResBlocks, Seed: sp.Seed + 100}
 	return opts
 }
@@ -279,6 +314,13 @@ type Result struct {
 	Winner    string              `json:"winner,omitempty"`
 	Converged bool                `json:"converged,omitempty"`
 	Backends  []portfolio.Outcome `json:"backends,omitempty"`
+
+	// Fleet-job fields: the worker URL that produced the final result
+	// and how many times the job migrated between workers (0 when the
+	// first assignment ran it to completion, or when the job never
+	// passed through a fleet coordinator).
+	Worker     string `json:"worker,omitempty"`
+	Migrations int    `json:"migrations,omitempty"`
 }
 
 // Job is one admitted placement job. All fields behind mu; read
@@ -289,6 +331,10 @@ type Job struct {
 	// Dir is the job's working directory (result/checkpoint files).
 	Dir string
 
+	// ctx is the job's lifecycle context (a cancel-cause child of the
+	// daemon's base); runJob releases it with errJobDone once the job
+	// is terminal so completed jobs pin nothing.
+	ctx    context.Context
 	cancel context.CancelCauseFunc
 
 	mu       sync.Mutex
@@ -355,8 +401,11 @@ func (j *Job) notifyLocked() {
 	j.waiters = j.waiters[:0]
 }
 
-// appendEvent adds one event to the log and wakes streamers.
-func (j *Job) appendEvent(typ, data string) {
+// AppendEvent adds one event to the log and wakes streamers. The fleet
+// coordinator uses it to splice fleet-level events (worker assignment,
+// migration) into the same stream the flow's own stage and progress
+// events land in, so a client sees one coherent log.
+func (j *Job) AppendEvent(typ, data string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.events = append(j.events, Event{

@@ -36,14 +36,14 @@ func runRaceSpec(ctx context.Context, j *Job) (*Result, error) {
 			if err != nil {
 				return
 			}
-			j.appendEvent("incumbent", string(data))
+			j.AppendEvent("incumbent", string(data))
 		},
 		OnOutcome: func(o portfolio.Outcome) {
 			if o.Err != "" {
-				j.appendEvent("stage", fmt.Sprintf("%s failed: %s", o.Backend, o.Err))
+				j.AppendEvent("stage", fmt.Sprintf("%s failed: %s", o.Backend, o.Err))
 				return
 			}
-			j.appendEvent("stage", fmt.Sprintf("%s finished: hpwl=%.6g cancelled=%v", o.Backend, o.HPWL, o.Cancelled))
+			j.AppendEvent("stage", fmt.Sprintf("%s finished: hpwl=%.6g cancelled=%v", o.Backend, o.HPWL, o.Cancelled))
 		},
 	}
 	start := time.Now()

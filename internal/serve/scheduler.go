@@ -29,6 +29,21 @@ var ErrQueueFull = errors.New("serve: job queue full")
 // admission maps it to 503.
 var ErrDraining = errors.New("serve: scheduler draining")
 
+// Pool is the queue/placement policy behind a Server, split out so the
+// daemon's job lifecycle composes with more than one execution
+// backend: Scheduler is the local bounded-FIFO/fixed-worker policy the
+// standalone daemon uses, while the fleet coordinator substitutes an
+// elastic dispatch pool whose "workers" are remote placed processes.
+// Submit must never block (admission control over backpressure) and
+// returns ErrQueueFull / ErrDraining on refusal; Drain stops admission
+// and waits for everything already admitted to finish.
+type Pool interface {
+	Submit(Task) error
+	QueueLen() int
+	Wait()
+	Drain()
+}
+
 // Task is one unit of queued work.
 type Task struct {
 	// Run executes the task on a pool worker.

@@ -6,8 +6,10 @@
 # benchmark warms the env pool, node arenas, inference scratch, and
 # evaluation cache before the timer, so the measured figure is steady
 # state), BenchmarkServeThroughput, and BenchmarkPortfolioRace once
-# each, and fails if allocs/op regresses above a tolerance band around
-# the committed BENCH_pr3.json / BENCH_pr6.json baselines.
+# each, plus BenchmarkFleetThroughput (the coordinator's per-job
+# control-plane cost over stub runners), and fails if allocs/op
+# regresses above a tolerance band around the committed BENCH_pr3.json
+# / BENCH_pr6.json / BENCH_pr7.json baselines.
 #
 # Ceiling per benchmark = baseline allocs/op × (1 + TOLERANCE_PCT/100)
 # + SLACK_ALLOCS. The slack term absorbs run-to-run scheduling noise in
@@ -26,7 +28,7 @@ cd "$(dirname "$0")/.."
 # committed figure is steady-state over many iterations, while this
 # gate runs -benchtime=1x where the first iteration carries one-time
 # setup allocations. Its row still prints for the record.
-BASELINE_FILES="BENCH_pr3.json BENCH_pr6.json"
+BASELINE_FILES="BENCH_pr3.json BENCH_pr6.json BENCH_pr7.json"
 TOLERANCE_PCT=50
 SLACK_ALLOCS=64
 
@@ -48,7 +50,7 @@ if [ -z "$baselines" ]; then
     exit 1
 fi
 
-out=$(go test -run '^$' -bench 'BenchmarkMCTSWorkers/workers=(1|8)$|BenchmarkServeThroughput$|BenchmarkPortfolioRace$' -benchmem -benchtime=1x . ./internal/serve ./internal/portfolio)
+out=$(go test -run '^$' -bench 'BenchmarkMCTSWorkers/workers=(1|8)$|BenchmarkServeThroughput$|BenchmarkPortfolioRace$|BenchmarkFleetThroughput$' -benchmem -benchtime=1x . ./internal/serve ./internal/portfolio ./internal/fleet)
 echo "$out"
 
 echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines="$baselines" '
@@ -56,7 +58,7 @@ echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines=
     n = split(baselines, parts, /[ \n]+/)
     for (i = 1; i + 1 <= n; i += 2) base[parts[i]] = parts[i + 1]
   }
-  /^Benchmark(MCTSWorkers\/workers=|ServeThroughput|PortfolioRace)/ {
+  /^Benchmark(MCTSWorkers\/workers=|ServeThroughput|PortfolioRace|FleetThroughput)/ {
     allocs = -1
     for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
     if (allocs < 0) {
@@ -86,8 +88,8 @@ echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines=
     }
   }
   END {
-    if (rows != 3) {
-      print "benchgate: expected 3 gated rows (2 MCTS + portfolio), saw " rows + 0 > "/dev/stderr"
+    if (rows != 4) {
+      print "benchgate: expected 4 gated rows (2 MCTS + portfolio + fleet), saw " rows + 0 > "/dev/stderr"
       exit 1
     }
     exit bad

@@ -57,4 +57,7 @@ scripts/placed_smoke.sh
 echo "== portfolio smoke"
 scripts/portfolio_smoke.sh
 
+echo "== fleet smoke"
+scripts/fleet_smoke.sh
+
 echo "OK"

@@ -1,0 +1,165 @@
+#!/bin/sh
+# fleet_smoke.sh — end-to-end smoke test of the placement fleet:
+# launch a placefleet coordinator and two placed workers, submit a
+# fresh-root job through the coordinator, SIGKILL the assigned worker
+# mid-search, and verify the job completes on the surviving worker via
+# checkpoint migration — with the final HPWL bit-identical to the same
+# spec run directly through cmd/mctsplace -fresh-root. Then SIGTERM the
+# coordinator and verify a clean drain.
+#
+# Usage: scripts/fleet_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+# Reap the children before removing workdir — rm -rf races with
+# processes still writing logs/checkpoints into it otherwise. The pids
+# are deliberately unquoted: already-reaped ones are reset to the
+# empty string, and a quoted "" makes kill error out before signalling
+# the live pids that follow it.
+trap 'kill $cpid $w1pid $w2pid $streampid 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$workdir"' EXIT
+cpid="" w1pid="" w2pid="" streampid=""
+
+echo "== build"
+go build -o "$workdir/placefleet" ./cmd/placefleet
+go build -o "$workdir/placed" ./cmd/placed
+go build -o "$workdir/mctsplace" ./cmd/mctsplace
+
+wait_addr() { # logfile prefix → prints HOST:PORT
+    a=""
+    for _ in $(seq 1 50); do
+        a=$(sed -n "s#^$2: [a-z]* on http://\([^ ]*\) .*#\1#p" "$1" | head -n 1)
+        [ -n "$a" ] && { echo "$a"; return 0; }
+        sleep 0.2
+    done
+    echo "fleet_smoke: no listen address in $1:" >&2
+    cat "$1" >&2
+    return 1
+}
+
+echo "== launch coordinator + two workers"
+"$workdir/placefleet" -addr 127.0.0.1:0 -dir "$workdir/coord" \
+    -suspect-after 2s -dead-after 6s \
+    -run-summary "$workdir/fleet-summary.json" >"$workdir/coord.log" 2>&1 &
+cpid=$!
+coord=$(wait_addr "$workdir/coord.log" placefleet)
+echo "   coordinator on $coord"
+
+"$workdir/placed" -addr 127.0.0.1:0 -dir "$workdir/w1" \
+    -fleet "http://$coord" -heartbeat 200ms >"$workdir/w1.log" 2>&1 &
+w1pid=$!
+w1=$(wait_addr "$workdir/w1.log" placed)
+"$workdir/placed" -addr 127.0.0.1:0 -dir "$workdir/w2" \
+    -fleet "http://$coord" -heartbeat 200ms >"$workdir/w2.log" 2>&1 &
+w2pid=$!
+w2=$(wait_addr "$workdir/w2.log" placed)
+echo "   workers on $w1 (pid $w1pid) and $w2 (pid $w2pid)"
+
+for _ in $(seq 1 50); do
+    n=$(curl -sf "http://$coord/fleet/v1/workers" | grep -c '"state": "healthy"' || true)
+    [ "$n" = "2" ] && break
+    sleep 0.2
+done
+[ "$n" = "2" ] || { echo "fleet_smoke: coordinator never saw 2 healthy workers" >&2; exit 1; }
+echo "   both workers healthy"
+
+job_field() { # json-file field → raw value (first occurrence)
+    grep -o "\"$2\": *[^,}]*" "$1" | head -n 1 | sed "s/\"$2\": *//; s/\"//g"
+}
+
+# A fresh-root job slow enough that the SIGKILL below reliably lands
+# with most of the search still ahead of it: 10 search steps at scale
+# 0.05, with zeta 32 and gamma 96 so each step takes ~150ms+ — the
+# kill fires within ~100ms of the second committed step, leaving 6+
+# steps to finish on the survivor.
+spec='{"bench":"ibm01","scale":0.05,"zeta":32,"episodes":20,"gamma":96,"channels":4,"resblocks":1,"seed":7,"workers":1,"fresh_root":true}'
+
+echo "== submit through the coordinator"
+curl -sf -X POST "http://$coord/v1/jobs" -d "$spec" >"$workdir/submit.json"
+id=$(job_field "$workdir/submit.json" id)
+echo "   submitted $id"
+
+# One continuous client stream across the whole job — the migration
+# must not break it.
+curl -sN "http://$coord/v1/jobs/$id/events" >"$workdir/events.log" 2>/dev/null &
+streampid=$!
+
+echo "== SIGKILL the assigned worker mid-search"
+assigned=""
+for _ in $(seq 1 100); do
+    assigned=$(sed -n 's#.*assigned to worker http://\([0-9.:]*\) as.*#\1#p' "$workdir/events.log" | head -n 1)
+    [ -n "$assigned" ] && break
+    sleep 0.1
+done
+[ -n "$assigned" ] || { echo "fleet_smoke: job never assigned:" >&2; cat "$workdir/events.log" >&2; exit 1; }
+# Wait for the second relayed progress event: the relay loop is
+# sequential, so by then the coordinator has fully mirrored the first
+# checkpoint and the kill cannot outrun it.
+for _ in $(seq 1 300); do
+    p=$(grep -c '"type":"progress"' "$workdir/events.log" || true)
+    [ "$p" -ge 2 ] && break
+    sleep 0.1
+done
+[ "$p" -ge 2 ] || { echo "fleet_smoke: no progress before search ended:" >&2; cat "$workdir/events.log" >&2; exit 1; }
+if [ "$assigned" = "$w1" ]; then
+    victim=$w1pid; survivor=$w2
+else
+    victim=$w2pid; survivor=$w1
+fi
+kill -9 "$victim"
+echo "   killed worker $assigned (pid $victim) after $p committed steps"
+
+echo "== job completes on the surviving worker"
+st=""
+for _ in $(seq 1 600); do
+    curl -sf "http://$coord/v1/jobs/$id" >"$workdir/status.json" || true
+    st=$(job_field "$workdir/status.json" state)
+    case "$st" in done|failed|cancelled) break ;; esac
+    sleep 0.2
+done
+[ "$st" = "done" ] || { echo "fleet_smoke: job ended '$st':" >&2; cat "$workdir/status.json" >&2; cat "$workdir/coord.log" >&2; exit 1; }
+
+migrations=$(job_field "$workdir/status.json" migrations)
+worker=$(job_field "$workdir/status.json" worker)
+[ "$migrations" = "1" ] || { echo "fleet_smoke: migrations = '$migrations', want 1" >&2; cat "$workdir/status.json" >&2; exit 1; }
+[ "$worker" = "http://$survivor" ] || { echo "fleet_smoke: finished on '$worker', want surviving http://$survivor" >&2; exit 1; }
+wait "$streampid" 2>/dev/null || true
+grep -q 'migrating with checkpoint' "$workdir/events.log" \
+    || { echo "fleet_smoke: stream missing checkpoint migration event:" >&2; cat "$workdir/events.log" >&2; exit 1; }
+grep -q 'resuming search from checkpoint' "$workdir/events.log" \
+    || { echo "fleet_smoke: stream missing resume event:" >&2; cat "$workdir/events.log" >&2; exit 1; }
+echo "   migrated once to $worker, resumed from checkpoint"
+
+echo "== migrated HPWL is bit-identical to a direct CLI run"
+"$workdir/mctsplace" -fresh-root -bench ibm01 -scale 0.05 -zeta 32 -episodes 20 -gamma 96 \
+    -channels 4 -resblocks 1 -seed 7 -workers 1 \
+    -run-summary "$workdir/cli-summary.json" >/dev/null
+fleet_hpwl=$(job_field "$workdir/status.json" hpwl)
+cli_hpwl=$(job_field "$workdir/cli-summary.json" hpwl)
+[ -n "$fleet_hpwl" ] || { echo "fleet_smoke: no hpwl in status" >&2; exit 1; }
+if [ "$fleet_hpwl" != "$cli_hpwl" ]; then
+    echo "fleet_smoke: fleet hpwl $fleet_hpwl != cli hpwl $cli_hpwl (migration broke determinism)" >&2
+    exit 1
+fi
+echo "   hpwl $fleet_hpwl matches"
+
+echo "== fleet metrics recorded the migration"
+metrics=$(curl -sf "http://$coord/metrics")
+echo "$metrics" | grep -q '^macroplace_fleet_migrations_total 1' \
+    || { echo "fleet_smoke: migration counter wrong:" >&2; echo "$metrics" | grep fleet >&2; exit 1; }
+echo "$metrics" | grep -q '^macroplace_fleet_jobs_routed_total 2' \
+    || { echo "fleet_smoke: routed counter wrong:" >&2; echo "$metrics" | grep fleet >&2; exit 1; }
+
+echo "== SIGTERM drains the coordinator cleanly"
+kill -TERM "$cpid"
+set +e
+wait "$cpid"
+status=$?
+set -e
+cpid=""
+[ "$status" -eq 0 ] || { echo "fleet_smoke: coordinator exited $status, want 0:" >&2; cat "$workdir/coord.log" >&2; exit 1; }
+grep -q '"command": "placefleet"' "$workdir/fleet-summary.json" \
+    || { echo "fleet_smoke: run summary missing" >&2; exit 1; }
+
+echo "fleet_smoke: OK"
