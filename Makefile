@@ -20,9 +20,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench: ## search hot-path + serving + portfolio + fleet benchmarks, recorded as BENCH_pr{3,5,6,7}.json
+bench: ## search hot-path + serving + portfolio + fleet benchmarks, recorded as BENCH_pr{3,5,6,7,8}.json
 	$(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+	( GOMAXPROCS=1 $(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . ; \
+	  GOMAXPROCS=4 $(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr8.json
 	$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchmem ./internal/serve \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr5.json
 	$(GO) test -run '^$$' -bench BenchmarkPortfolioRace -benchmem ./internal/portfolio \

@@ -3,7 +3,10 @@
 // BenchmarkMCTSWorkers rows with their allocation reduction against
 // the pre-optimization baseline recorded below. `make bench` pipes
 // through it to produce BENCH_pr3.json, the committed evidence for the
-// zero-allocation hot-path work:
+// zero-allocation hot-path work, and BENCH_pr8.json, the same rows
+// recorded at GOMAXPROCS=1 and 4 for the multi-core inference work
+// (several runs concatenate on stdin; the per-entry gomaxprocs field
+// keeps them apart):
 //
 //	go test -run '^$' -bench BenchmarkMCTSWorkers -benchmem . | go run ./cmd/benchjson -o BENCH_pr3.json
 //
@@ -40,7 +43,13 @@ var baselineAllocsPerOp = map[string]float64{
 
 // Bench is one parsed benchmark result line.
 type Bench struct {
-	Name       string             `json:"name"`
+	Name string `json:"name"`
+	// GoMaxProcs is the GOMAXPROCS the row ran under, parsed from the
+	// -N suffix go test appends to the name (absent suffix = 1). It is
+	// per-entry because `make bench` concatenates runs at different
+	// GOMAXPROCS into one artifact; scripts/benchgate.sh compares a
+	// row only against baselines recorded at the same value.
+	GoMaxProcs int                `json:"gomaxprocs"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 	// BaselineAllocsPerOp and AllocReduction are present only for rows
@@ -50,10 +59,17 @@ type Bench struct {
 	AllocReduction      float64 `json:"alloc_reduction,omitempty"`
 }
 
-// Artifact is the file layout of BENCH_pr3.json.
+// Artifact is the file layout of the BENCH_pr*.json files.
 type Artifact struct {
-	GoVersion  string  `json:"go_version"`
-	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs is the converter process's own value — historical;
+	// the per-entry field is authoritative for mixed-GOMAXPROCS files.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU records the recording host's core count, so downstream
+	// gates can tell "GOMAXPROCS=4 on four cores" apart from
+	// "GOMAXPROCS=4 time-sliced onto one core" (where parallel rows
+	// cannot beat serial ones no matter how good the code is).
+	NumCPU     int     `json:"num_cpu"`
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
@@ -73,6 +89,7 @@ func main() {
 	art := Artifact{
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Benchmarks: benches,
 	}
 	err = atomicio.WriteFile(*out, func(w io.Writer) error {
@@ -105,7 +122,7 @@ func parse(r io.Reader) ([]Bench, error) {
 		if err != nil {
 			continue // e.g. "BenchmarkFoo ... --- FAIL" layouts
 		}
-		b := Bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		b := Bench{Name: fields[0], GoMaxProcs: procsSuffix(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -136,4 +153,18 @@ func trimProcs(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// procsSuffix reads the GOMAXPROCS a row ran under from the same -N
+// suffix (go test omits it when GOMAXPROCS is 1).
+func procsSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
 }

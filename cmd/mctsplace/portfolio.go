@@ -22,6 +22,7 @@ type raceFlags struct {
 	workers   int
 	channels  int
 	resblocks int
+	nnBackend string
 	out       string
 	svg       string
 }
@@ -41,7 +42,7 @@ func racePortfolio(ctx context.Context, d *macroplace.Design, f raceFlags,
 		Opts: macroplace.PortfolioOptions{
 			Seed: f.seed, Zeta: f.zeta, Effort: f.effort,
 			Workers: f.workers, Channels: f.channels, ResBlocks: f.resblocks,
-			Episodes: f.episodes, Gamma: f.gamma,
+			Episodes: f.episodes, Gamma: f.gamma, NNBackend: f.nnBackend,
 		},
 		Grace: f.grace,
 		OnIncumbent: func(inc macroplace.PortfolioIncumbent) {

@@ -3,6 +3,7 @@ package agent
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"macroplace/internal/nn"
 )
@@ -24,10 +25,14 @@ type inferScratch struct {
 }
 
 func (a *Agent) getScratch() *inferScratch {
-	if sc, ok := a.infPool.Get().(*inferScratch); ok {
-		return sc
+	sc, ok := a.infPool.Get().(*inferScratch)
+	if !ok {
+		sc = &inferScratch{}
 	}
-	return &inferScratch{}
+	// Stamp the agent's backend on every checkout: the pool may hold
+	// scratches from before a SetBackend call.
+	sc.ws.Backend = a.backend
+	return sc
 }
 
 func (a *Agent) putScratch(sc *inferScratch) { a.infPool.Put(sc) }
@@ -73,6 +78,7 @@ func (a *Agent) EvaluateBatchInto(in []BatchInput, out []Output) {
 				i, len(in[i].SP), len(in[i].SA), n))
 		}
 	}
+	t0 := time.Now()
 	sc := a.getScratch()
 	defer a.putScratch(sc)
 	ws := &sc.ws
@@ -135,6 +141,7 @@ func (a *Agent) EvaluateBatchInto(in []BatchInput, out []Output) {
 		}
 		out[b].Value = val
 	}
+	a.latHist.Observe(time.Since(t0).Seconds())
 }
 
 // EvalState runs both heads on a single state through the pure batched

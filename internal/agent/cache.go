@@ -6,12 +6,22 @@ import (
 	"sync/atomic"
 )
 
-// CachedEvaluator wraps an Agent with an LRU cache over its inference
-// results, so repeated evaluations of the same placement state — the
-// MCTS root re-evaluated across restarts, the greedy-RL episode's
-// states re-reached by the search, transpositions where different
-// action orders produce the same occupancy map — skip the network
-// entirely.
+// Inferencer is the pure batched-inference surface CachedEvaluator
+// memoizes: *Agent implements it directly, and *InferClient implements
+// it by routing batches through the process-wide inference server.
+// Implementations must be safe for concurrent use and bit-identical
+// per sample to Agent.EvaluateBatchInto (the cache stores outputs and
+// replays them as hits).
+type Inferencer interface {
+	EvaluateBatchInto(in []BatchInput, out []Output)
+}
+
+// CachedEvaluator wraps an Inferencer (normally an Agent) with an LRU
+// cache over its inference results, so repeated evaluations of the
+// same placement state — the MCTS root re-evaluated across restarts,
+// the greedy-RL episode's states re-reached by the search,
+// transpositions where different action orders produce the same
+// occupancy map — skip the network entirely.
 //
 // Keying is content-addressed: the 128-bit key hashes ⟨t, the float64
 // bit patterns of s_p and s_a⟩. An identical placement prefix always
@@ -28,27 +38,48 @@ import (
 // bit-identical to misses — the cache stores exactly what EvalState
 // returned, and EvalState is pinned bit-identical to Forward.
 //
-// Safe for concurrent use; the underlying evaluation runs outside the
-// lock, so parallel cache misses do not serialize the network.
+// Safe for concurrent use. The table is split into 16 independently
+// locked shards (selected by the low key bits, which the dual hash
+// distributes uniformly), so parallel tree workers hitting the cache
+// contend only when their states land in the same shard; the
+// underlying evaluation runs outside every lock, so parallel cache
+// misses never serialize the network.
 //
 // The cache assumes frozen weights: it must be created after
 // pre-training (or weight loading) and discarded if the agent trains
 // again — core.Placer wires this.
 type CachedEvaluator struct {
-	ag *Agent
+	inf    Inferencer
+	mask   uint64 // shard index mask: nshards-1
+	shards [cacheShards]cacheShard
 
+	// Lock-free statistics: every lookup increments exactly one of
+	// hits/misses exactly once (intra-batch duplicates count as hits),
+	// so hits+misses equals the number of lookups — a telemetry scrape
+	// mid-run reads a consistent pair without taking any shard lock.
+	hits, misses, evictions atomic.Uint64
+}
+
+// cacheShards is the maximum shard count (power of two; shard =
+// key.a & mask). 16 shards cut lock contention ~16× at 8 tree workers
+// while keeping the per-shard LRU rings small enough to stay
+// cache-resident. Eviction is per shard, so the global replacement
+// order is only approximately LRU; caches smaller than
+// cacheMinSharded entries therefore stay single-shard, preserving the
+// exact LRU semantics the eviction tests pin (tiny caches have no
+// contention worth sharding away anyway).
+const (
+	cacheShards     = 16
+	cacheMinSharded = 256
+)
+
+type cacheShard struct {
 	mu   sync.Mutex
 	m    map[cacheKey]int32
 	ents []cacheEntry // intrusive LRU: index-linked, allocated once
 	cap  int
 	head int32 // most recently used, -1 when empty
 	tail int32 // least recently used, -1 when empty
-
-	// Lock-free statistics: every lookup increments exactly one of
-	// hits/misses exactly once (intra-batch duplicates count as hits),
-	// so hits+misses equals the number of lookups — a telemetry scrape
-	// mid-run reads a consistent pair without taking mu.
-	hits, misses, evictions atomic.Uint64
 }
 
 type cacheKey struct{ a, b uint64 }
@@ -59,25 +90,42 @@ type cacheEntry struct {
 	prev, next int32
 }
 
-// DefaultCacheSize is the entry capacity NewCachedEvaluator uses when
-// the caller passes capacity <= 0. One entry holds one ζ²-float32
+// DefaultCacheSize is the total entry capacity NewCachedEvaluator uses
+// when the caller passes capacity <= 0. One entry holds one ζ²-float32
 // Probs slice (1 KiB at ζ=16), so the default is a few MiB.
 const DefaultCacheSize = 4096
 
 // NewCachedEvaluator wraps ag with an LRU evaluation cache holding up
-// to capacity entries (DefaultCacheSize when capacity <= 0).
+// to capacity entries in total (DefaultCacheSize when capacity <= 0).
 func NewCachedEvaluator(ag *Agent, capacity int) *CachedEvaluator {
+	return NewCachedEvaluatorFor(ag, capacity)
+}
+
+// NewCachedEvaluatorFor is NewCachedEvaluator over any Inferencer —
+// the inference-server client path uses it to put the per-job cache in
+// front of the shared batch server.
+func NewCachedEvaluatorFor(inf Inferencer, capacity int) *CachedEvaluator {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	return &CachedEvaluator{
-		ag:   ag,
-		m:    make(map[cacheKey]int32, capacity),
-		ents: make([]cacheEntry, 0, capacity),
-		cap:  capacity,
-		head: -1,
-		tail: -1,
+	nshards := cacheShards
+	if capacity < cacheMinSharded {
+		nshards = 1
 	}
+	perShard := (capacity + nshards - 1) / nshards
+	c := &CachedEvaluator{inf: inf, mask: uint64(nshards - 1)}
+	for i := 0; i < nshards; i++ {
+		s := &c.shards[i]
+		s.m = make(map[cacheKey]int32, perShard)
+		s.ents = make([]cacheEntry, 0, perShard)
+		s.cap = perShard
+		s.head, s.tail = -1, -1
+	}
+	return c
+}
+
+func (c *CachedEvaluator) shard(key cacheKey) *cacheShard {
+	return &c.shards[key.a&c.mask]
 }
 
 // stateKey hashes ⟨t, s_p bits, s_a bits⟩ with two structurally
@@ -111,30 +159,69 @@ func stateKey(t int, sp, sa []float64) cacheKey {
 	return cacheKey{a: h1, b: h2}
 }
 
+// lookup probes one shard for key, refreshing recency on a hit.
+func (c *CachedEvaluator) lookup(key cacheKey) (Output, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if idx, ok := s.m[key]; ok {
+		s.touch(idx)
+		out := s.ents[idx].out
+		s.mu.Unlock()
+		return out, true
+	}
+	s.mu.Unlock()
+	return Output{}, false
+}
+
+// store inserts key→out into its shard.
+func (c *CachedEvaluator) store(key cacheKey, out Output) {
+	s := c.shard(key)
+	s.mu.Lock()
+	c.insert(s, key, out)
+	s.mu.Unlock()
+}
+
+// evalState runs a single state through the wrapped Inferencer (the
+// miss path of Forward).
+func (c *CachedEvaluator) evalState(sp, sa []float64, t int) Output {
+	in := [1]BatchInput{{SP: sp, SA: sa, T: t}}
+	var out [1]Output
+	c.inf.EvaluateBatchInto(in[:], out[:])
+	return out[0]
+}
+
 // Forward implements the sequential half of mcts.Evaluator: a cache
-// lookup, falling through to the pure EvalState path on a miss. Unlike
-// Agent.Forward it records no backward caches (searches never call
-// Backward).
+// lookup, falling through to the pure batched-inference path on a
+// miss. Unlike Agent.Forward it records no backward caches (searches
+// never call Backward).
 func (c *CachedEvaluator) Forward(sp, sa []float64, t int) Output {
 	key := stateKey(t, sp, sa)
-	c.mu.Lock()
-	if idx, ok := c.m[key]; ok {
-		c.touch(idx)
-		out := c.ents[idx].out
-		c.mu.Unlock()
+	if out, ok := c.lookup(key); ok {
 		c.hits.Add(1)
 		obsCacheHits.Inc()
 		return out
 	}
-	c.mu.Unlock()
 	c.misses.Add(1)
 	obsCacheMisses.Inc()
 
-	out := c.ag.EvalState(sp, sa, t)
-	c.mu.Lock()
-	c.insert(key, out)
-	c.mu.Unlock()
+	out := c.evalState(sp, sa, t)
+	c.store(key, out)
 	return out
+}
+
+// Probe is a hit-only lookup: it returns the cached Output without
+// evaluating on a miss, and counts the lookup only when it hits (a
+// missing state is expected to be re-looked-up through the batch path,
+// which counts it exactly once — preserving hits+misses == lookups).
+// The parallel search uses it to serve cache-resident leaves directly
+// on the worker, bypassing the evaluation batcher's rendezvous.
+func (c *CachedEvaluator) Probe(sp, sa []float64, t int) (Output, bool) {
+	out, ok := c.lookup(stateKey(t, sp, sa))
+	if ok {
+		c.hits.Add(1)
+		obsCacheHits.Inc()
+	}
+	return out, ok
 }
 
 // EvaluateBatch implements the batched half of mcts.Evaluator.
@@ -149,7 +236,9 @@ func (c *CachedEvaluator) EvaluateBatch(in []BatchInput) []Output {
 
 // EvaluateBatchInto resolves each input against the cache and runs the
 // network once over the misses only. Duplicate states inside one batch
-// (parallel workers racing to the same leaf) are evaluated once.
+// (parallel workers racing to the same leaf) are evaluated once. Keys
+// are hashed and shard locks taken per element, so concurrent batches
+// on different shards proceed in parallel.
 func (c *CachedEvaluator) EvaluateBatchInto(in []BatchInput, out []Output) {
 	if len(out) != len(in) {
 		panic("agent: CachedEvaluator.EvaluateBatchInto length mismatch")
@@ -158,13 +247,11 @@ func (c *CachedEvaluator) EvaluateBatchInto(in []BatchInput, out []Output) {
 	defer c.putBatchScratch(sc)
 
 	var hits, misses uint64
-	c.mu.Lock()
 	for i := range in {
 		sc.keys[i] = stateKey(in[i].T, in[i].SP, in[i].SA)
-		if idx, ok := c.m[sc.keys[i]]; ok {
-			c.touch(idx)
+		if o, ok := c.lookup(sc.keys[i]); ok {
 			hits++
-			out[i] = c.ents[idx].out
+			out[i] = o
 			continue
 		}
 		if first, dup := sc.seen[sc.keys[i]]; dup {
@@ -179,7 +266,6 @@ func (c *CachedEvaluator) EvaluateBatchInto(in []BatchInput, out []Output) {
 		sc.miss = append(sc.miss, int32(i))
 		sc.sub = append(sc.sub, in[i])
 	}
-	c.mu.Unlock()
 	c.hits.Add(hits)
 	c.misses.Add(misses)
 	obsCacheHits.Add(hits)
@@ -187,13 +273,11 @@ func (c *CachedEvaluator) EvaluateBatchInto(in []BatchInput, out []Output) {
 
 	if len(sc.sub) > 0 {
 		sc.subOut = sc.subOut[:len(sc.sub)]
-		c.ag.EvaluateBatchInto(sc.sub, sc.subOut)
-		c.mu.Lock()
+		c.inf.EvaluateBatchInto(sc.sub, sc.subOut)
 		for j, i := range sc.miss {
 			out[i] = sc.subOut[j]
-			c.insert(sc.keys[i], sc.subOut[j])
+			c.store(sc.keys[i], sc.subOut[j])
 		}
-		c.mu.Unlock()
 	}
 	for _, d := range sc.dups {
 		out[d[0]] = out[d[1]]
@@ -210,75 +294,80 @@ func (c *CachedEvaluator) Stats() (hits, misses uint64) {
 // capacity.
 func (c *CachedEvaluator) Evictions() uint64 { return c.evictions.Load() }
 
-// Len returns the current number of cached entries.
+// Len returns the current number of cached entries across all shards.
 func (c *CachedEvaluator) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for i := 0; i <= int(c.mask); i++ {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// touch moves entry idx to the LRU head. Caller holds mu.
-func (c *CachedEvaluator) touch(idx int32) {
-	if c.head == idx {
+// touch moves entry idx to the shard's LRU head. Caller holds s.mu.
+func (s *cacheShard) touch(idx int32) {
+	if s.head == idx {
 		return
 	}
-	e := &c.ents[idx]
+	e := &s.ents[idx]
 	if e.prev >= 0 {
-		c.ents[e.prev].next = e.next
+		s.ents[e.prev].next = e.next
 	}
 	if e.next >= 0 {
-		c.ents[e.next].prev = e.prev
+		s.ents[e.next].prev = e.prev
 	}
-	if c.tail == idx {
-		c.tail = e.prev
+	if s.tail == idx {
+		s.tail = e.prev
 	}
 	e.prev = -1
-	e.next = c.head
-	if c.head >= 0 {
-		c.ents[c.head].prev = idx
+	e.next = s.head
+	if s.head >= 0 {
+		s.ents[s.head].prev = idx
 	}
-	c.head = idx
-	if c.tail < 0 {
-		c.tail = idx
+	s.head = idx
+	if s.tail < 0 {
+		s.tail = idx
 	}
 }
 
-// insert adds (or refreshes) a cache entry, evicting the LRU tail at
-// capacity. Caller holds mu.
-func (c *CachedEvaluator) insert(key cacheKey, out Output) {
-	if idx, ok := c.m[key]; ok {
+// insert adds (or refreshes) a cache entry in shard s, evicting the
+// shard's LRU tail at capacity. Caller holds s.mu.
+func (c *CachedEvaluator) insert(s *cacheShard, key cacheKey, out Output) {
+	if idx, ok := s.m[key]; ok {
 		// A concurrent miss on the same state got here first; keep the
 		// stored Output (bit-identical anyway) and refresh recency.
-		c.touch(idx)
+		s.touch(idx)
 		return
 	}
 	var idx int32
-	if len(c.ents) < c.cap {
-		c.ents = append(c.ents, cacheEntry{})
-		idx = int32(len(c.ents) - 1)
+	if len(s.ents) < s.cap {
+		s.ents = append(s.ents, cacheEntry{})
+		idx = int32(len(s.ents) - 1)
 	} else {
-		// Recycle the least recently used entry.
+		// Recycle the shard's least recently used entry.
 		c.evictions.Add(1)
 		obsCacheEvictions.Inc()
-		idx = c.tail
-		e := &c.ents[idx]
-		delete(c.m, e.key)
-		c.tail = e.prev
-		if c.tail >= 0 {
-			c.ents[c.tail].next = -1
+		idx = s.tail
+		e := &s.ents[idx]
+		delete(s.m, e.key)
+		s.tail = e.prev
+		if s.tail >= 0 {
+			s.ents[s.tail].next = -1
 		} else {
-			c.head = -1
+			s.head = -1
 		}
 	}
-	c.ents[idx] = cacheEntry{key: key, out: out, prev: -1, next: c.head}
-	if c.head >= 0 {
-		c.ents[c.head].prev = idx
+	s.ents[idx] = cacheEntry{key: key, out: out, prev: -1, next: s.head}
+	if s.head >= 0 {
+		s.ents[s.head].prev = idx
 	}
-	c.head = idx
-	if c.tail < 0 {
-		c.tail = idx
+	s.head = idx
+	if s.tail < 0 {
+		s.tail = idx
 	}
-	c.m[key] = idx
+	s.m[key] = idx
 }
 
 // batchScratch carries the per-call buffers of EvaluateBatchInto.

@@ -1,0 +1,333 @@
+package agent
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"macroplace/internal/obs"
+)
+
+// InferServer is the process-wide batched inference server: concurrent
+// jobs (daemon workers, fleet members, portfolio arms) register their
+// frozen-weight agents and route every leaf-evaluation batch through
+// it, so requests from different jobs that share a model coalesce into
+// one GEMM call instead of each job batching only within itself. On a
+// machine whose cores outnumber jobs this turns many half-empty
+// batches into fewer fuller ones — the larger products engage the
+// parallel GEMM backends where per-job batches would not.
+//
+// Clients are grouped by a fingerprint of ⟨architecture, weights,
+// BatchNorm running statistics, GEMM backend⟩ taken at registration:
+// only bit-identical models coalesce, and each group evaluates on a
+// private clone of the first registrant's agent, so a job that later
+// retrains its own agent can never corrupt a batch served to others.
+// Because the batched kernels are bit-identical per sample regardless
+// of batch composition, every request's outputs are bit-identical to
+// evaluating it alone — coalescing is invisible to search results (the
+// cross-job E2E test pins this).
+//
+// Each group runs one serving goroutine: requests queue under the
+// group lock, the server drains the whole queue into one concatenated
+// EvaluateBatchInto, then scatters the per-request segments. With
+// Linger zero the server never waits to fill a batch (a lone request
+// proceeds immediately — same deadlock-freedom argument as the mcts
+// evalBatcher); a positive Linger trades that latency for occupancy by
+// sleeping once after the first request of a batch arrives.
+type InferServer struct {
+	// Linger is how long the serving loop waits after a request
+	// arrives before draining the queue, giving concurrent jobs a
+	// window to join the batch. Zero (the default) serves immediately.
+	// Set before the first Register call.
+	Linger time.Duration
+
+	mu     sync.Mutex
+	groups map[uint64]*inferGroup
+
+	coalesced atomic.Uint64
+}
+
+// CoalescedBatches reports how many served batches combined requests
+// from two or more clients — the cross-job win the server exists for.
+// (The process-wide obs counter aggregates across servers; this is the
+// per-server view tests and operators use.)
+func (s *InferServer) CoalescedBatches() uint64 { return s.coalesced.Load() }
+
+// NewInferServer returns an empty server with immediate (Linger=0)
+// flushing.
+func NewInferServer() *InferServer { return &InferServer{groups: make(map[uint64]*inferGroup)} }
+
+// Stats reports the current model-group count and registered-client
+// count (for telemetry and tests).
+func (s *InferServer) Stats() (groups, clients int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.groups {
+		clients += g.refs
+	}
+	return len(s.groups), clients
+}
+
+// Register adds a client for ag's current weights, creating the model
+// group on first registration. The fingerprint is taken now: register
+// after weights are final (post-training / post-load). The returned
+// client implements Inferencer, so it slots in front of a per-job
+// CachedEvaluator via NewCachedEvaluatorFor.
+func (s *InferServer) Register(ag *Agent) *InferClient {
+	fp := fingerprintAgent(ag)
+	s.mu.Lock()
+	if s.groups == nil {
+		// The zero value works too (tests set Linger via a literal).
+		s.groups = make(map[uint64]*inferGroup)
+	}
+	g, ok := s.groups[fp]
+	if !ok {
+		rep := ag.Clone()
+		rep.SetBackend(ag.backend)
+		g = &inferGroup{srv: s, fp: fp, rep: rep}
+		g.wake = sync.NewCond(&g.qmu)
+		s.groups[fp] = g
+		go g.serve()
+	}
+	g.refs++
+	s.mu.Unlock()
+	return &InferClient{g: g}
+}
+
+// Close stops every group's serving goroutine and empties the server.
+// Outstanding requests are served first; clients must not submit after
+// Close. Primarily for daemon shutdown and tests — normal operation
+// retires groups via client refcounts.
+func (s *InferServer) Close() {
+	s.mu.Lock()
+	groups := s.groups
+	s.groups = make(map[uint64]*inferGroup)
+	s.mu.Unlock()
+	for _, g := range groups {
+		g.stop()
+	}
+}
+
+// inferGroup serves one bit-identical model. Requests park on their
+// done channel; the serving goroutine drains the queue, evaluates the
+// concatenation on the group's private representative agent, and
+// scatters the results.
+type inferGroup struct {
+	srv  *InferServer
+	fp   uint64
+	rep  *Agent
+	refs int // guarded by srv.mu
+
+	qmu     sync.Mutex
+	wake    *sync.Cond
+	queue   []*inferReq
+	stopped bool
+}
+
+type inferReq struct {
+	client *InferClient
+	in     []BatchInput
+	out    []Output
+	done   chan struct{}
+	panic  any
+}
+
+// EvaluateBatchInto implements Inferencer by queueing the batch on the
+// group and blocking until the server has filled out. A panic raised
+// by the underlying kernels (malformed state shapes) resurfaces on the
+// calling goroutine, as if the client had evaluated locally.
+func (c *InferClient) EvaluateBatchInto(in []BatchInput, out []Output) {
+	if len(in) == 0 {
+		return
+	}
+	if len(out) != len(in) {
+		panic("agent: InferClient.EvaluateBatchInto length mismatch")
+	}
+	g := c.g
+	req := &inferReq{client: c, in: in, out: out, done: make(chan struct{})}
+	g.qmu.Lock()
+	if g.stopped {
+		g.qmu.Unlock()
+		panic("agent: InferClient used after Close")
+	}
+	g.queue = append(g.queue, req)
+	g.qmu.Unlock()
+	g.wake.Signal()
+	<-req.done
+	if req.panic != nil {
+		panic(req.panic)
+	}
+}
+
+// EvalState evaluates one state through the server (the sequential
+// convenience mirror of Agent.EvalState).
+func (c *InferClient) EvalState(sp, sa []float64, t int) Output {
+	in := [1]BatchInput{{SP: sp, SA: sa, T: t}}
+	var out [1]Output
+	c.EvaluateBatchInto(in[:], out[:])
+	return out[0]
+}
+
+// serve is the group's single serving loop.
+func (g *inferGroup) serve() {
+	for {
+		g.qmu.Lock()
+		for len(g.queue) == 0 && !g.stopped {
+			g.wake.Wait()
+		}
+		if g.stopped && len(g.queue) == 0 {
+			g.qmu.Unlock()
+			return
+		}
+		if g.srv.Linger > 0 {
+			// Give concurrent jobs a window to join this batch.
+			g.qmu.Unlock()
+			time.Sleep(g.srv.Linger)
+			g.qmu.Lock()
+		}
+		reqs := g.queue
+		g.queue = nil
+		g.qmu.Unlock()
+		g.serveBatch(reqs)
+	}
+}
+
+// serveBatch evaluates one drained queue as a single concatenated
+// batch, falling back to per-request evaluation if the combined pass
+// panics so one malformed request cannot poison its batchmates.
+func (g *inferGroup) serveBatch(reqs []*inferReq) {
+	total := 0
+	clients := make(map[*InferClient]struct{}, 2)
+	for _, r := range reqs {
+		total += len(r.in)
+		clients[r.client] = struct{}{}
+	}
+	obsInferOccupancy.Observe(float64(total))
+	obsInferBatches.Inc()
+	if len(clients) >= 2 {
+		obsInferCoalesced.Inc()
+		g.srv.coalesced.Add(1)
+	}
+
+	if len(reqs) == 1 {
+		r := reqs[0]
+		r.panic = g.evalOne(r.in, r.out)
+		close(r.done)
+		return
+	}
+	in := make([]BatchInput, 0, total)
+	out := make([]Output, total)
+	for _, r := range reqs {
+		in = append(in, r.in...)
+	}
+	if p := g.evalOne(in, out); p != nil {
+		// Combined pass failed: isolate the offender by serving each
+		// request alone, so only its caller sees the panic.
+		for _, r := range reqs {
+			r.panic = g.evalOne(r.in, r.out)
+			close(r.done)
+		}
+		return
+	}
+	off := 0
+	for _, r := range reqs {
+		copy(r.out, out[off:off+len(r.in)])
+		off += len(r.in)
+		close(r.done)
+	}
+}
+
+// evalOne runs one EvaluateBatchInto on the representative agent,
+// converting a kernel panic into a value for the requester.
+func (g *inferGroup) evalOne(in []BatchInput, out []Output) (pval any) {
+	defer func() { pval = recover() }()
+	g.rep.EvaluateBatchInto(in, out)
+	return nil
+}
+
+// stop shuts the serving goroutine down after the queue drains.
+func (g *inferGroup) stop() {
+	g.qmu.Lock()
+	g.stopped = true
+	g.qmu.Unlock()
+	g.wake.Signal()
+}
+
+// InferClient is one job's handle on the server: an Inferencer whose
+// batches coalesce with every other client of the same model group.
+type InferClient struct {
+	g      *inferGroup
+	closed bool
+}
+
+// Close releases the client's group reference; the last close retires
+// the group and its serving goroutine. Idempotent. Do not submit
+// after Close.
+func (c *InferClient) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	g := c.g
+	s := g.srv
+	s.mu.Lock()
+	g.refs--
+	last := g.refs == 0
+	if last {
+		delete(s.groups, g.fp)
+	}
+	s.mu.Unlock()
+	if last {
+		g.stop()
+	}
+}
+
+// fingerprintAgent hashes the agent's full served identity — shape,
+// every parameter's float32 bits, the BatchNorm running statistics,
+// and the GEMM backend name — with FNV-1a. Two agents coalesce only
+// when every one of those words matches, which is exactly the
+// condition under which their evaluations are interchangeable.
+func fingerprintAgent(ag *Agent) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	word := func(w uint64) {
+		h = (h ^ w) * fnvPrime
+	}
+	word(uint64(ag.Cfg.Zeta))
+	word(uint64(ag.Cfg.Channels))
+	word(uint64(ag.Cfg.ResBlocks))
+	word(uint64(ag.Cfg.MaxSteps))
+	for _, b := range []byte(ag.BackendName()) {
+		word(uint64(b))
+	}
+	for _, p := range ag.params {
+		word(uint64(len(p.W)))
+		for _, v := range p.W {
+			word(uint64(math.Float32bits(v)))
+		}
+	}
+	for _, bn := range ag.batchNorms() {
+		for _, v := range bn.RunMean {
+			word(uint64(math.Float32bits(v)))
+		}
+		for _, v := range bn.RunVar {
+			word(uint64(math.Float32bits(v)))
+		}
+	}
+	return h
+}
+
+// Inference-server telemetry (DESIGN.md §13).
+var (
+	obsInferOccupancy = obs.NewHistogram("macroplace_agent_infserver_batch_occupancy",
+		"States per coalesced inference-server batch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	obsInferBatches = obs.NewCounter("macroplace_agent_infserver_batches_total",
+		"Batches served by the shared inference server.")
+	obsInferCoalesced = obs.NewCounter("macroplace_agent_infserver_coalesced_total",
+		"Served batches that combined requests from two or more jobs.")
+)

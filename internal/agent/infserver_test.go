@@ -1,0 +1,151 @@
+package agent
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"macroplace/internal/nn"
+)
+
+// TestInferServerBitIdenticalToSolo: every output served through the
+// shared server must be bit-identical to evaluating the same state
+// alone on the agent — the contract that makes cross-job coalescing
+// invisible to search results.
+func TestInferServerBitIdenticalToSolo(t *testing.T) {
+	ag := batchTestAgent()
+	cells := ag.Cfg.Zeta * ag.Cfg.Zeta
+	srv := NewInferServer()
+	defer srv.Close()
+	c1 := srv.Register(ag)
+	c2 := srv.Register(ag.Clone())
+	if g, cl := srv.Stats(); g != 1 || cl != 2 {
+		t.Fatalf("Stats = %d groups, %d clients; want 1 group, 2 clients (identical weights must share)", g, cl)
+	}
+
+	in := batchStates(5, cells)
+	want := ag.EvaluateBatch(in)
+
+	var wg sync.WaitGroup
+	outs := make([][]Output, 2)
+	for ci, c := range []*InferClient{c1, c2} {
+		wg.Add(1)
+		go func(ci int, c *InferClient) {
+			defer wg.Done()
+			out := make([]Output, len(in))
+			c.EvaluateBatchInto(in, out)
+			outs[ci] = out
+		}(ci, c)
+	}
+	wg.Wait()
+
+	for ci, out := range outs {
+		for b := range out {
+			if out[b].Value != want[b].Value {
+				t.Fatalf("client %d sample %d: value %v != solo %v", ci, b, out[b].Value, want[b].Value)
+			}
+			for i := range want[b].Probs {
+				if out[b].Probs[i] != want[b].Probs[i] {
+					t.Fatalf("client %d sample %d prob %d differs from solo", ci, b, i)
+				}
+			}
+		}
+	}
+}
+
+// TestInferServerCoalesces: with a linger window, concurrent requests
+// from two clients land in one served batch and the coalesced counter
+// moves. Retried because the two submitters are real goroutines — one
+// window may fire with a single request — but a handful of attempts
+// with a 50ms window makes a miss effectively impossible.
+func TestInferServerCoalesces(t *testing.T) {
+	ag := batchTestAgent()
+	cells := ag.Cfg.Zeta * ag.Cfg.Zeta
+	srv := &InferServer{Linger: 50 * time.Millisecond}
+	defer srv.Close()
+	c1 := srv.Register(ag)
+	c2 := srv.Register(ag)
+	in := batchStates(2, cells)
+
+	for attempt := 0; attempt < 20 && srv.CoalescedBatches() == 0; attempt++ {
+		var wg sync.WaitGroup
+		for _, c := range []*InferClient{c1, c2} {
+			wg.Add(1)
+			go func(c *InferClient) {
+				defer wg.Done()
+				out := make([]Output, len(in))
+				c.EvaluateBatchInto(in, out)
+			}(c)
+		}
+		wg.Wait()
+	}
+	if srv.CoalescedBatches() == 0 {
+		t.Fatal("no batch combined the two clients' requests in 20 lingered attempts")
+	}
+}
+
+// TestInferServerPanicIsolation: a malformed request poisons only its
+// own caller. The combined pass panics, the server retries request by
+// request, and the well-formed batchmate still gets bit-identical
+// results.
+func TestInferServerPanicIsolation(t *testing.T) {
+	ag := batchTestAgent()
+	cells := ag.Cfg.Zeta * ag.Cfg.Zeta
+	srv := &InferServer{Linger: 50 * time.Millisecond}
+	defer srv.Close()
+	good := srv.Register(ag)
+	bad := srv.Register(ag)
+
+	in := batchStates(1, cells)
+	want := ag.EvalState(in[0].SP, in[0].SA, in[0].T)
+
+	var wg sync.WaitGroup
+	var goodOut Output
+	var badPanicked bool
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		goodOut = good.EvalState(in[0].SP, in[0].SA, in[0].T)
+	}()
+	go func() {
+		defer wg.Done()
+		defer func() { badPanicked = recover() != nil }()
+		bad.EvalState(make([]float64, 1), make([]float64, 1), 0) // wrong grid size: kernels panic
+	}()
+	wg.Wait()
+
+	if !badPanicked {
+		t.Fatal("malformed request did not panic its caller")
+	}
+	if goodOut.Value != want.Value {
+		t.Fatalf("well-formed batchmate got value %v, solo %v", goodOut.Value, want.Value)
+	}
+}
+
+// TestInferServerGroupsByBackendAndRetires: different GEMM backends
+// must not share a group (their outputs differ), and the last client
+// Close retires a group.
+func TestInferServerGroupsByBackendAndRetires(t *testing.T) {
+	ag := batchTestAgent()
+	srv := NewInferServer()
+	defer srv.Close()
+
+	c1 := srv.Register(ag)
+	agQ := ag.Clone()
+	be, err := nn.NewBackend("int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agQ.SetBackend(be)
+	c2 := srv.Register(agQ)
+	if g, _ := srv.Stats(); g != 2 {
+		t.Fatalf("int8 and blocked clients share a group (groups = %d)", g)
+	}
+
+	c1.Close()
+	c1.Close() // idempotent
+	c2.Close()
+	if g, cl := srv.Stats(); g != 0 || cl != 0 {
+		t.Fatalf("after closing every client: %d groups, %d clients", g, cl)
+	}
+}

@@ -1,0 +1,66 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"macroplace/internal/nn"
+)
+
+// Accuracy gate for the opt-in int8 backend: quantized inference is
+// only useful if the heads it feeds the search barely move. The gate
+// compares the quantized agent against the float oracle on a spread of
+// states and pins the maximum policy KL divergence and value MAE.
+//
+// The bounds are deliberately tight multiples of what the error model
+// in nn/quant.go predicts for this network (observed on this
+// architecture: max KL ~6e-4, value MAE ~2e-2); a kernel regression
+// that loses even one effective bit of the int8 path blows through
+// them.
+const (
+	int8MaxPolicyKL = 5e-3
+	int8MaxValueMAE = 5e-2
+)
+
+func TestInt8BackendAccuracyGate(t *testing.T) {
+	oracle := New(Config{Zeta: 8, Channels: 8, ResBlocks: 2, MaxSteps: 12, Seed: 41})
+	quant := oracle.Clone()
+	be, err := nn.NewBackend("int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant.SetBackend(be)
+
+	cells := oracle.Cfg.Zeta * oracle.Cfg.Zeta
+	in := batchStates(16, cells)
+	want := oracle.EvaluateBatch(in)
+	got := quant.EvaluateBatch(in)
+
+	var maxKL, sumAbsV float64
+	for b := range in {
+		// KL(p_float ‖ p_int8) over the actions the float policy puts
+		// mass on. The quantized probability is floored at 1e-12 so a
+		// mass that collapsed to zero registers as a huge (failing) KL
+		// rather than an Inf that would obscure the report.
+		var kl float64
+		for i, pf := range want[b].Probs {
+			if pf <= 0 {
+				continue
+			}
+			pq := math.Max(float64(got[b].Probs[i]), 1e-12)
+			kl += float64(pf) * math.Log(float64(pf)/pq)
+		}
+		if kl > maxKL {
+			maxKL = kl
+		}
+		sumAbsV += math.Abs(float64(want[b].Value - got[b].Value))
+	}
+	mae := sumAbsV / float64(len(in))
+	t.Logf("int8 vs float oracle: max policy KL = %.3g, value MAE = %.3g", maxKL, mae)
+	if math.IsNaN(maxKL) || maxKL > int8MaxPolicyKL {
+		t.Fatalf("max policy KL %.3g exceeds gate %.3g", maxKL, int8MaxPolicyKL)
+	}
+	if math.IsNaN(mae) || mae > int8MaxValueMAE {
+		t.Fatalf("value MAE %.3g exceeds gate %.3g", mae, int8MaxValueMAE)
+	}
+}

@@ -39,10 +39,17 @@ func (c *countingCache) EvaluateBatchInto(in []agent.BatchInput, out []agent.Out
 // atomics, a torn increment under contention could silently lose
 // events; run with -race to also catch any unsynchronized LRU access.
 func TestCacheCountersExactUnderConcurrency(t *testing.T) {
+	// Capacity 16 keeps the cache on its exact-global-LRU single-shard
+	// layout and forces recycling, so the eviction path participates in
+	// the race; 4096 crosses the sharding threshold, so the same
+	// invariant is pinned across the sharded lock layout too.
+	t.Run("single-shard", func(t *testing.T) { cacheCounterRace(t, 16) })
+	t.Run("sharded", func(t *testing.T) { cacheCounterRace(t, 4096) })
+}
+
+func cacheCounterRace(t *testing.T, capacity int) {
 	env, wl := cornerEnv()
-	// Small capacity forces LRU recycling during the run, so the
-	// eviction path participates in the race too.
-	cc := &countingCache{inner: agent.NewCachedEvaluator(untrained(), 16)}
+	cc := &countingCache{inner: agent.NewCachedEvaluator(untrained(), capacity)}
 
 	var wg sync.WaitGroup
 	wg.Add(1)

@@ -142,6 +142,17 @@ type cacheStatser interface {
 	Stats() (hits, misses uint64)
 }
 
+// prober is the optional hit-only cache-probe interface of the
+// parallel search's fast path (agent.CachedEvaluator implements it).
+// Probe must return the same Output a full evaluation would, count a
+// hit as exactly one lookup, and count nothing on a miss — the miss is
+// re-looked-up through the batch path, which counts it once. Wrappers
+// that intercept evaluations (fault injectors, counting shims) simply
+// don't implement it and keep every evaluation on the batcher.
+type prober interface {
+	Probe(sp, sa []float64, t int) (agent.Output, bool)
+}
+
 // Node expansion states. A node is created nodeNew; in the parallel
 // search exactly one worker claims it (nodeExpanding) while its leaf
 // evaluation is in flight, and every node ends nodeExpanded. The
@@ -222,6 +233,7 @@ type Search struct {
 	resMu    sync.Mutex
 	vlossVal float64
 	batch    *evalBatcher
+	probe    prober // non-nil when Agent supports hit-only cache probes
 
 	// scratch is the sequential driver's reusable pass memory (the
 	// parallel workers each carry their own in workerState). See

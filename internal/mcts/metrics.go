@@ -38,4 +38,6 @@ var (
 		[]float64{1, 2, 4, 8, 16, 32})
 	obsBatchFallbacks = obs.NewCounter("macroplace_mcts_batch_fallbacks_total",
 		"Batched passes retried request-by-request after an evaluator panic.")
+	obsProbeHits = obs.NewCounter("macroplace_mcts_probe_hits_total",
+		"Leaf evaluations served by the cache-probe fast path, bypassing the batcher.")
 )

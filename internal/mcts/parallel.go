@@ -102,9 +102,11 @@ func (s *Search) runParallel(ctx context.Context, env *grid.Env) Result {
 		workers = s.Cfg.Gamma
 	}
 	s.batch = newEvalBatcher(s.Agent, workers)
+	s.probe, _ = s.Agent.(prober)
 	defer func() {
 		s.batch.stop()
 		s.batch = nil
+		s.probe = nil
 	}()
 
 	e := cloneEnv(env)
@@ -376,10 +378,7 @@ func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 	env := n.env
 	wk.sc.sp = env.SPInto(wk.sc.sp)
 	wk.sc.sa = env.AvailInto(wk.sc.sa)
-	out, err := s.batch.eval(wk.sc.sp, wk.sc.sa, env.T())
-	if err != nil {
-		panic(err)
-	}
+	out := s.evalLeaf(wk.sc.sp, wk.sc.sa, env.T())
 	actions, prior := s.edgesOf(env, out.Probs, &wk.sc.arena)
 	m := len(actions)
 	visits := wk.sc.arena.intSlice(m)
@@ -407,6 +406,28 @@ func (s *Search) expandParallel(n *node, wk *workerState) float64 {
 		n.cond.Broadcast()
 	}
 	return v
+}
+
+// evalLeaf resolves one leaf evaluation on the calling worker. The
+// cache-probe fast path serves a leaf whose evaluation is already
+// cached without the batcher rendezvous (channel send, batcher
+// wake-up, response wait) — the dominant per-pass overhead once the
+// evaluation cache is warm. A probe miss falls through to the batcher,
+// whose own cache lookup counts the state exactly once, so
+// hits+misses still equals lookups. An evaluator fault surfaces as a
+// panic, unwinding to explorePass's recover.
+func (s *Search) evalLeaf(sp, sa []float64, t int) agent.Output {
+	if s.probe != nil {
+		if out, ok := s.probe.Probe(sp, sa, t); ok {
+			obsProbeHits.Inc()
+			return out
+		}
+	}
+	out, err := s.batch.eval(sp, sa, t)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // rolloutParallel is rollout with the worker's private RNG and the

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"macroplace/internal/agent"
 	"macroplace/internal/atomicio"
 	"macroplace/internal/core"
 	"macroplace/internal/mcts"
@@ -50,9 +51,21 @@ type Config struct {
 	RetryAfter time.Duration
 	// Logf receives daemon diagnostics (nil discards).
 	Logf func(format string, args ...any)
+	// SharedInference routes every single-flow job's leaf evaluations
+	// through one process-wide agent.InferServer, so concurrent jobs
+	// with bit-identical models coalesce their batches into shared GEMM
+	// calls (results stay bit-identical to solo runs — see
+	// agent.InferServer). Off by default: the library caller opts in;
+	// cmd/placed exposes it as -shared-inference.
+	SharedInference bool
+	// Infer overrides the shared inference server used when
+	// SharedInference is set (nil: a fresh one). Tests inject a server
+	// with a positive Linger here to force cross-job coalescing.
+	Infer *agent.InferServer
 	// Runner overrides how a job's flow executes — tests inject faults
 	// here, and the fleet coordinator routes jobs to remote workers.
-	// nil selects RunSpec, the production runner.
+	// nil selects RunSpec, the production runner (routed through the
+	// shared inference server when SharedInference is set).
 	Runner func(ctx context.Context, j *Job) (*Result, error)
 	// Pool overrides the queue/placement policy. nil selects
 	// NewScheduler(Workers, QueueCap), the local bounded-FIFO pool; the
@@ -79,8 +92,18 @@ func (c Config) normalize() (Config, error) {
 	} else if err := os.MkdirAll(c.Dir, 0o755); err != nil {
 		return c, fmt.Errorf("serve: job dir: %w", err)
 	}
+	if c.SharedInference && c.Infer == nil {
+		c.Infer = agent.NewInferServer()
+	}
 	if c.Runner == nil {
-		c.Runner = RunSpec
+		if c.SharedInference {
+			infer := c.Infer
+			c.Runner = func(ctx context.Context, j *Job) (*Result, error) {
+				return RunSpecShared(ctx, j, j.Spec, infer)
+			}
+		} else {
+			c.Runner = RunSpec
+		}
 	}
 	return c, nil
 }
@@ -372,6 +395,14 @@ func RunSpec(ctx context.Context, j *Job) (*Result, error) {
 // resume snapshot attached, without mutating the admitted (client-
 // visible) spec under concurrent Status readers.
 func RunSpecAs(ctx context.Context, j *Job, spec Spec) (*Result, error) {
+	return RunSpecShared(ctx, j, spec, nil)
+}
+
+// RunSpecShared is RunSpecAs with the job's leaf evaluations routed
+// through a shared inference server (nil: job-private inference, the
+// RunSpecAs behaviour). Race jobs ignore infer: portfolio backends own
+// their placers end to end.
+func RunSpecShared(ctx context.Context, j *Job, spec Spec, infer *agent.InferServer) (*Result, error) {
 	if len(spec.Race) > 0 {
 		return runRaceSpec(ctx, j)
 	}
@@ -385,6 +416,12 @@ func RunSpecAs(ctx context.Context, j *Job, spec Spec) (*Result, error) {
 	p, err := core.New(design, spec.Options())
 	if err != nil {
 		return nil, err
+	}
+	if infer != nil {
+		p.Opts.Infer = infer
+		// Release this job's client registration when the flow ends so
+		// idle model groups (and their serving goroutines) retire.
+		defer p.Close()
 	}
 	if sn := spec.Resume; sn != nil {
 		// Check needs the materialised search environment; PlaceContext

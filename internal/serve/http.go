@@ -222,6 +222,11 @@ func (d *Server) Addr() string {
 // back to an immediate close when ctx expires first.
 func (d *Server) Shutdown(ctx context.Context) error {
 	err := d.Drain(ctx)
+	if d.cfg.Infer != nil {
+		// Jobs are drained (or abandoned to their checkpoints), so no
+		// client submits after this; stop the shared serving goroutines.
+		d.cfg.Infer.Close()
+	}
 	if d.httpSrv != nil {
 		herr := d.httpSrv.Shutdown(ctx)
 		if herr != nil {

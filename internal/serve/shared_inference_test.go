@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"macroplace/internal/agent"
+)
+
+func cleanupServer(t *testing.T, d *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestSharedInferenceBitIdenticalToSolo is the cross-job coalescing
+// E2E (run under -race in CI): two concurrent daemon jobs with
+// bit-identical models route every leaf evaluation through one shared
+// InferServer — with a linger window so their batches actually merge —
+// and still land results bit-identical to the same spec run solo with
+// job-private inference. Coalescing must be invisible everywhere
+// except the occupancy metrics.
+func TestSharedInferenceBitIdenticalToSolo(t *testing.T) {
+	sp := tinySpec(4242)
+
+	// Solo oracle: one job, private inference.
+	solo, err := NewServer(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanupServer(t, solo)
+	sj, err := solo.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, solo, sj.ID); st != StateDone {
+		t.Fatalf("solo job ended %s", st)
+	}
+	want := sj.Result()
+
+	// Shared run: two identical jobs concurrently through one server.
+	// The linger window holds each batch open long enough for the
+	// sibling job's requests to join it.
+	infer := &agent.InferServer{Linger: 5 * time.Millisecond}
+	shared, err := NewServer(Config{Workers: 2, SharedInference: true, Infer: infer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanupServer(t, shared)
+	j1, err := shared.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := shared.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, shared, j1.ID); st != StateDone {
+		t.Fatalf("shared job 1 ended %s", st)
+	}
+	if st := waitTerminal(t, shared, j2.ID); st != StateDone {
+		t.Fatalf("shared job 2 ended %s", st)
+	}
+
+	for i, j := range []*Job{j1, j2} {
+		res := j.Result()
+		if res.HPWL != want.HPWL || res.RLHPWL != want.RLHPWL || res.MacroOverlap != want.MacroOverlap {
+			t.Fatalf("shared job %d diverged from solo: hpwl %v vs %v, rl %v vs %v, overlap %v vs %v",
+				i+1, res.HPWL, want.HPWL, res.RLHPWL, want.RLHPWL, res.MacroOverlap, want.MacroOverlap)
+		}
+		if res.Explorations != want.Explorations {
+			t.Fatalf("shared job %d ran %d explorations, solo %d", i+1, res.Explorations, want.Explorations)
+		}
+	}
+	// Two identical models must have shared one group while both ran;
+	// after both jobs closed their clients the group retires.
+	if g, cl := infer.Stats(); g != 0 || cl != 0 {
+		t.Fatalf("after both jobs finished: %d groups, %d clients still registered", g, cl)
+	}
+	if n := infer.CoalescedBatches(); n == 0 {
+		// Identical jobs on a shared worker pool overlap for their
+		// entire search phase with a 2ms linger on every batch; if they
+		// never once merged, the shared path is not actually shared.
+		t.Fatal("no batch ever combined the two jobs' requests")
+	} else {
+		t.Logf("coalesced batches: %d", n)
+	}
+}

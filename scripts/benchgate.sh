@@ -9,7 +9,16 @@
 # each, plus BenchmarkFleetThroughput (the coordinator's per-job
 # control-plane cost over stub runners), and fails if allocs/op
 # regresses above a tolerance band around the committed BENCH_pr3.json
-# / BENCH_pr6.json / BENCH_pr7.json baselines.
+# / BENCH_pr6.json / BENCH_pr7.json / BENCH_pr8.json baselines.
+#
+# Allocation counts are only comparable between runs scheduled the
+# same way, so a row is gated ONLY against a baseline recorded at the
+# same GOMAXPROCS (the per-entry "gomaxprocs" field of the artifact;
+# files from before that field default to 1). A row with no
+# same-GOMAXPROCS baseline is skipped with a named message rather than
+# silently compared against a differently-scheduled figure.
+# BENCH_pr8.json records the MCTS rows at both GOMAXPROCS=1 and 4, so
+# the usual single-core and 4-vCPU CI shapes both stay gated.
 #
 # Ceiling per benchmark = baseline allocs/op × (1 + TOLERANCE_PCT/100)
 # + SLACK_ALLOCS. The slack term absorbs run-to-run scheduling noise in
@@ -19,6 +28,13 @@
 # metric-label allocation — reintroduces thousands of allocations per
 # search and overshoots the band immediately.
 #
+# Finally the parallel-speedup gate: BENCH_pr8.json must show the
+# workers=4 search strictly beating workers=1 on sims/sec at
+# GOMAXPROCS=4 — skipped with a named message when the artifact was
+# recorded on a single-core host (its "num_cpu" field), where four
+# workers time-slice one core and the comparison is meaningless (the
+# PR 1 stance: documented rather than demonstrated).
+#
 # Usage: scripts/benchgate.sh
 set -eu
 
@@ -27,8 +43,11 @@ cd "$(dirname "$0")/.."
 # BENCH_pr5.json (serve throughput) is deliberately not gated: its
 # committed figure is steady-state over many iterations, while this
 # gate runs -benchtime=1x where the first iteration carries one-time
-# setup allocations. Its row still prints for the record.
-BASELINE_FILES="BENCH_pr3.json BENCH_pr6.json BENCH_pr7.json"
+# setup allocations. Its row still prints for the record. Later files
+# override earlier ones on duplicate (name, gomaxprocs) keys, so
+# BENCH_pr8.json supersedes BENCH_pr3.json for the MCTS rows.
+BASELINE_FILES="BENCH_pr3.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json"
+SPEEDUP_FILE="BENCH_pr8.json"
 TOLERANCE_PCT=50
 SLACK_ALLOCS=64
 
@@ -39,11 +58,15 @@ for f in $BASELINE_FILES; do
     fi
 done
 
-# Extract "name allocs_per_op" pairs from the baseline JSONs (stdlib
-# tools only; the file layout is committed alongside this script).
+# Extract "name gomaxprocs allocs_per_op" triples from the baseline
+# JSONs (stdlib tools only; the file layout is committed alongside
+# this script). The -N suffix is stripped from names; the per-entry
+# gomaxprocs carries that information instead (1 when the entry
+# predates the field — those artifacts were recorded single-core).
 baselines=$(awk '
-  /"name":/      { gsub(/[",]/, ""); name = $2 }
-  /"allocs\/op":/ { gsub(/[",]/, ""); if (name != "") { print name, $2; name = "" } }
+  /"name":/       { gsub(/[",]/, ""); name = $2; sub(/-[0-9]+$/, "", name); gmp = 1 }
+  /"gomaxprocs":/ { gsub(/[",]/, ""); if (name != "") gmp = $2 }
+  /"allocs\/op":/ { gsub(/[",]/, ""); if (name != "") { print name, gmp, $2; name = "" } }
 ' $BASELINE_FILES)
 if [ -z "$baselines" ]; then
     echo "benchgate: no baselines parsed from $BASELINE_FILES" >&2
@@ -56,7 +79,10 @@ echo "$out"
 echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines="$baselines" '
   BEGIN {
     n = split(baselines, parts, /[ \n]+/)
-    for (i = 1; i + 1 <= n; i += 2) base[parts[i]] = parts[i + 1]
+    for (i = 1; i + 2 <= n; i += 3) {
+      base[parts[i], parts[i + 1]] = parts[i + 2]
+      known[parts[i]] = known[parts[i]] " " parts[i + 1]
+    }
   }
   /^Benchmark(MCTSWorkers\/workers=|ServeThroughput|PortfolioRace|FleetThroughput)/ {
     allocs = -1
@@ -66,33 +92,69 @@ echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines=
       bad = 1
       next
     }
-    # Strip the -N GOMAXPROCS suffix (absent on single-CPU machines)
-    # to match the baseline name.
+    # The -N suffix (absent at GOMAXPROCS=1) is this row
+    # scheduling; only a baseline recorded the same way is comparable.
     name = $1
-    sub(/-[0-9]+$/, "", name)
-    if (!(name in base)) {
+    procs = 1
+    if (match(name, /-[0-9]+$/)) {
+      procs = substr(name, RSTART + 1) + 0
+      sub(/-[0-9]+$/, "", name)
+    }
+    if (!(name in known)) {
       # Newer benchmarks (recorded in later BENCH_pr*.json files) are
       # informational here, not gated — skip instead of failing, so
       # adding a benchmark never requires rewriting the pr3 baseline.
       print "benchgate: skip " name " (no baseline in '"$BASELINE_FILES"')"
       next
     }
-    ceiling = int(base[name] * (1 + tol / 100) + slack)
     rows++
+    if (!((name, procs) in base)) {
+      printf "benchgate: skip %s (baselines recorded at GOMAXPROCS%s, this run is GOMAXPROCS=%d — allocation counts are not comparable across schedulings)\n", \
+        name, known[name], procs
+      next
+    }
+    ceiling = int(base[name, procs] * (1 + tol / 100) + slack)
     if (allocs + 0 > ceiling) {
-      printf "benchgate: FAIL %s: %d allocs/op exceeds ceiling %d (baseline %d + %d%% + %d slack) — the search hot path regressed\n", \
-        name, allocs, ceiling, base[name], tol, slack > "/dev/stderr"
+      printf "benchgate: FAIL %s: %d allocs/op exceeds ceiling %d (baseline %d + %d%% + %d slack at GOMAXPROCS=%d) — the search hot path regressed\n", \
+        name, allocs, ceiling, base[name, procs], tol, slack, procs > "/dev/stderr"
       bad = 1
     } else {
-      printf "benchgate: %s: %d allocs/op <= ceiling %d (baseline %d)\n", name, allocs, ceiling, base[name]
+      printf "benchgate: %s: %d allocs/op <= ceiling %d (baseline %d at GOMAXPROCS=%d)\n", \
+        name, allocs, ceiling, base[name, procs], procs
     }
   }
   END {
     if (rows != 4) {
-      print "benchgate: expected 4 gated rows (2 MCTS + portfolio + fleet), saw " rows + 0 > "/dev/stderr"
+      print "benchgate: expected 4 known rows (2 MCTS + portfolio + fleet), saw " rows + 0 > "/dev/stderr"
       exit 1
     }
     exit bad
   }'
+
+# Parallel-speedup gate on the committed artifact (see header).
+awk '
+  /"num_cpu":/    { gsub(/[",]/, ""); ncpu = $2 + 0 }
+  /"name":/       { gsub(/[",]/, ""); name = $2; sub(/-[0-9]+$/, "", name); gmp = 1 }
+  /"gomaxprocs":/ { gsub(/[",]/, ""); if (name != "") gmp = $2 + 0 }
+  /"sims\/sec":/  {
+    gsub(/[",]/, "")
+    if (gmp == 4 && name == "BenchmarkMCTSWorkers/workers=1") w1 = $2 + 0
+    if (gmp == 4 && name == "BenchmarkMCTSWorkers/workers=4") w4 = $2 + 0
+  }
+  END {
+    if (ncpu <= 1) {
+      print "benchgate: skip parallel-speedup gate ('"$SPEEDUP_FILE"' was recorded on a single-core host: workers=4 time-slices one core, so workers=4 > workers=1 is documented rather than demonstrated)"
+      exit 0
+    }
+    if (w1 == 0 || w4 == 0) {
+      print "benchgate: '"$SPEEDUP_FILE"' is missing the GOMAXPROCS=4 workers=1/workers=4 sims/sec rows" > "/dev/stderr"
+      exit 1
+    }
+    if (w4 <= w1) {
+      printf "benchgate: FAIL parallel speedup: workers=4 at %g sims/sec does not exceed workers=1 at %g (GOMAXPROCS=4, %d cores)\n", w4, w1, ncpu > "/dev/stderr"
+      exit 1
+    }
+    printf "benchgate: parallel speedup OK: workers=4 %g sims/sec > workers=1 %g at GOMAXPROCS=4\n", w4, w1
+  }' "$SPEEDUP_FILE"
 
 echo "benchgate: OK"
