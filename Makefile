@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke portfolio-smoke fleet-smoke fmt vet
+.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke portfolio-smoke fleet-smoke eco-smoke fmt vet
 
 check: ## gofmt + vet + build + race-detector test suite
 	scripts/check.sh
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench: ## search hot-path + serving + portfolio + fleet benchmarks, recorded as BENCH_pr{3,5,6,7,8}.json
+bench: ## search hot-path + serving + portfolio + fleet + eco benchmarks, recorded as BENCH_pr{3,5,6,7,8,9}.json
 	$(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr3.json
 	( GOMAXPROCS=1 $(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . ; \
@@ -32,6 +32,8 @@ bench: ## search hot-path + serving + portfolio + fleet benchmarks, recorded as 
 		| $(GO) run ./cmd/benchjson -o BENCH_pr6.json
 	$(GO) test -run '^$$' -bench BenchmarkFleetThroughput -benchmem ./internal/fleet \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr7.json
+	$(GO) test -run '^$$' -bench BenchmarkECOJob -benchmem ./internal/eco \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr9.json
 
 bench-all: ## micro + table/figure benchmarks (quick preset)
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -50,6 +52,9 @@ portfolio-smoke: ## end-to-end portfolio-race smoke, CLI + daemon (same script C
 
 fleet-smoke: ## end-to-end fleet smoke: SIGKILL a worker mid-job, migrate, bit-identical (same script CI runs)
 	scripts/fleet_smoke.sh
+
+eco-smoke: ## end-to-end ECO smoke: full place -> delta -> incremental re-place beats scratch, warm repeat hits cache (same script CI runs)
+	scripts/eco_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"macroplace"
+	"macroplace/internal/eco"
+)
+
+// loadDelta parses a netlist-delta JSON file (eco.Delta wire form).
+// Empty path returns nil (no delta).
+func loadDelta(path string) (*eco.Delta, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("delta: %w", err)
+	}
+	var d eco.Delta
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("delta %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+type ecoFlags struct {
+	prior         string
+	moves         int
+	runs          int
+	retrain       bool
+	savePlacement string
+}
+
+// runEco is the -eco mode: re-place the design from a prior placement
+// under the delta with a short budgeted local-move search. -eco-runs
+// repeats the run against the process-wide warm store, so the second
+// and later runs demonstrate the warm path (no training, eval-cache
+// hits, bit-identical results).
+func runEco(ctx context.Context, d *macroplace.Design, delta *eco.Delta, fl ecoFlags,
+	opts macroplace.Options, runFields map[string]any, writeSummary func(), fail func(error)) {
+	if fl.prior == "" {
+		fail(fmt.Errorf("-eco requires -prior (a placement.json from a previous run's -saveplacement)"))
+	}
+	prior, err := eco.ReadPlacement(fl.prior)
+	if err != nil {
+		fail(err)
+	}
+	runs := fl.runs
+	if runs < 1 {
+		runs = 1
+	}
+	cfg := eco.Config{
+		Core:    opts,
+		Moves:   fl.moves,
+		Retrain: fl.retrain,
+		Warm:    eco.Default,
+		Logf:    opts.Logf,
+	}
+
+	var last *eco.Result
+	var firstHPWL float64
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		res, err := eco.Run(ctx, d, prior, delta, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("eco run %d/%d: HPWL %.6g overlap %.6g warm=%v probes=%d commits=%d cache %d hits / %d misses\n",
+			i+1, runs, res.HPWL, res.MacroOverlap, res.Warm,
+			res.MovesProbed, res.MovesCommitted, res.CacheHits, res.CacheMisses)
+		if i == 0 {
+			firstHPWL = res.HPWL
+		} else if res.HPWL != firstHPWL {
+			fail(fmt.Errorf("warm eco run %d diverged: HPWL %v != first run %v", i+1, res.HPWL, firstHPWL))
+		}
+		last = res
+	}
+	if ctx.Err() != nil {
+		runFields["interrupted"] = true
+	}
+	runFields["hpwl"] = last.HPWL
+	runFields["macro_overlap"] = last.MacroOverlap
+	runFields["eco_warm"] = last.Warm
+	runFields["cache_hits"] = last.CacheHits
+	runFields["cache_misses"] = last.CacheMisses
+	runFields["moves_probed"] = last.MovesProbed
+	runFields["moves_committed"] = last.MovesCommitted
+	runFields["eco_runs"] = runs
+	runFields["wall_seconds"] = time.Since(start).Seconds()
+	defer writeSummary()
+
+	fmt.Printf("ECO HPWL:       %.6g\n", last.HPWL)
+	fmt.Printf("macro overlap:  %.6g\n", last.MacroOverlap)
+	fmt.Printf("coarse cost:    prior %.6g -> best %.6g\n", last.PriorCost, last.BestCost)
+
+	if fl.savePlacement != "" {
+		if err := eco.WritePlacementWire(fl.savePlacement, d.Name, last.Macros); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved placement to %s\n", fl.savePlacement)
+	}
+}

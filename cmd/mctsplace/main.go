@@ -24,6 +24,13 @@
 //
 //	mctsplace -bench ibm01 -portfolio all -effort 0.2
 //	mctsplace -bench ibm06 -portfolio mcts,se,mincut -race-grace 5s -svg winner.svg
+//
+// With -eco the command re-places incrementally from a prior placement
+// (persisted by -saveplacement) under a netlist delta, instead of
+// running the full flow (see DESIGN.md §14):
+//
+//	mctsplace -bench ibm01 -saveplacement prior.json
+//	mctsplace -bench ibm01 -eco -prior prior.json -delta delta.json -eco-moves 128
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"macroplace"
+	"macroplace/internal/eco"
 	"macroplace/internal/serve"
 )
 
@@ -55,6 +63,13 @@ func main() {
 		svg        = flag.String("svg", "", "file to render the final placement as SVG")
 		saveAgent  = flag.String("saveagent", "", "file to checkpoint the pre-trained agent to")
 		loadAgent  = flag.String("loadagent", "", "agent checkpoint to load (skips RL pre-training)")
+		ecoMode    = flag.Bool("eco", false, "ECO mode: incrementally re-place from -prior under -delta with a short local-move search instead of the full flow")
+		priorF     = flag.String("prior", "", "prior placement.json for -eco (from a previous run's -saveplacement, or a daemon job's placement.json)")
+		deltaF     = flag.String("delta", "", "netlist delta JSON (add/drop/reweight nets); applied before the full flow, or searched under in -eco mode")
+		ecoMoves   = flag.Int("eco-moves", 0, "ECO local-move probe budget (0 = default 128)")
+		ecoRuns    = flag.Int("eco-runs", 1, "repeat the ECO run this many times against the in-process warm store (later runs skip training and hit the eval cache)")
+		ecoRetrain = flag.Bool("eco-retrain", false, "force retraining in ECO mode even when warm state exists (retargets the warm entry's cache)")
+		savePlace  = flag.String("saveplacement", "", "file to persist the final movable-macro placement to (the prior a later -eco run consumes)")
 		portfolioF = flag.String("portfolio", "", "race these backends instead of running the single flow (comma-separated, or \"all\"); the best legal placement wins")
 		effort     = flag.Float64("effort", 0, "portfolio backend budget scale in (0,1] (0 = full budget)")
 		raceGrace  = flag.Duration("race-grace", 0, "cancel race losers this long after the first finisher (0 = run every backend to completion, deterministic)")
@@ -143,6 +158,21 @@ func main() {
 	fmt.Printf("design %s: %d movable macros, %d pre-placed, %d pads, %d cells, %d nets\n",
 		d.Name, stats.MovableMacros, stats.PreplacedMacro, stats.Pads, stats.Cells, stats.Nets)
 
+	delta, err := loadDelta(*deltaF)
+	if err != nil {
+		fail(err)
+	}
+	if delta != nil && !*ecoMode {
+		// Full-flow (scratch) runs place the post-delta netlist directly,
+		// so an ECO result can be compared against a from-scratch run of
+		// the same changed design at equal budget.
+		if err := delta.Apply(d); err != nil {
+			fail(err)
+		}
+		fmt.Printf("applied delta: +%d nets, -%d nets, %d reweighted\n",
+			len(delta.AddNets), len(delta.DropNets), len(delta.Reweight))
+	}
+
 	if *portfolioF != "" {
 		racePortfolio(ctx, d, raceFlags{
 			backends: *portfolioF, effort: *effort, grace: *raceGrace,
@@ -166,6 +196,15 @@ func main() {
 	opts.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "mctsplace: "+format+"\n", args...)
 	}
+
+	if *ecoMode {
+		runEco(ctx, d, delta, ecoFlags{
+			prior: *priorF, moves: *ecoMoves, runs: *ecoRuns,
+			retrain: *ecoRetrain, savePlacement: *savePlace,
+		}, opts, runFields, writeSummary, fail)
+		return
+	}
+
 	if *checkpoint != "" {
 		every := *ckptEvery
 		if every < 1 {
@@ -246,6 +285,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("saved agent checkpoint to %s\n", *saveAgent)
+	}
+	if *savePlace != "" {
+		if err := eco.WritePlacement(*savePlace, p.Work); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved placement to %s\n", *savePlace)
 	}
 
 	fmt.Printf("RL-only HPWL:   %.6g\n", res.RLFinal.HPWL)

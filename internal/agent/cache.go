@@ -46,10 +46,20 @@ type Inferencer interface {
 // misses never serialize the network.
 //
 // The cache assumes frozen weights: it must be created after
-// pre-training (or weight loading) and discarded if the agent trains
-// again — core.Placer wires this.
+// pre-training (or weight loading) and discarded — or Retargeted —
+// if the agent trains again; core.Placer wires the discard, and the
+// ECO warm store (internal/eco) wires Retarget. As defense in depth
+// against a cache outliving its weights, every key is salted with the
+// wrapped Inferencer's weight fingerprint (Fingerprint, when
+// implemented): entries stored for one set of weights are unreachable
+// through any other, so a warm cache reused across jobs can never
+// serve hits from a differently-trained agent.
 type CachedEvaluator struct {
-	inf    Inferencer
+	inf Inferencer
+	// fp salts every key with the weight fingerprint of inf (zero when
+	// inf does not expose one — then the structural 1:1 pairing of
+	// cache and evaluator is the only staleness guard, as before).
+	fp     uint64
 	mask   uint64 // shard index mask: nshards-1
 	shards [cacheShards]cacheShard
 
@@ -103,7 +113,9 @@ func NewCachedEvaluator(ag *Agent, capacity int) *CachedEvaluator {
 
 // NewCachedEvaluatorFor is NewCachedEvaluator over any Inferencer —
 // the inference-server client path uses it to put the per-job cache in
-// front of the shared batch server.
+// front of the shared batch server. When inf exposes a weight
+// fingerprint (Agent and InferClient both do), it is captured now and
+// salted into every key.
 func NewCachedEvaluatorFor(inf Inferencer, capacity int) *CachedEvaluator {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
@@ -113,7 +125,7 @@ func NewCachedEvaluatorFor(inf Inferencer, capacity int) *CachedEvaluator {
 		nshards = 1
 	}
 	perShard := (capacity + nshards - 1) / nshards
-	c := &CachedEvaluator{inf: inf, mask: uint64(nshards - 1)}
+	c := &CachedEvaluator{inf: inf, fp: fingerprintOf(inf), mask: uint64(nshards - 1)}
 	for i := 0; i < nshards; i++ {
 		s := &c.shards[i]
 		s.m = make(map[cacheKey]int32, perShard)
@@ -124,15 +136,53 @@ func NewCachedEvaluatorFor(inf Inferencer, capacity int) *CachedEvaluator {
 	return c
 }
 
+// fingerprinter is the optional weight-identity surface of an
+// Inferencer. Agent and InferClient implement it; wrappers that
+// intercept evaluations (fault injectors) typically don't, which
+// leaves their caches unsalted — matching the pre-fingerprint
+// behaviour.
+type fingerprinter interface {
+	Fingerprint() uint64
+}
+
+func fingerprintOf(inf Inferencer) uint64 {
+	if f, ok := inf.(fingerprinter); ok {
+		return f.Fingerprint()
+	}
+	return 0
+}
+
+// Fingerprint returns the weight fingerprint salted into this cache's
+// keys (zero when the wrapped Inferencer exposes none).
+func (c *CachedEvaluator) Fingerprint() uint64 { return c.fp }
+
+// Retarget points the cache at a different Inferencer — the ECO warm
+// store's retrain path: the cache object (and whatever entries remain
+// valid) persists across jobs on one design, while a retrained agent
+// swaps in underneath. The key salt is re-captured from inf, so
+// entries stored under the old weights become unreachable immediately
+// (they age out of the LRU); zero stale hits is guaranteed by
+// construction rather than by remembering to flush.
+//
+// Not safe to call concurrently with lookups: quiesce the cache (no
+// in-flight Forward/Probe/EvaluateBatchInto) first. The warm store
+// serializes jobs per design, which provides exactly that.
+func (c *CachedEvaluator) Retarget(inf Inferencer) {
+	c.inf = inf
+	c.fp = fingerprintOf(inf)
+}
+
 func (c *CachedEvaluator) shard(key cacheKey) *cacheShard {
 	return &c.shards[key.a&c.mask]
 }
 
-// stateKey hashes ⟨t, s_p bits, s_a bits⟩ with two structurally
+// stateKey hashes ⟨fp, t, s_p bits, s_a bits⟩ with two structurally
 // different 64-bit word hashes: FNV-1a over words, and an add-fold
 // with splitmix64-style avalanching. Lengths and t are folded in so
-// states of different shape never share a key.
-func stateKey(t int, sp, sa []float64) cacheKey {
+// states of different shape never share a key, and the weight
+// fingerprint fp is the first word mixed, so the same state evaluated
+// under different weights occupies different cache slots.
+func stateKey(fp uint64, t int, sp, sa []float64) cacheKey {
 	const (
 		fnvOffset = 14695981039346656037
 		fnvPrime  = 1099511628211
@@ -148,6 +198,7 @@ func stateKey(t int, sp, sa []float64) cacheKey {
 		h2 = (h2 ^ (h2 >> 27)) * mixMul2
 		h2 ^= h2 >> 31
 	}
+	mix(fp)
 	mix(uint64(t))
 	mix(uint64(len(sp))<<32 | uint64(len(sa)))
 	for _, v := range sp {
@@ -195,7 +246,7 @@ func (c *CachedEvaluator) evalState(sp, sa []float64, t int) Output {
 // miss. Unlike Agent.Forward it records no backward caches (searches
 // never call Backward).
 func (c *CachedEvaluator) Forward(sp, sa []float64, t int) Output {
-	key := stateKey(t, sp, sa)
+	key := stateKey(c.fp, t, sp, sa)
 	if out, ok := c.lookup(key); ok {
 		c.hits.Add(1)
 		obsCacheHits.Inc()
@@ -216,7 +267,7 @@ func (c *CachedEvaluator) Forward(sp, sa []float64, t int) Output {
 // The parallel search uses it to serve cache-resident leaves directly
 // on the worker, bypassing the evaluation batcher's rendezvous.
 func (c *CachedEvaluator) Probe(sp, sa []float64, t int) (Output, bool) {
-	out, ok := c.lookup(stateKey(t, sp, sa))
+	out, ok := c.lookup(stateKey(c.fp, t, sp, sa))
 	if ok {
 		c.hits.Add(1)
 		obsCacheHits.Inc()
@@ -248,7 +299,7 @@ func (c *CachedEvaluator) EvaluateBatchInto(in []BatchInput, out []Output) {
 
 	var hits, misses uint64
 	for i := range in {
-		sc.keys[i] = stateKey(in[i].T, in[i].SP, in[i].SA)
+		sc.keys[i] = stateKey(c.fp, in[i].T, in[i].SP, in[i].SA)
 		if o, ok := c.lookup(sc.keys[i]); ok {
 			hits++
 			out[i] = o

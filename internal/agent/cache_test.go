@@ -125,19 +125,68 @@ func TestCacheEvictsLRU(t *testing.T) {
 func TestCacheKeyDistinguishesStates(t *testing.T) {
 	sp := []float64{0.25, 0.5}
 	sa := []float64{1, 0}
-	base := stateKey(1, sp, sa)
-	if k := stateKey(2, sp, sa); k == base {
+	base := stateKey(0, 1, sp, sa)
+	if k := stateKey(0, 2, sp, sa); k == base {
 		t.Fatal("t not keyed")
 	}
-	if k := stateKey(1, sa, sp); k == base {
+	if k := stateKey(0, 1, sa, sp); k == base {
 		t.Fatal("sp/sa order not keyed")
 	}
 	sp2 := []float64{0.25, 0.5000000001}
-	if k := stateKey(1, sp2, sa); k == base {
+	if k := stateKey(0, 1, sp2, sa); k == base {
 		t.Fatal("sp content not keyed")
 	}
-	if k := stateKey(1, sp, sa); k != base {
+	if k := stateKey(7, 1, sp, sa); k == base {
+		t.Fatal("weight fingerprint not keyed")
+	}
+	if k := stateKey(0, 1, sp, sa); k != base {
 		t.Fatal("stateKey not deterministic")
+	}
+}
+
+// TestCacheNoCrossFingerprintHits is the ECO warm-store regression:
+// one cache object persists across a retrain (Retarget swaps the agent
+// underneath, as internal/eco does between jobs on the same design),
+// and entries stored under the old weights must never serve as hits
+// for the new ones — every post-retrain evaluation is a miss returning
+// the new agent's output bit-exactly.
+func TestCacheNoCrossFingerprintHits(t *testing.T) {
+	cfg := Config{Zeta: 6, Channels: 8, ResBlocks: 2, MaxSteps: 9}
+	cfg.Seed = 21
+	agA := New(cfg)
+	cfg.Seed = 22
+	agB := New(cfg)
+	if agA.Fingerprint() == agB.Fingerprint() {
+		t.Fatal("differently seeded agents share a fingerprint")
+	}
+
+	ce := NewCachedEvaluator(agA, 64)
+	if ce.Fingerprint() != agA.Fingerprint() {
+		t.Fatal("cache did not capture the agent's fingerprint")
+	}
+	states := testStates(36, 5, 17)
+	for _, in := range states {
+		ce.Forward(in.SP, in.SA, in.T) // populate under A's weights
+	}
+
+	// "Retrain": the same cache object retargets to B.
+	ce.Retarget(agB)
+	if ce.Fingerprint() != agB.Fingerprint() {
+		t.Fatal("Retarget did not re-capture the fingerprint")
+	}
+	for _, in := range states {
+		got := ce.Forward(in.SP, in.SA, in.T)
+		requireSameOutput(t, "post-retrain", got, agB.EvalState(in.SP, in.SA, in.T))
+	}
+	outs := ce.EvaluateBatch(states)
+	for i, in := range states {
+		requireSameOutput(t, "post-retrain batch", outs[i], agB.EvalState(in.SP, in.SA, in.T))
+	}
+	h, m := ce.Stats()
+	// A-phase: 5 misses. B-phase Forward loop: 5 misses (zero
+	// cross-fingerprint hits). B-phase batch: 5 hits on B's own entries.
+	if h != 5 || m != 10 {
+		t.Fatalf("hits=%d misses=%d, want 5/10 (a cross-fingerprint hit occurred)", h, m)
 	}
 }
 

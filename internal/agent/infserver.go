@@ -261,6 +261,11 @@ type InferClient struct {
 	closed bool
 }
 
+// Fingerprint returns the weight fingerprint of the model group this
+// client routes to — the same value Fingerprint on the registered
+// Agent reports. CachedEvaluator salts its keys with it.
+func (c *InferClient) Fingerprint() uint64 { return c.g.fp }
+
 // Close releases the client's group reference; the last close retires
 // the group and its serving goroutine. Idempotent. Do not submit
 // after Close.
@@ -288,6 +293,11 @@ func (c *InferClient) Close() {
 // and the GEMM backend name — with FNV-1a. Two agents coalesce only
 // when every one of those words matches, which is exactly the
 // condition under which their evaluations are interchangeable.
+// Fingerprint exposes fingerprintAgent as the fingerprinter surface
+// CachedEvaluator key-salts with; the ECO warm store also uses it to
+// detect that a stored agent was retrained.
+func (ag *Agent) Fingerprint() uint64 { return fingerprintAgent(ag) }
+
 func fingerprintAgent(ag *Agent) uint64 {
 	const (
 		fnvOffset = 14695981039346656037

@@ -353,7 +353,7 @@ func (p *Placer) EvalAnchors(anchors []int) float64 {
 	// macros, so overlapping allocations pay their real wirelength
 	// cost; the coarse oracle must charge them explicitly or the
 	// search would happily stack every group on one grid.
-	if ratio := p.anchorOverflow(anchors); ratio > 0 {
+	if ratio := p.AnchorOverflow(anchors); ratio > 0 {
 		// β = 8: a fully-stacked allocation (ratio → 1) must cost
 		// several times its raw coarse wirelength, because its
 		// legalized reality spreads the macros back across the chip.
@@ -443,10 +443,17 @@ func (p *Placer) greedyAnchors() []int {
 	return anchors
 }
 
-// anchorOverflow returns the grid-capacity overflow of an allocation
+// BaseUtil returns the pre-placed-macro utilization map Preprocess
+// computed (read-only; length ζ²). The ECO search builds its policy
+// states over it.
+func (p *Placer) BaseUtil() []float64 { return p.baseUtil }
+
+// AnchorOverflow returns the grid-capacity overflow of an allocation
 // as a fraction of the total macro-group area: 0 when every grid's
 // accumulated utilization (pre-placed macros included) stays <= 1.
-func (p *Placer) anchorOverflow(anchors []int) float64 {
+// Exported for the ECO local-move search (internal/eco), which charges
+// candidate anchor sets the same overflow penalty EvalAnchors does.
+func (p *Placer) AnchorOverflow(anchors []int) float64 {
 	util := p.utilScratch
 	copy(util, p.baseUtil)
 	zeta := p.Grid.Zeta

@@ -233,9 +233,9 @@ func TestOraclePenalizesStacking(t *testing.T) {
 	// random episode (availability-guided, so spread out).
 	stacked := make([]int, n)
 	spread := rl.RandomEpisode(p.Env.Clone(), rng.New(3))
-	if p.anchorOverflow(stacked) <= p.anchorOverflow(spread) {
+	if p.AnchorOverflow(stacked) <= p.AnchorOverflow(spread) {
 		t.Fatalf("overflow(stacked)=%v should exceed overflow(spread)=%v",
-			p.anchorOverflow(stacked), p.anchorOverflow(spread))
+			p.AnchorOverflow(stacked), p.AnchorOverflow(spread))
 	}
 	// And the penalty must make the stacked allocation cost more than
 	// its raw coarse wirelength would suggest relative to spread.

@@ -1,0 +1,38 @@
+package eco
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkECOJob measures one warm ECO re-placement job end to end
+// (delta apply, preprocess, warm-store hit, budgeted local-move
+// search, exact finalize). The store is primed outside the timer, so
+// the figure is the steady-state incremental cost a fleet pays per
+// ECO — the number the cold train-and-search flow is amortised away
+// from. Gated by scripts/benchgate.sh against BENCH_pr9.json.
+func BenchmarkECOJob(b *testing.B) {
+	base := testDesign(70)
+	prior := priorFrom(base)
+	dl := testDelta()
+	store := NewWarmStore(4)
+	cfg := Config{Core: testOptions(), Moves: 48, Warm: store}
+
+	if _, err := Run(context.Background(), base, prior, dl, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var probes int
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), base, prior, dl, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Warm {
+			b.Fatal("benchmark iteration ran cold")
+		}
+		probes += res.MovesProbed
+	}
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/sec")
+}

@@ -1,0 +1,25 @@
+package eco
+
+import "macroplace/internal/obs"
+
+// ECO telemetry (DESIGN.md §14).
+var (
+	obsRuns = obs.NewCounter("macroplace_eco_runs_total",
+		"ECO incremental re-placement runs.")
+	obsWarmRuns = obs.NewCounter("macroplace_eco_warm_runs_total",
+		"ECO runs that reused warm per-design state (no training).")
+	obsMovesProbed = obs.NewCounter("macroplace_eco_moves_probed_total",
+		"Candidate local moves probed across all ECO searches.")
+	obsMovesCommitted = obs.NewCounter("macroplace_eco_moves_committed_total",
+		"Local moves committed (improved the incumbent allocation).")
+	obsWarmHits = obs.NewCounter("macroplace_eco_warmstore_hits_total",
+		"Warm-store lookups that found per-design state.")
+	obsWarmMisses = obs.NewCounter("macroplace_eco_warmstore_misses_total",
+		"Warm-store lookups that found nothing (cold start).")
+	obsWarmEvictions = obs.NewCounter("macroplace_eco_warmstore_evictions_total",
+		"Warm-store entries evicted at capacity (LRU).")
+	obsWarmInvalidations = obs.NewCounter("macroplace_eco_warmstore_invalidations_total",
+		"Warm-store entries dropped by explicit invalidation.")
+	obsWarmRetrains = obs.NewCounter("macroplace_eco_warmstore_retrains_total",
+		"Warm entries retrained in place (cache retargeted).")
+)

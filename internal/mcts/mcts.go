@@ -562,21 +562,42 @@ func (s *Search) explore(n *node) {
 // undefined; ties therefore break toward the higher policy prior,
 // which is the selection AlphaZero-style implementations converge to.
 func (s *Search) selectEdge(n *node) int {
+	best := SelectPUCT(s.Cfg.C, n.eval, n.prior, n.visits, n.value)
+	if best < 0 {
+		panic("mcts: node has no actions")
+	}
+	return best
+}
+
+// SelectPUCT is the PUCT edge selection rule of Eqs. (10)–(11) as a
+// standalone function: argmax_k Q(k) + c·P(k)·√ΣN/(1+N(k)), where
+// Q(k) = value[k]/visits[k] for visited edges and eval (the node's own
+// network value, the first-play-urgency choice the search uses) for
+// unvisited ones. Ties break toward the higher prior. Returns -1 when
+// prior is empty.
+//
+// The floating-point operation order is pinned: selectEdge delegates
+// here, and the ECO local-move search (internal/eco) uses the same
+// function, so both searches reproduce identical selection sequences
+// for identical statistics — a prerequisite for the bit-identity
+// goldens both pin.
+func SelectPUCT(c, eval float64, prior []float64, visits []int, value []float64) int {
 	total := 0
-	for _, c := range n.visits {
-		total += c
+	for _, cnt := range visits {
+		total += cnt
 	}
 	sqrtTotal := math.Sqrt(float64(total))
 	best, bestScore := -1, math.Inf(-1)
-	for k := range n.actions {
-		u := s.Cfg.C * n.prior[k] * sqrtTotal / float64(1+n.visits[k])
-		score := q(n, k) + u
-		if score > bestScore || (score == bestScore && best >= 0 && n.prior[k] > n.prior[best]) {
+	for k := range prior {
+		q := eval
+		if visits[k] > 0 {
+			q = value[k] / float64(visits[k])
+		}
+		u := c * prior[k] * sqrtTotal / float64(1+visits[k])
+		score := q + u
+		if score > bestScore || (score == bestScore && best >= 0 && prior[k] > prior[best]) {
 			best, bestScore = k, score
 		}
-	}
-	if best < 0 {
-		panic("mcts: node has no actions")
 	}
 	return best
 }

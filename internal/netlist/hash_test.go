@@ -1,0 +1,61 @@
+package netlist
+
+import "testing"
+
+func TestContentHashIgnoresMovablePositions(t *testing.T) {
+	d := randomDesign(31, 10, 20)
+	h := d.ContentHash()
+	d.Nodes[3].X += 12.5
+	d.Nodes[7].Y -= 3
+	if d.ContentHash() != h {
+		t.Error("moving a movable node changed the content hash")
+	}
+}
+
+func TestContentHashSeesStructure(t *testing.T) {
+	base := func() *Design { return randomDesign(32, 10, 20) }
+	h := base().ContentHash()
+
+	d := base()
+	d.Nets[0].Weight *= 2
+	if d.ContentHash() == h {
+		t.Error("reweighting a net did not change the content hash")
+	}
+
+	d = base()
+	d.AddNet(Net{Name: "extra", Pins: []Pin{{Node: 0}, {Node: 1}}})
+	if d.ContentHash() == h {
+		t.Error("adding a net did not change the content hash")
+	}
+
+	d = base()
+	d.Nets = d.Nets[:len(d.Nets)-1]
+	if d.ContentHash() == h {
+		t.Error("dropping a net did not change the content hash")
+	}
+
+	d = base()
+	d.Nodes[0].W *= 2
+	if d.ContentHash() == h {
+		t.Error("resizing a node did not change the content hash")
+	}
+
+	// Fixing a node freezes its position into the problem statement.
+	d = base()
+	d.Nodes[2].Fixed = true
+	hFixed := d.ContentHash()
+	if hFixed == h {
+		t.Error("fixing a node did not change the content hash")
+	}
+	d.Nodes[2].X += 1
+	if d.ContentHash() == hFixed {
+		t.Error("moving a fixed node did not change the content hash")
+	}
+}
+
+func TestContentHashStableAcrossClone(t *testing.T) {
+	d := randomDesign(33, 8, 16)
+	if d.Clone().ContentHash() != d.ContentHash() {
+		t.Error("clone hashes differently from its original")
+	}
+}

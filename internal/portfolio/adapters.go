@@ -26,7 +26,7 @@ const (
 func init() {
 	Register(&adapter{
 		name: BackendMCTS,
-		caps: Caps{Deterministic: true, Anytime: true, Streaming: true, UsesEvaluator: true},
+		caps: Caps{Deterministic: true, Anytime: true, Streaming: true, UsesEvaluator: true, Eco: true},
 		run:  runMCTSBackend,
 	})
 	Register(&adapter{

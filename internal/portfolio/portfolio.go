@@ -56,6 +56,11 @@ type Caps struct {
 	// Options.WrapEvaluator — the seam the conformance suite uses for
 	// fault injection.
 	UsesEvaluator bool
+	// Eco: the backend's flow supports ECO incremental re-placement
+	// (internal/eco) — a prior placement plus a netlist delta can be
+	// re-placed with a short local-move search instead of a scratch
+	// run, reusing warm per-design state.
+	Eco bool
 }
 
 // Options is the backend-independent tuning surface. Zero values

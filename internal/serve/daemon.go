@@ -15,6 +15,7 @@ import (
 	"macroplace/internal/agent"
 	"macroplace/internal/atomicio"
 	"macroplace/internal/core"
+	"macroplace/internal/eco"
 	"macroplace/internal/mcts"
 )
 
@@ -163,6 +164,17 @@ func (d *Server) Submit(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// Resolve an ECO prior-job reference against the job table now:
+	// a dangling reference is a spec error the client should see at
+	// submission, not a late run-time failure.
+	var priorDir string
+	if spec.Eco != nil && spec.Eco.PriorJob != "" {
+		pj, ok := d.Job(spec.Eco.PriorJob)
+		if !ok {
+			return nil, fmt.Errorf("serve: eco prior job %q unknown", spec.Eco.PriorJob)
+		}
+		priorDir = pj.Dir
+	}
 	d.mu.Lock()
 	if d.draining {
 		d.mu.Unlock()
@@ -173,13 +185,14 @@ func (d *Server) Submit(spec Spec) (*Job, error) {
 	id := fmt.Sprintf("job-%06d", d.nextID)
 	ctx, cancel := context.WithCancelCause(d.base)
 	j := &Job{
-		ID:      id,
-		Spec:    spec,
-		Dir:     filepath.Join(d.cfg.Dir, id),
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		created: time.Now(),
+		ID:       id,
+		Spec:     spec,
+		Dir:      filepath.Join(d.cfg.Dir, id),
+		priorDir: priorDir,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateQueued,
+		created:  time.Now(),
 	}
 	d.jobs[id] = j
 	d.order = append(d.order, id)
@@ -406,6 +419,9 @@ func RunSpecShared(ctx context.Context, j *Job, spec Spec, infer *agent.InferSer
 	if len(spec.Race) > 0 {
 		return runRaceSpec(ctx, j)
 	}
+	if spec.Eco != nil {
+		return runEcoSpec(ctx, j, spec)
+	}
 	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job dir: %w", err)
 	}
@@ -458,6 +474,12 @@ func RunSpecShared(ctx context.Context, j *Job, spec Spec, infer *agent.InferSer
 	if err != nil {
 		return nil, err
 	}
+	// Persist the final macro placement so a later ECO job can chain
+	// from this one via Spec.Eco.PriorJob. Best-effort, like the search
+	// checkpoints: a write failure must not fail a finished placement.
+	if err := eco.WritePlacement(filepath.Join(j.Dir, "placement.json"), p.Work); err == nil {
+		j.AppendEvent("stage", "placement persisted")
+	}
 	return &Result{
 		Design:       design.Name,
 		HPWL:         res.Final.HPWL,
@@ -471,8 +493,15 @@ func RunSpecShared(ctx context.Context, j *Job, spec Spec, infer *agent.InferSer
 }
 
 func describeSpec(sp Spec) string {
+	desc := fmt.Sprintf("bookshelf upload, %d file(s)", len(sp.Bookshelf))
 	if sp.Bench != "" {
-		return fmt.Sprintf("bench=%s", sp.Bench)
+		desc = fmt.Sprintf("bench=%s", sp.Bench)
 	}
-	return fmt.Sprintf("bookshelf upload, %d file(s)", len(sp.Bookshelf))
+	if sp.Eco != nil {
+		if sp.Eco.PriorJob != "" {
+			return fmt.Sprintf("eco from %s, %s", sp.Eco.PriorJob, desc)
+		}
+		return "eco, " + desc
+	}
+	return desc
 }

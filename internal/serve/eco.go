@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"macroplace/internal/core"
+	"macroplace/internal/eco"
+	"macroplace/internal/geom"
+)
+
+// runEcoSpec is the ECO job-class runner: it resolves the prior
+// placement (inline, or the referenced job's persisted
+// placement.json), re-places the design under the spec's delta with a
+// short budgeted local-move search, and persists this job's own
+// placement.json so ECO jobs chain. Warm per-design state (trained
+// agent + eval cache + reward scaler) lives in the process-wide
+// eco.Default store, so repeated ECOs against the same post-delta
+// design skip training entirely.
+func runEcoSpec(ctx context.Context, j *Job, spec Spec) (*Result, error) {
+	es := spec.Eco
+	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: job dir: %w", err)
+	}
+	design, err := spec.LoadDesign(j.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var prior map[string]geom.Point
+	if es.PriorJob != "" {
+		if j.priorDir == "" {
+			return nil, fmt.Errorf("serve: eco prior job %q not resolved (prior_job needs daemon submission)", es.PriorJob)
+		}
+		prior, err = eco.ReadPlacement(filepath.Join(j.priorDir, "placement.json"))
+		if err != nil {
+			return nil, fmt.Errorf("serve: eco prior job %q has no usable placement: %w", es.PriorJob, err)
+		}
+	} else {
+		prior, err = eco.PriorFromWire(es.Prior)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	opts := spec.Options()
+	opts.OnStage = func(ev core.StageEvent) {
+		if ev.Done {
+			j.AppendEvent("stage", fmt.Sprintf("%s done in %s", ev.Stage, ev.Elapsed.Round(time.Millisecond)))
+		} else {
+			j.AppendEvent("stage", ev.Stage+" start")
+		}
+	}
+	cfg := eco.Config{
+		Core:    opts,
+		Moves:   es.MovesBudget(),
+		Retrain: es.Retrain,
+		Warm:    eco.Default,
+	}
+	start := time.Now()
+	res, err := eco.Run(ctx, design, prior, es.Delta, cfg)
+	if err != nil {
+		return nil, err
+	}
+	j.AppendEvent("progress", fmt.Sprintf("eco: %d probes, %d commits, warm=%v, cache %d hits / %d misses",
+		res.MovesProbed, res.MovesCommitted, res.Warm, res.CacheHits, res.CacheMisses))
+	// Best-effort, like the full flow's placement persistence.
+	if err := eco.WritePlacementWire(filepath.Join(j.Dir, "placement.json"), design.Name, res.Macros); err == nil {
+		j.AppendEvent("stage", "placement persisted")
+	}
+	return &Result{
+		Design:         design.Name,
+		HPWL:           res.HPWL,
+		MacroOverlap:   res.MacroOverlap,
+		Anchors:        res.Anchors,
+		Interrupted:    ctx.Err() != nil,
+		WallSeconds:    time.Since(start).Seconds(),
+		EcoWarm:        res.Warm,
+		CacheHits:      res.CacheHits,
+		CacheMisses:    res.CacheMisses,
+		MovesProbed:    res.MovesProbed,
+		MovesCommitted: res.MovesCommitted,
+	}, nil
+}

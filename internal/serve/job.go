@@ -12,6 +12,7 @@ import (
 
 	"macroplace/internal/agent"
 	"macroplace/internal/core"
+	"macroplace/internal/eco"
 	"macroplace/internal/gen"
 	"macroplace/internal/mcts"
 	"macroplace/internal/netlist"
@@ -81,6 +82,54 @@ type Spec struct {
 	// (legality replay against the materialised design) by RunSpec.
 	// Mutually exclusive with Race.
 	Resume *mcts.Snapshot `json:"resume,omitempty"`
+
+	// Eco selects the ECO incremental re-placement job class: instead
+	// of a from-scratch flow, a short budgeted local-move search
+	// re-places the design starting from a prior placement under a
+	// netlist delta, reusing warm per-design state (trained agent +
+	// eval cache) across jobs on the same daemon. Mutually exclusive
+	// with Race and Resume.
+	Eco *EcoSpec `json:"eco,omitempty"`
+}
+
+// EcoSpec describes one ECO job: where the prior placement comes from,
+// the netlist delta to re-place under, and the search budget.
+type EcoSpec struct {
+	// PriorJob references an earlier job on the same daemon whose
+	// persisted placement.json provides the prior placement. The
+	// daemon rejects dangling references at submission; the job fails
+	// at run time if the referenced job has not (yet) produced a
+	// placement. Mutually exclusive with Prior.
+	PriorJob string `json:"prior_job,omitempty"`
+	// Prior supplies the prior placement inline: movable-macro name →
+	// placed center [x, y]. Mutually exclusive with PriorJob.
+	Prior map[string][2]float64 `json:"prior,omitempty"`
+	// Delta is the netlist change to re-place under. Nil (or empty)
+	// re-places the unchanged design from the prior.
+	Delta *eco.Delta `json:"delta,omitempty"`
+	// Moves is the local-move probe budget (0: eco.DefaultMoves).
+	Moves int `json:"moves,omitempty"`
+	// Effort scales Moves (0 = 1.0), mirroring the race job class's
+	// budget knob.
+	Effort float64 `json:"effort,omitempty"`
+	// Retrain forces training even when warm state exists and
+	// retargets the warm entry's cache to the new weights.
+	Retrain bool `json:"retrain,omitempty"`
+}
+
+// MovesBudget is the effective probe budget after effort scaling.
+func (e *EcoSpec) MovesBudget() int {
+	moves := e.Moves
+	if moves <= 0 {
+		moves = eco.DefaultMoves
+	}
+	if e.Effort > 0 {
+		moves = int(float64(moves) * e.Effort)
+		if moves < 1 {
+			moves = 1
+		}
+	}
+	return moves
 }
 
 // normalize fills the cmd/mctsplace-compatible defaults.
@@ -209,6 +258,44 @@ func (sp Spec) Validate() error {
 			return fmt.Errorf("serve: resume snapshot best wirelength %v is not a finite non-negative number", sn.BestWirelength)
 		}
 	}
+
+	if e := sp.Eco; e != nil {
+		if len(sp.Race) > 0 {
+			return fmt.Errorf("serve: eco job cannot combine with a race job")
+		}
+		if sp.Resume != nil {
+			return fmt.Errorf("serve: eco job cannot combine with a resume snapshot")
+		}
+		switch {
+		case e.PriorJob != "" && len(e.Prior) > 0:
+			return fmt.Errorf("serve: eco spec has both prior_job and an inline prior")
+		case e.PriorJob == "" && len(e.Prior) == 0:
+			return fmt.Errorf("serve: eco spec needs prior_job or an inline prior")
+		}
+		if e.Moves < 0 || e.Moves > 1_000_000 {
+			return fmt.Errorf("serve: eco moves %d out of range [0, 1000000]", e.Moves)
+		}
+		if math.IsNaN(e.Effort) || math.IsInf(e.Effort, 0) || e.Effort < 0 || e.Effort > 1000 {
+			return fmt.Errorf("serve: eco effort %v out of range [0, 1000]", e.Effort)
+		}
+		if len(e.Prior) > 1_000_000 {
+			return fmt.Errorf("serve: eco prior lists %d macros (max 1000000)", len(e.Prior))
+		}
+		if _, err := eco.PriorFromWire(e.Prior); err != nil {
+			return err
+		}
+		if e.Delta != nil {
+			if len(e.Delta.AddNets) > 100_000 || len(e.Delta.DropNets) > 100_000 || len(e.Delta.Reweight) > 100_000 {
+				return fmt.Errorf("serve: eco delta too large (max 100000 entries per section)")
+			}
+			// Design-independent structural checks here; the full check
+			// (unknown cells/nets) needs the materialised design and runs
+			// inside eco.Run's Delta.Apply.
+			if err := e.Delta.Validate(nil); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -334,6 +421,15 @@ type Result struct {
 	// passed through a fleet coordinator).
 	Worker     string `json:"worker,omitempty"`
 	Migrations int    `json:"migrations,omitempty"`
+
+	// ECO-job fields: whether warm per-design state was reused (no
+	// training this run), the run's evaluation-cache hit/miss deltas,
+	// and the local-move search's probe/commit ledger.
+	EcoWarm        bool   `json:"eco_warm,omitempty"`
+	CacheHits      uint64 `json:"cache_hits,omitempty"`
+	CacheMisses    uint64 `json:"cache_misses,omitempty"`
+	MovesProbed    int    `json:"moves_probed,omitempty"`
+	MovesCommitted int    `json:"moves_committed,omitempty"`
 }
 
 // Job is one admitted placement job. All fields behind mu; read
@@ -343,6 +439,10 @@ type Job struct {
 	Spec Spec
 	// Dir is the job's working directory (result/checkpoint files).
 	Dir string
+	// priorDir is the referenced prior job's working directory for ECO
+	// jobs submitted with Spec.Eco.PriorJob — resolved (and checked
+	// against dangling references) at Submit time, read by runEcoSpec.
+	priorDir string
 
 	// ctx is the job's lifecycle context (a cancel-cause child of the
 	// daemon's base); runJob releases it with errJobDone once the job

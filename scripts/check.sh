@@ -60,4 +60,7 @@ scripts/portfolio_smoke.sh
 echo "== fleet smoke"
 scripts/fleet_smoke.sh
 
+echo "== eco smoke"
+scripts/eco_smoke.sh
+
 echo "OK"

@@ -1,0 +1,80 @@
+#!/bin/sh
+# eco_smoke.sh — end-to-end smoke test of the ECO incremental
+# re-placement flow through the mctsplace CLI:
+#
+#   1. a full placement run (generous budget) persists its macro
+#      placement with -saveplacement — the prior,
+#   2. a netlist delta arrives (one added net, one reweighted net),
+#   3. an ECO run at a tiny budget re-places from the prior and must
+#      match-or-beat a from-scratch run of the same changed design at
+#      the same tiny budget (the prior is the ECO's incumbent, so the
+#      big-budget quality carries over),
+#   4. a second ECO run in the same process must hit the warm
+#      per-design store — no retraining, eval-cache hits > 0, and a
+#      bit-identical result (the CLI itself fails if the warm run
+#      diverges).
+#
+# Usage: scripts/eco_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/mctsplace" ./cmd/mctsplace
+
+# One design and one tiny budget on both sides of the comparison: the
+# scratch run and the ECO run only differ in where they start from.
+common="-bench ibm01 -scale 0.02 -seed 2 -zeta 8 -workers 1 -channels 4 -resblocks 1"
+tiny="-episodes 4 -gamma 2"
+
+echo "== cold full place (generous budget, persists the prior)"
+# shellcheck disable=SC2086
+"$workdir/mctsplace" $common -episodes 24 -gamma 8 \
+    -saveplacement "$workdir/prior.json" \
+    -run-summary "$workdir/full.json" >"$workdir/full.out" 2>/dev/null
+[ -f "$workdir/prior.json" ] || { echo "eco_smoke: prior placement not persisted" >&2; exit 1; }
+
+cat >"$workdir/delta.json" <<'EOF'
+{"add_nets":[{"name":"eco_smoke0","weight":2,"pins":[{"node":"m0"},{"node":"m1"}]}],"reweight":{"n0":3}}
+EOF
+
+echo "== scratch re-place of the changed design at tiny budget"
+# shellcheck disable=SC2086
+"$workdir/mctsplace" $common $tiny -delta "$workdir/delta.json" \
+    -run-summary "$workdir/scratch.json" >/dev/null 2>&1
+
+echo "== ECO at the same tiny budget (twice: cold, then warm)"
+# shellcheck disable=SC2086
+"$workdir/mctsplace" $common $tiny -eco -prior "$workdir/prior.json" \
+    -delta "$workdir/delta.json" -eco-moves 64 -eco-runs 2 \
+    -run-summary "$workdir/eco.json" >"$workdir/eco.out" 2>/dev/null
+
+field() { # json-file field → raw value
+    grep -o "\"$2\": *[^,}]*" "$1" | head -n 1 | sed "s/\"$2\": *//; s/\"//g"
+}
+
+eco_hpwl=$(field "$workdir/eco.json" hpwl)
+scratch_hpwl=$(field "$workdir/scratch.json" hpwl)
+[ -n "$eco_hpwl" ] || { echo "eco_smoke: no hpwl in ECO run summary" >&2; cat "$workdir/eco.json" >&2; exit 1; }
+[ -n "$scratch_hpwl" ] || { echo "eco_smoke: no hpwl in scratch run summary" >&2; exit 1; }
+
+echo "== ECO matches-or-beats scratch at equal budget"
+awk -v e="$eco_hpwl" -v s="$scratch_hpwl" 'BEGIN { exit !(e + 0 <= s + 0) }' \
+    || { echo "eco_smoke: ECO hpwl $eco_hpwl worse than scratch $scratch_hpwl at equal budget" >&2; exit 1; }
+echo "   eco=$eco_hpwl scratch=$scratch_hpwl"
+
+echo "== warm second run reused per-design state"
+warm=$(field "$workdir/eco.json" eco_warm)
+hits=$(field "$workdir/eco.json" cache_hits)
+[ "$warm" = "true" ] \
+    || { echo "eco_smoke: second ECO run not warm (eco_warm=$warm)" >&2; cat "$workdir/eco.out" >&2; exit 1; }
+awk -v h="$hits" 'BEGIN { exit !(h + 0 > 0) }' \
+    || { echo "eco_smoke: warm ECO run reported no eval-cache hits" >&2; cat "$workdir/eco.out" >&2; exit 1; }
+grep -q "eco run 2/2: .*warm=true" "$workdir/eco.out" \
+    || { echo "eco_smoke: CLI output missing warm second run" >&2; cat "$workdir/eco.out" >&2; exit 1; }
+echo "   warm=true cache_hits=$hits"
+
+echo "eco_smoke: OK"
