@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke portfolio-smoke fleet-smoke eco-smoke fmt vet
+.PHONY: check check-short build test race bench bench-all bench-gate telemetry-smoke placed-smoke portfolio-smoke fleet-smoke eco-smoke lefdef-smoke fmt vet
 
 check: ## gofmt + vet + build + race-detector test suite
 	scripts/check.sh
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench: ## search hot-path + serving + portfolio + fleet + eco benchmarks, recorded as BENCH_pr{3,5,6,7,8,9}.json
+bench: ## search hot-path + serving + portfolio + fleet + eco + lefdef benchmarks, recorded as BENCH_pr{3,5,6,7,8,9,10}.json
 	$(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr3.json
 	( GOMAXPROCS=1 $(GO) test -run '^$$' -bench BenchmarkMCTSWorkers -benchmem . ; \
@@ -34,6 +34,8 @@ bench: ## search hot-path + serving + portfolio + fleet + eco benchmarks, record
 		| $(GO) run ./cmd/benchjson -o BENCH_pr7.json
 	$(GO) test -run '^$$' -bench BenchmarkECOJob -benchmem ./internal/eco \
 		| $(GO) run ./cmd/benchjson -o BENCH_pr9.json
+	$(GO) test -run '^$$' -bench BenchmarkLEFDEFPlace -benchmem ./internal/lefdef \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr10.json
 
 bench-all: ## micro + table/figure benchmarks (quick preset)
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -55,6 +57,9 @@ fleet-smoke: ## end-to-end fleet smoke: SIGKILL a worker mid-job, migrate, bit-i
 
 eco-smoke: ## end-to-end ECO smoke: full place -> delta -> incremental re-place beats scratch, warm repeat hits cache (same script CI runs)
 	scripts/eco_smoke.sh
+
+lefdef-smoke: ## end-to-end LEF/DEF smoke: constrained place -> DEF out -> bit-identical re-read, zero violations (same script CI runs)
+	scripts/lefdef_smoke.sh
 
 fmt:
 	gofmt -w .

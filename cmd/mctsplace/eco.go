@@ -9,6 +9,7 @@ import (
 
 	"macroplace"
 	"macroplace/internal/eco"
+	"macroplace/internal/lefdef"
 )
 
 // loadDelta parses a netlist-delta JSON file (eco.Delta wire form).
@@ -34,6 +35,10 @@ type ecoFlags struct {
 	runs          int
 	retrain       bool
 	savePlacement string
+	defOut        string
+	doc           *lefdef.Document
+	lef           *lefdef.LEF
+	dbu           int
 }
 
 // runEco is the -eco mode: re-place the design from a prior placement
@@ -103,5 +108,16 @@ func runEco(ctx context.Context, d *macroplace.Design, delta *eco.Delta, fl ecoF
 			fail(err)
 		}
 		fmt.Printf("saved placement to %s\n", fl.savePlacement)
+	}
+	if last.Placed != nil {
+		reportConstraints(last.Placed)
+	}
+	if fl.defOut != "" {
+		if last.Placed == nil {
+			fail(fmt.Errorf("-defout: eco produced no placed design"))
+		}
+		if err := writeDEFOut(fl.defOut, last.Placed, fl.doc, fl.lef, fl.dbu); err != nil {
+			fail(err)
+		}
 	}
 }

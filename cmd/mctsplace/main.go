@@ -25,6 +25,14 @@
 //	mctsplace -bench ibm01 -portfolio all -effort 0.2
 //	mctsplace -bench ibm06 -portfolio mcts,se,mincut -race-grace 5s -svg winner.svg
 //
+// With -lef/-def the command places a real design read from LEF/DEF
+// instead, honouring the physical constraints the -halo, -channel,
+// -fence and -snap knobs describe, and -defout writes the placed
+// components back into the same DEF (see DESIGN.md §15):
+//
+//	mctsplace -lef tech.lef -def chip.def -halo 1 -channel 2 -snap -defout placed.def
+//	mctsplace -bench ibm01 -defout placed.def -dbu 1000   # synthesizes placed.lef too
+//
 // With -eco the command re-places incrementally from a prior placement
 // (persisted by -saveplacement) under a netlist delta, instead of
 // running the full flow (see DESIGN.md §14):
@@ -43,6 +51,7 @@ import (
 
 	"macroplace"
 	"macroplace/internal/eco"
+	"macroplace/internal/lefdef"
 	"macroplace/internal/serve"
 )
 
@@ -50,6 +59,16 @@ func main() {
 	var (
 		aux        = flag.String("aux", "", "Bookshelf .aux file to place")
 		bench      = flag.String("bench", "", "synthetic benchmark name (ibm01..ibm18, cir1..cir6)")
+		lefF       = flag.String("lef", "", "LEF library (sites, layers, macro geometry); use with -def")
+		defF       = flag.String("def", "", "DEF design to place (die area, rows, components, pins, nets); use with -lef")
+		defOut     = flag.String("defout", "", "file to write the placed design back as DEF; with -aux/-bench inputs the design is synthesized at -dbu and a sibling .lef is written next to it")
+		dbuF       = flag.Int("dbu", 1000, "DEF database units per micron when -defout synthesizes from a non-DEF input")
+		haloF      = flag.Float64("halo", 0, "per-side macro halo, design units (both axes unless -halo-y is set)")
+		haloYF     = flag.Float64("halo-y", 0, "per-side macro halo on Y (0 = same as -halo)")
+		channelF   = flag.Float64("channel", 0, "minimum macro-to-macro channel (both axes unless -channel-y is set)")
+		channelYF  = flag.Float64("channel-y", 0, "minimum macro channel on Y (0 = same as -channel)")
+		fenceF     = flag.String("fence", "", "fence region \"lx,ly,ux,uy\" confining movable macros (with their halos)")
+		snapF      = flag.Bool("snap", false, "snap macro origins to the DEF track/row lattice (requires -def)")
 		scale      = flag.Float64("scale", 0.05, "synthetic benchmark scale (1 = paper-sized)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		zeta       = flag.Int("zeta", 16, "grid resolution ζ")
@@ -149,8 +168,15 @@ func main() {
 		defer cancel()
 	}
 
-	d, err := loadDesign(*aux, *bench, *scale, *seed)
+	d, doc, lefLib, err := loadDesignAny(*aux, *bench, *lefF, *defF, *scale, *seed)
 	if err != nil {
+		fail(err)
+	}
+	phys, err := physFromFlags(*haloF, *haloYF, *channelF, *channelYF, *fenceF)
+	if err != nil {
+		fail(err)
+	}
+	if err := lefdef.ApplyPhys(d, phys, doc, lefLib, *snapF); err != nil {
 		fail(err)
 	}
 	runFields["design"] = d.Name
@@ -179,6 +205,7 @@ func main() {
 			seed: *seed, zeta: *zeta, episodes: *episodes, gamma: *gamma,
 			workers: *workers, channels: *channels, resblocks: *resblocks,
 			nnBackend: *nnBackend, out: *out, svg: *svg,
+			defOut: *defOut, doc: doc, lef: lefLib, dbu: *dbuF,
 		}, runFields, writeSummary, fail)
 		writeSummary()
 		return
@@ -201,6 +228,7 @@ func main() {
 		runEco(ctx, d, delta, ecoFlags{
 			prior: *priorF, moves: *ecoMoves, runs: *ecoRuns,
 			retrain: *ecoRetrain, savePlacement: *savePlace,
+			defOut: *defOut, doc: doc, lef: lefLib, dbu: *dbuF,
 		}, opts, runFields, writeSummary, fail)
 		return
 	}
@@ -311,6 +339,7 @@ func main() {
 		res.Times.MCTS.Round(1e6), res.Times.Finalize.Round(1e6))
 
 	fmt.Printf("quality:        %s\n", macroplace.MeasureQuality(p.Work))
+	reportConstraints(p.Work)
 
 	if *out != "" {
 		if err := macroplace.WriteBookshelf(p.Work, *out, d.Name); err != nil {
@@ -323,6 +352,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *svg)
+	}
+	if *defOut != "" {
+		if err := writeDEFOut(*defOut, p.Work, doc, lefLib, *dbuF); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"macroplace"
+	"macroplace/internal/lefdef"
 )
 
 // raceFlags bundles the CLI flags the -portfolio mode consumes.
@@ -25,6 +26,10 @@ type raceFlags struct {
 	nnBackend string
 	out       string
 	svg       string
+	defOut    string
+	doc       *lefdef.Document
+	lef       *lefdef.LEF
+	dbu       int
 }
 
 // racePortfolio is the -portfolio mode: the named backends race on the
@@ -92,6 +97,7 @@ func racePortfolio(ctx context.Context, d *macroplace.Design, f raceFlags,
 	}
 
 	fmt.Printf("quality:        %s\n", macroplace.MeasureQuality(win.Placed))
+	reportConstraints(win.Placed)
 	if f.out != "" {
 		if err := macroplace.WriteBookshelf(win.Placed, f.out, d.Name); err != nil {
 			fail(err)
@@ -103,5 +109,10 @@ func racePortfolio(ctx context.Context, d *macroplace.Design, f raceFlags,
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", f.svg)
+	}
+	if f.defOut != "" {
+		if err := writeDEFOut(f.defOut, win.Placed, f.doc, f.lef, f.dbu); err != nil {
+			fail(err)
+		}
 	}
 }

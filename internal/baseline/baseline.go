@@ -27,6 +27,7 @@ import (
 
 	"macroplace/internal/geom"
 	"macroplace/internal/gplace"
+	"macroplace/internal/legalize"
 	"macroplace/internal/netlist"
 )
 
@@ -48,6 +49,9 @@ type Result struct {
 // Finish legalizes macros (pairwise shove, with a deterministic
 // nearest-free-slot repair when the shove livelocks) and runs the
 // final cell placement, returning the evaluated result. It mutates d.
+// Designs with active physical constraints (d.Phys) additionally run
+// the shared constraint-enforcement pass, so every baseline honors
+// halo/channel spacing, fences, and snapping like the main flow.
 func Finish(d *netlist.Design) Result {
 	converged := shoveMacros(d, 200)
 	if !converged {
@@ -60,6 +64,9 @@ func Finish(d *netlist.Design) Result {
 		} else {
 			converged = shoveMacros(d, 50)
 		}
+	}
+	if d.Phys.Active() {
+		converged = legalize.EnforceConstraints(d) && converged
 	}
 	gplace.Place(d, gplace.Config{Mode: gplace.MoveCells, Iterations: 6})
 	return Result{HPWL: d.HPWL(), MacroOverlap: macroOverlap(d), Converged: converged}

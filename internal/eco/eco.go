@@ -63,6 +63,9 @@ type Result struct {
 	// wire form (name → [x, y]) — what a chained ECO consumes as its
 	// prior.
 	Macros map[string][2]float64
+	// Placed is the winning fully-placed design (macros legalized,
+	// cells placed) — what DEF emission and constraint audits consume.
+	Placed *netlist.Design
 }
 
 // Run re-places base under delta starting from prior: apply the delta
@@ -121,6 +124,7 @@ func Run(ctx context.Context, base *netlist.Design, prior map[string]geom.Point,
 		}
 		res.HPWL, res.MacroOverlap, res.Anchors = pf.HPWL, pf.MacroOverlap, pf.Anchors
 		res.Macros = SnapshotPlacement(p.Work).Macros
+		res.Placed = p.Work.Clone()
 	}
 	bf, err := p.FinalizeContext(ctx, best)
 	if err != nil {
@@ -129,6 +133,7 @@ func Run(ctx context.Context, base *netlist.Design, prior map[string]geom.Point,
 	if res.Anchors == nil || bf.HPWL < res.HPWL {
 		res.HPWL, res.MacroOverlap, res.Anchors = bf.HPWL, bf.MacroOverlap, bf.Anchors
 		res.Macros = SnapshotPlacement(p.Work).Macros
+		res.Placed = p.Work.Clone()
 	}
 
 	hits, misses := evaluator.Stats()
@@ -192,7 +197,11 @@ func warmState(ctx context.Context, p *core.Placer, key uint64, cfg Config) (*ag
 
 // anchorsFromPrior maps each macro group to the grid anchor whose
 // block center is nearest the area-weighted centroid of the group's
-// macros in the prior placement, clamped so the footprint fits.
+// macros in the prior placement, clamped so the footprint fits. The
+// prior re-validates against the design's active constraints here:
+// an anchor the environment rejects (a fence the prior placement
+// predates, say) is moved to the nearest legal anchor before the
+// search starts, so the incumbent itself is constraint-clean.
 func anchorsFromPrior(p *core.Placer, prior map[string]geom.Point) []int {
 	g := p.Grid
 	anchors := make([]int, len(p.Clus.MacroGroups))
@@ -223,9 +232,44 @@ func anchorsFromPrior(p *core.Placer, prior map[string]geom.Point) []int {
 		s := &p.Shapes[gi]
 		gx := clampGrid(int(math.Round((cx-g.Region.Lx)/g.CellW-float64(s.GW)/2)), g.Zeta-s.GW)
 		gy := clampGrid(int(math.Round((cy-g.Region.Ly)/g.CellH-float64(s.GH)/2)), g.Zeta-s.GH)
-		anchors[gi] = g.Index(gx, gy)
+		anchors[gi] = nearestFit(p, gi, g.Index(gx, gy))
 	}
 	return anchors
+}
+
+// nearestFit returns anchor when the environment accepts it for group
+// gi, otherwise the accepted anchor with the smallest grid distance
+// (deterministic tie-break: lowest flat index). When no anchor fits —
+// an over-tight fence the environment already falls back from — the
+// original anchor stands and the legalizer clamps later.
+func nearestFit(p *core.Placer, gi, anchor int) int {
+	if p.Env.FitsAt(gi, anchor) {
+		return anchor
+	}
+	g := p.Grid
+	ax, ay := g.Coords(anchor)
+	best, bestDist := -1, 0
+	for idx := 0; idx < g.NumCells(); idx++ {
+		if !p.Env.FitsAt(gi, idx) {
+			continue
+		}
+		gx, gy := g.Coords(idx)
+		dist := abs(gx-ax) + abs(gy-ay)
+		if best < 0 || dist < bestDist {
+			best, bestDist = idx, dist
+		}
+	}
+	if best < 0 {
+		return anchor
+	}
+	return best
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 func clampGrid(v, max int) int {
@@ -344,14 +388,14 @@ func searchLocalMoves(ctx context.Context, p *core.Placer, evaluator *agent.Cach
 
 // enumerateMoves lists the legal local moves at cur: four single-grid
 // shifts per group plus every pairwise anchor swap whose footprints
-// fit at each other's anchors.
+// fit at each other's anchors. Legality is the environment's own
+// FitsAt — partition bounds plus the active fence — so under a fenced
+// design the move menu never offers an anchor the full flow's search
+// would refuse (previously only the grid bounds were checked and an
+// ECO could walk a group out of its fence).
 func enumerateMoves(p *core.Placer, cur []int, out []move) []move {
 	g := p.Grid
-	fits := func(gi, anchor int) bool {
-		s := &p.Shapes[gi]
-		gx, gy := g.Coords(anchor)
-		return gx >= 0 && gy >= 0 && gx+s.GW <= g.Zeta && gy+s.GH <= g.Zeta
-	}
+	fits := p.Env.FitsAt
 	for gi := range cur {
 		gx, gy := g.Coords(cur[gi])
 		for _, dxy := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {

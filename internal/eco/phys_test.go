@@ -1,0 +1,68 @@
+package eco
+
+import (
+	"context"
+	"testing"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/netlist"
+)
+
+// TestRunRespectsFence is the regression test for the constraint-blind
+// move menu: the prior parks every movable macro against the right
+// region edge, outside a fence covering the left part of the die, so
+// every unconstrained local move (the menu enumerateMoves used to
+// build from grid bounds alone) keeps the macros in violating
+// territory. The ECO must still deliver a constraint-clean placement:
+// prior anchors snap to their nearest in-fence cell and the move menu
+// only offers fence-respecting targets.
+func TestRunRespectsFence(t *testing.T) {
+	base := testDesign(70)
+	r := base.Region
+	fence := geom.Rect{
+		Lx: r.Lx + 0.05*r.W(), Ly: r.Ly + 0.05*r.H(),
+		Ux: r.Lx + 0.60*r.W(), Uy: r.Uy - 0.05*r.H(),
+	}
+	base.Phys = &netlist.Constraints{
+		HaloX: 0.002 * r.W(), HaloY: 0.002 * r.H(),
+		Fence: &fence,
+	}
+	if err := base.Phys.Validate(r); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prior: macros stacked near the right edge, far outside the fence.
+	prior := priorFrom(base)
+	i := 0
+	for name := range prior {
+		prior[name] = geom.Point{
+			X: r.Ux - 0.04*r.W(),
+			Y: r.Ly + (0.1+0.13*float64(i))*r.H(),
+		}
+		i++
+	}
+
+	// Sanity: the prior itself violates the fence — without the
+	// constraint-aware menu and anchor re-validation there is nothing
+	// forcing the search back inside.
+	check := base.Clone()
+	for _, mi := range check.MovableMacroIndices() {
+		n := &check.Nodes[mi]
+		p := prior[n.Name]
+		n.X, n.Y = p.X-n.W/2, p.Y-n.H/2
+	}
+	if rep := check.ConstraintViolations(); rep.FenceViolations == 0 {
+		t.Fatalf("test prior does not violate the fence (report %s) — the regression would pass vacuously", rep)
+	}
+
+	res, err := Run(context.Background(), base, prior, nil, Config{Core: testOptions(), Moves: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed == nil {
+		t.Fatal("result has no placed design")
+	}
+	if rep := res.Placed.ConstraintViolations(); !rep.Clean() {
+		t.Errorf("ECO placement violates constraints: %s", rep)
+	}
+}

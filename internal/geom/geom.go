@@ -136,6 +136,12 @@ func (r Rect) Union(s Rect) Rect {
 	}
 }
 
+// Inflate returns r grown by dx on the left and right and by dy on
+// the bottom and top (negative values shrink).
+func (r Rect) Inflate(dx, dy float64) Rect {
+	return Rect{Lx: r.Lx - dx, Ly: r.Ly - dy, Ux: r.Ux + dx, Uy: r.Uy + dy}
+}
+
 // ClampInto returns r translated by the smallest displacement that
 // places it inside bounds. If r is wider or taller than bounds, the
 // lower-left corner is aligned with bounds on that axis.

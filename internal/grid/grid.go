@@ -105,6 +105,16 @@ type Shape struct {
 // cells, giving the per-grid utilizations of the paper's s_m example
 // (Fig. 1).
 func ShapeOf(g *Grid, grp *cluster.Group) Shape {
+	return ShapeOfPadded(g, grp, 0, 0)
+}
+
+// ShapeOfPadded is ShapeOf with the group's footprint inflated by padX
+// / padY per side before discretisation — the search-level view of
+// halo/channel constraints (netlist.Constraints.MaxPad): a padded
+// shape claims the keep-out area around its macros, so availability
+// and overflow already price the spacing the legalizer will enforce.
+// Zero pads reproduce ShapeOf exactly.
+func ShapeOfPadded(g *Grid, grp *cluster.Group, padX, padY float64) Shape {
 	w, h := grp.MaxW, grp.MaxH
 	// Near-square footprint honouring the largest member dims; same
 	// policy as cluster.Coarsen.
@@ -122,6 +132,12 @@ func ShapeOf(g *Grid, grp *cluster.Group) Shape {
 	}
 	if h <= 0 {
 		h = 1e-9
+	}
+	if padX > 0 {
+		w += 2 * padX
+	}
+	if padY > 0 {
+		h += 2 * padY
 	}
 	gw := int(math.Ceil(w/g.CellW - 1e-9))
 	gh := int(math.Ceil(h/g.CellH - 1e-9))
@@ -162,6 +178,37 @@ type Env struct {
 	sp      []float64 // current per-grid utilization, capped at 1
 	anchors []int     // chosen anchor per step, -1 when pending
 	t       int       // next group to place
+
+	// fence, when hasFence is set, confines every group's continuous
+	// footprint: anchors whose rect leaves the fence are out of bounds
+	// (netlist.Constraints fence regions). Default: no fence, the
+	// partition bounds alone — bit-identical to the pre-fence Env.
+	// fenceOK[i] records whether shape i has at least one anchor that
+	// satisfies the fence; shapes with none fall back to partition
+	// bounds (the legalizer clamps them in) so the search never
+	// dead-ends on an over-tight fence.
+	fence    geom.Rect
+	hasFence bool
+	fenceOK  []bool
+}
+
+// SetFence confines every group's footprint to r (see Env.fence).
+func (e *Env) SetFence(r geom.Rect) {
+	e.fence = r
+	e.hasFence = true
+	e.fenceOK = make([]bool, len(e.Shapes))
+	for i := range e.Shapes {
+		s := &e.Shapes[i]
+	scan:
+		for gy := 0; gy+s.GH <= e.G.Zeta; gy++ {
+			for gx := 0; gx+s.GW <= e.G.Zeta; gx++ {
+				if e.insideFence(s, gx, gy) {
+					e.fenceOK[i] = true
+					break scan
+				}
+			}
+		}
+	}
 }
 
 // NewEnv builds an environment over the given grid and group shapes.
@@ -238,6 +285,9 @@ func (e *Env) CloneInto(dst *Env) {
 	dst.G = e.G
 	dst.Shapes = e.Shapes
 	dst.t = e.t
+	dst.fence = e.fence
+	dst.hasFence = e.hasFence
+	dst.fenceOK = e.fenceOK // immutable after SetFence; shared like Shapes
 	dst.sp = append(dst.sp[:0], e.sp...)
 	dst.anchors = append(dst.anchors[:0], e.anchors...)
 }
@@ -295,14 +345,45 @@ func (e *Env) SP() []float64 { return append([]float64(nil), e.sp...) }
 func (e *Env) SPInto(dst []float64) []float64 { return append(dst[:0], e.sp...) }
 
 // InBounds reports whether anchoring the current group at grid action
-// keeps its footprint inside the partition.
+// keeps its footprint inside the partition (and the fence, when set).
 func (e *Env) InBounds(action int) bool {
 	if e.Done() {
 		return false
 	}
-	s := &e.Shapes[e.t]
 	gx, gy := e.G.Coords(action)
-	return gx >= 0 && gy >= 0 && gx+s.GW <= e.G.Zeta && gy+s.GH <= e.G.Zeta
+	return e.fits(e.t, gx, gy)
+}
+
+// FitsAt reports whether group i's footprint fits when anchored at the
+// given grid index — InBounds for an arbitrary group regardless of the
+// episode position (the ECO local-move menu asks about every group).
+func (e *Env) FitsAt(i, anchor int) bool {
+	gx, gy := e.G.Coords(anchor)
+	return e.fits(i, gx, gy)
+}
+
+// fits checks the partition bounds and, when a fence is set and shape
+// i has any fence-satisfying anchor, the continuous footprint's
+// containment.
+func (e *Env) fits(i, gx, gy int) bool {
+	s := &e.Shapes[i]
+	if gx < 0 || gy < 0 || gx+s.GW > e.G.Zeta || gy+s.GH > e.G.Zeta {
+		return false
+	}
+	if e.hasFence && e.fenceOK[i] && !e.insideFence(s, gx, gy) {
+		return false
+	}
+	return true
+}
+
+// insideFence reports whether s anchored at grid (gx, gy) keeps its
+// continuous footprint inside the fence (ulp-scale tolerance so a
+// fence equal to the region never rejects the boundary anchors).
+func (e *Env) insideFence(s *Shape, gx, gy int) bool {
+	cell := e.G.CellRect(gx, gy)
+	eps := 1e-9 * (e.G.Region.W() + e.G.Region.H())
+	return cell.Lx >= e.fence.Lx-eps && cell.Ly >= e.fence.Ly-eps &&
+		cell.Lx+s.W <= e.fence.Ux+eps && cell.Ly+s.H <= e.fence.Uy+eps
 }
 
 // Avail computes the availability map s_a for the current group via
@@ -333,6 +414,9 @@ func (e *Env) AvailInto(dst []float64) []float64 {
 	inv := 1.0 / float64(s.GW*s.GH)
 	for gy := 0; gy+s.GH <= e.G.Zeta; gy++ {
 		for gx := 0; gx+s.GW <= e.G.Zeta; gx++ {
+			if e.hasFence && !e.fits(e.t, gx, gy) {
+				continue
+			}
 			// Geometric mean via log-sum for numerical stability.
 			var logSum float64
 			zero := false

@@ -1,0 +1,60 @@
+package lefdef
+
+import (
+	"fmt"
+
+	"macroplace/internal/netlist"
+)
+
+// ApplyPhys overlays user-level constraint knobs onto d.Phys and
+// validates the result against the design's placement region. It is
+// the one merge policy the CLI flags and the daemon's job specs share:
+//
+//   - c, when non-nil, supplies the halo/channel/fence/snap knobs; the
+//     design's own row geometry (from ToDesign) is kept unless c sets
+//     its own RowHeight.
+//   - snap derives the macro snap lattice from the DEF document's
+//     TRACKS (site/row fallback) via SnapLattice, filling only the
+//     axes c left unset, so an explicit -snap-x style override wins.
+//
+// With c == nil and snap == false the design is untouched — the
+// constraints-off paths stay bit-identical.
+func ApplyPhys(d *netlist.Design, c *netlist.Constraints, doc *Document, lef *LEF, snap bool) error {
+	if c == nil && !snap {
+		return nil
+	}
+	base := d.Phys
+	var merged *netlist.Constraints
+	if c != nil {
+		merged = c.Clone()
+		if merged.RowHeight == 0 && base != nil {
+			merged.RowHeight = base.RowHeight
+			merged.RowOriginY = base.RowOriginY
+		}
+	} else {
+		merged = base.Clone()
+		if merged == nil {
+			merged = &netlist.Constraints{}
+		}
+	}
+	if snap {
+		if doc == nil {
+			return fmt.Errorf("lefdef: snap needs a DEF document to derive the lattice from")
+		}
+		sx, ox, sy, oy, ok := SnapLattice(doc, lef)
+		if !ok {
+			return fmt.Errorf("lefdef: DEF %s has no tracks, sites, or rows to derive a snap lattice from", doc.Design)
+		}
+		if merged.SnapX == 0 {
+			merged.SnapX, merged.SnapOriginX = sx, ox
+		}
+		if merged.SnapY == 0 {
+			merged.SnapY, merged.SnapOriginY = sy, oy
+		}
+	}
+	if err := merged.Validate(d.Region); err != nil {
+		return err
+	}
+	d.Phys = merged
+	return nil
+}

@@ -1,0 +1,87 @@
+package lefdef
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"testing"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/netlist"
+	"macroplace/internal/portfolio"
+)
+
+// BenchmarkLEFDEFPlace measures the full real-design ingestion cycle
+// end to end: parse LEF + DEF, convert to the netlist model, overlay
+// halo/channel/fence constraints with track snapping, place with the
+// sequence-pair backend, write the placed components back into the
+// document, emit DEF, and re-parse the emission. That is the per-job
+// cost a LEF/DEF daemon submission pays on top of the search itself.
+// Recorded as BENCH_pr10.json; scripts/benchgate.sh runs it for the
+// record (informational — new benchmarks are not alloc-gated against
+// older baselines).
+func BenchmarkLEFDEFPlace(b *testing.B) {
+	lefSrc, err := os.ReadFile("testdata/small.lef")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defSrc, err := os.ReadFile("testdata/small.def")
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys := &netlist.Constraints{
+		HaloX: 1, HaloY: 1, ChannelX: 2, ChannelY: 2,
+		Fence: &geom.Rect{Lx: 2, Ly: 2, Ux: 62, Uy: 98},
+	}
+	backend, ok := portfolio.Lookup(portfolio.BackendSE)
+	if !ok {
+		b.Fatal("sequence-pair backend not registered")
+	}
+	opts := portfolio.Options{Seed: 1, Zeta: 8, Effort: 0.05, Workers: 1}
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lef, err := ParseLEF(lefSrc, "small.lef")
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc, err := ParseDEF(defSrc, "small.def")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := ToDesign(doc, lef)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ApplyPhys(d, phys, doc, lef, true); err != nil {
+			b.Fatal(err)
+		}
+		res, err := backend.PlaceContext(context.Background(), d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work := res.Placed.Clone()
+		if err := SnapToDBU(work, doc.DBU); err != nil {
+			b.Fatal(err)
+		}
+		if err := UpdateFromDesign(doc, work); err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteDEF(&buf, doc); err != nil {
+			b.Fatal(err)
+		}
+		rdoc, err := ParseDEF(buf.Bytes(), "placed.def")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd, err := ToDesign(rdoc, lef)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h := rd.HPWL(); math.IsNaN(h) || h <= 0 {
+			b.Fatalf("degenerate round-trip HPWL %v", h)
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package lefdef
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"macroplace/internal/netlist"
+)
+
+// ToDesign converts a DEF document plus its LEF library into a
+// netlist design in microns. Components become nodes (kind from the
+// LEF macro class), chip-level pins become fixed zero-size pads, and
+// NETS entries become nets whose pin offsets come from the LEF pin
+// port geometry. Row geometry is carried into Design.Phys (RowHeight,
+// RowOriginY) so row legalization lands cells on the design's own
+// rows; it does not by itself activate macro constraints.
+//
+// A design read this way, placed, written back with UpdateFromDesign
+// after SnapToDBU, and re-read, reproduces its HPWL bit-identically:
+// every coordinate is a DBU lattice point and every size and pin
+// offset re-derives from the same LEF text.
+//
+// Limitations (rejected, never silently accepted): only orientation N,
+// rectangular die areas, and components whose macro and net pins exist
+// in the LEF.
+func ToDesign(doc *Document, lef *LEF) (*netlist.Design, error) {
+	if doc.DBU <= 0 {
+		return nil, fmt.Errorf("lefdef: document %q has no DBU", doc.Design)
+	}
+	// Direct division, not multiplication by a rounded reciprocal:
+	// SnapToDBU computes float64(k)/dbu, and using the same expression
+	// here is what makes a snapped-written-reread coordinate
+	// bit-identical for every k, not just the lucky ones.
+	dbuF := float64(doc.DBU)
+	d := &netlist.Design{
+		Name:   doc.Design,
+		Region: doc.DieArea.Rect(doc.DBU),
+	}
+
+	compIdx := make(map[string]int, len(doc.Components))
+	for i := range doc.Components {
+		c := &doc.Components[i]
+		m := lef.Macros[c.Macro]
+		if m == nil {
+			return nil, fmt.Errorf("lefdef: component %q references macro %q not in the LEF", c.Name, c.Macro)
+		}
+		if _, dup := compIdx[c.Name]; dup {
+			return nil, fmt.Errorf("lefdef: duplicate component %q", c.Name)
+		}
+		n := netlist.Node{Name: c.Name, W: m.W, H: m.H}
+		switch {
+		case PadClass(m.Class):
+			n.Kind = netlist.Pad
+			n.Fixed = true
+		case BlockClass(m.Class):
+			n.Kind = netlist.Macro
+		default:
+			n.Kind = netlist.Cell
+		}
+		if c.Placed() {
+			if c.Orient != "N" {
+				return nil, fmt.Errorf("lefdef: component %q has orientation %s; only N is supported", c.Name, c.Orient)
+			}
+			n.X = float64(c.X) / dbuF
+			n.Y = float64(c.Y) / dbuF
+			if c.Status == StatusFixed || c.Status == StatusCover {
+				n.Fixed = true
+			}
+		} else {
+			// Unplaced components start at the die center; the placer
+			// decides where they go.
+			n.SetCenter(d.Region.Center().X, d.Region.Center().Y)
+		}
+		compIdx[c.Name] = d.AddNode(n)
+	}
+
+	pinIdx := make(map[string]int, len(doc.Pins))
+	for i := range doc.Pins {
+		p := &doc.Pins[i]
+		if !p.Placed() {
+			return nil, fmt.Errorf("lefdef: pin %q has no placement", p.Name)
+		}
+		if p.Orient != "N" {
+			return nil, fmt.Errorf("lefdef: pin %q has orientation %s; only N is supported", p.Name, p.Orient)
+		}
+		if _, dup := pinIdx[p.Name]; dup {
+			return nil, fmt.Errorf("lefdef: duplicate pin %q", p.Name)
+		}
+		cx := float64(p.X) / dbuF
+		cy := float64(p.Y) / dbuF
+		if p.HasRect {
+			cx += (float64(p.Rect.Lx) + float64(p.Rect.Ux)) / 2 / dbuF
+			cy += (float64(p.Rect.Ly) + float64(p.Rect.Uy)) / 2 / dbuF
+		}
+		pinIdx[p.Name] = d.AddNode(netlist.Node{
+			Name: p.Name, Kind: netlist.Pad, Fixed: true, X: cx, Y: cy,
+		})
+	}
+
+	for i := range doc.Nets {
+		dn := &doc.Nets[i]
+		net := netlist.Net{Name: dn.Name, Weight: dn.Weight}
+		for _, conn := range dn.Conns {
+			if conn.IsIOPin() {
+				idx, ok := pinIdx[conn.Pin]
+				if !ok {
+					return nil, fmt.Errorf("lefdef: net %q references unknown chip pin %q", dn.Name, conn.Pin)
+				}
+				net.Pins = append(net.Pins, netlist.Pin{Node: idx})
+				continue
+			}
+			idx, ok := compIdx[conn.Comp]
+			if !ok {
+				return nil, fmt.Errorf("lefdef: net %q references unknown component %q", dn.Name, conn.Comp)
+			}
+			m := lef.Macros[doc.Components[idx].Macro]
+			mp := m.Pin(conn.Pin)
+			if mp == nil {
+				return nil, fmt.Errorf("lefdef: net %q references pin %s.%s not in the LEF", dn.Name, m.Name, conn.Pin)
+			}
+			net.Pins = append(net.Pins, netlist.Pin{Node: idx, Dx: mp.Dx, Dy: mp.Dy})
+		}
+		if len(net.Pins) == 0 {
+			return nil, fmt.Errorf("lefdef: net %q has no connections", dn.Name)
+		}
+		d.AddNet(net)
+	}
+
+	if rowH, originY, err := rowGeometry(doc, lef); err != nil {
+		return nil, err
+	} else if rowH > 0 {
+		d.Phys = &netlist.Constraints{RowHeight: rowH, RowOriginY: originY}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("lefdef: %q: %w", doc.Design, err)
+	}
+	return d, nil
+}
+
+// rowGeometry derives the row height and origin (microns) from the
+// document's ROW statements, or zeros when it has none.
+func rowGeometry(doc *Document, lef *LEF) (rowH, originY float64, err error) {
+	if len(doc.Rows) == 0 {
+		return 0, 0, nil
+	}
+	site := lef.Sites[doc.Rows[0].Site]
+	if site == nil {
+		return 0, 0, fmt.Errorf("lefdef: row %q references site %q not in the LEF", doc.Rows[0].Name, doc.Rows[0].Site)
+	}
+	minY := doc.Rows[0].Y
+	for i := range doc.Rows {
+		if doc.Rows[i].Y < minY {
+			minY = doc.Rows[i].Y
+		}
+	}
+	return site.H, float64(minY) / float64(doc.DBU), nil
+}
+
+// SnapLattice derives the macro snap lattice (pitches and origins, in
+// microns) from the document: routing tracks when present (X tracks
+// give the vertical-line pitch, i.e. the x lattice), placement rows
+// otherwise. ok is false when the document carries neither.
+func SnapLattice(doc *Document, lef *LEF) (sx, ox, sy, oy float64, ok bool) {
+	s := 1 / float64(doc.DBU)
+	for i := range doc.Tracks {
+		tr := &doc.Tracks[i]
+		switch tr.Axis {
+		case "X":
+			if sx == 0 {
+				sx, ox = float64(tr.Step)*s, float64(tr.Start)*s
+			}
+		case "Y":
+			if sy == 0 {
+				sy, oy = float64(tr.Step)*s, float64(tr.Start)*s
+			}
+		}
+	}
+	if sx > 0 && sy > 0 {
+		return sx, ox, sy, oy, true
+	}
+	if rowH, originY, err := rowGeometry(doc, lef); err == nil && rowH > 0 {
+		site := lef.Sites[doc.Rows[0].Site]
+		minX := doc.Rows[0].X
+		for i := range doc.Rows {
+			if doc.Rows[i].X < minX {
+				minX = doc.Rows[i].X
+			}
+		}
+		if sx == 0 {
+			sx, ox = site.W, float64(minX)*s
+		}
+		if sy == 0 {
+			sy, oy = rowH, originY
+		}
+	}
+	return sx, ox, sy, oy, sx > 0 && sy > 0
+}
+
+// SnapToDBU moves every movable node onto the DBU lattice (the
+// nearest k/dbu coordinate). Writing the design to DEF afterwards is
+// lossless: the writer's round(x·dbu) recovers k exactly, so a
+// re-read reproduces each position bit-identically. Fixed nodes are
+// left untouched — a fixed DEF component already sits on the lattice,
+// and a chip pin's position (DEF point plus folded port-rect center)
+// is never rewritten into the document, so moving it here would break
+// the write/re-read bit-identity instead of helping it.
+func SnapToDBU(d *netlist.Design, dbu int) error {
+	if dbu <= 0 {
+		return fmt.Errorf("lefdef: non-positive DBU %d", dbu)
+	}
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Fixed {
+			continue
+		}
+		x, err := round(n.X, dbu)
+		if err != nil {
+			return fmt.Errorf("lefdef: node %q: %w", n.Name, err)
+		}
+		y, err := round(n.Y, dbu)
+		if err != nil {
+			return fmt.Errorf("lefdef: node %q: %w", n.Name, err)
+		}
+		n.X = float64(x) / float64(dbu)
+		n.Y = float64(y) / float64(dbu)
+	}
+	return nil
+}
+
+// UpdateFromDesign writes the placement of d back into the document:
+// each component's point becomes the DBU rounding of its node's
+// lower-left corner, with status PLACED (FIXED components stay FIXED).
+// Chip-level pins are not moved. Components with no matching node are
+// an error — the document and design must describe the same circuit.
+func UpdateFromDesign(doc *Document, d *netlist.Design) error {
+	for i := range doc.Components {
+		c := &doc.Components[i]
+		idx := d.NodeIndex(c.Name)
+		if idx < 0 {
+			return fmt.Errorf("lefdef: component %q has no node in design %q", c.Name, d.Name)
+		}
+		n := &d.Nodes[idx]
+		x, err := round(n.X, doc.DBU)
+		if err != nil {
+			return fmt.Errorf("lefdef: component %q: %w", c.Name, err)
+		}
+		y, err := round(n.Y, doc.DBU)
+		if err != nil {
+			return fmt.Errorf("lefdef: component %q: %w", c.Name, err)
+		}
+		c.X, c.Y = x, y
+		c.Orient = "N"
+		if c.Status != StatusFixed && c.Status != StatusCover {
+			c.Status = StatusPlaced
+		}
+	}
+	return nil
+}
+
+// Synthesize builds a DEF document and a matching LEF library from a
+// design that did not come from DEF (Bookshelf or synthetic), so every
+// placement result can be exported to the interchange formats. Nodes
+// sharing a footprint and pin-offset signature share a generated LEF
+// macro; pads become chip-level DEF pins (one per net incidence, with
+// the pin offset folded into the pin location). Hierarchy paths are
+// not representable in DEF and are dropped.
+func Synthesize(d *netlist.Design, dbu int) (*Document, *LEF, error) {
+	if dbu <= 0 {
+		return nil, nil, fmt.Errorf("lefdef: non-positive DBU %d", dbu)
+	}
+	name := d.Name
+	if name == "" || reservedName[name] {
+		name = "design"
+	}
+	doc := &Document{
+		Design: name,
+		DBU:    dbu,
+		DieArea: DRect{
+			Lx: int64(math.Floor(d.Region.Lx * float64(dbu))),
+			Ly: int64(math.Floor(d.Region.Ly * float64(dbu))),
+			Ux: int64(math.Ceil(d.Region.Ux * float64(dbu))),
+			Uy: int64(math.Ceil(d.Region.Uy * float64(dbu))),
+		},
+	}
+	lef := &LEF{
+		DBU:    dbu,
+		Sites:  make(map[string]*Site),
+		Layers: make(map[string]*Layer),
+		Macros: make(map[string]*Macro),
+	}
+
+	// Distinct pin offsets per node, in deterministic order.
+	type offset struct{ dx, dy float64 }
+	nodeOffsets := make([][]offset, len(d.Nodes))
+	offsetPin := make([]map[offset]string, len(d.Nodes))
+	for i := range d.Nets {
+		for _, p := range d.Nets[i].Pins {
+			o := offset{p.Dx, p.Dy}
+			if offsetPin[p.Node] == nil {
+				offsetPin[p.Node] = make(map[offset]string)
+			}
+			if _, ok := offsetPin[p.Node][o]; !ok {
+				offsetPin[p.Node][o] = "" // named after sorting
+				nodeOffsets[p.Node] = append(nodeOffsets[p.Node], o)
+			}
+		}
+	}
+	for i := range nodeOffsets {
+		sort.Slice(nodeOffsets[i], func(a, b int) bool {
+			oa, ob := nodeOffsets[i][a], nodeOffsets[i][b]
+			if oa.dx != ob.dx {
+				return oa.dx < ob.dx
+			}
+			return oa.dy < ob.dy
+		})
+		for j, o := range nodeOffsets[i] {
+			offsetPin[i][o] = fmt.Sprintf("P%d", j)
+		}
+	}
+
+	// One LEF macro per (kind, footprint, offset-signature) class.
+	classOf := make(map[string]string)
+	macroOf := make([]string, len(d.Nodes))
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Kind == netlist.Pad {
+			continue
+		}
+		if reservedName[n.Name] || n.Name == "PIN" {
+			return nil, nil, fmt.Errorf("lefdef: node name %q cannot appear in DEF", n.Name)
+		}
+		sig := fmt.Sprintf("%d|%x|%x", n.Kind, math.Float64bits(n.W), math.Float64bits(n.H))
+		for _, o := range nodeOffsets[i] {
+			sig += fmt.Sprintf("|%x,%x", math.Float64bits(o.dx), math.Float64bits(o.dy))
+		}
+		mname, ok := classOf[sig]
+		if !ok {
+			mname = fmt.Sprintf("M%d", len(lef.MacroOrder))
+			class := "CORE"
+			if n.Kind == netlist.Macro {
+				class = "BLOCK"
+			}
+			m := &Macro{Name: mname, Class: class, W: n.W, H: n.H}
+			for _, o := range nodeOffsets[i] {
+				m.Pins = append(m.Pins, &MacroPin{Name: offsetPin[i][o], Dx: o.dx, Dy: o.dy})
+			}
+			lef.Macros[mname] = m
+			lef.MacroOrder = append(lef.MacroOrder, mname)
+			classOf[sig] = mname
+		}
+		macroOf[i] = mname
+	}
+
+	// Components, in node order.
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Kind == netlist.Pad {
+			continue
+		}
+		x, err := round(n.X, dbu)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lefdef: node %q: %w", n.Name, err)
+		}
+		y, err := round(n.Y, dbu)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lefdef: node %q: %w", n.Name, err)
+		}
+		status := StatusPlaced
+		if n.Fixed {
+			status = StatusFixed
+		}
+		doc.Components = append(doc.Components, Component{
+			Name: n.Name, Macro: macroOf[i], Status: status, X: x, Y: y, Orient: "N",
+		})
+	}
+
+	// Unique net names (DEF keys nets by name).
+	netName := make([]string, len(d.Nets))
+	usedNet := make(map[string]bool, len(d.Nets))
+	for i := range d.Nets {
+		nm := d.Nets[i].Name
+		if nm == "" || reservedName[nm] || usedNet[nm] {
+			nm = fmt.Sprintf("net_%d", i)
+		}
+		usedNet[nm] = true
+		netName[i] = nm
+	}
+
+	// Pads: one DEF pin per (pad, net-pin) incidence, the offset folded
+	// into the pin location so re-reading reproduces pin positions.
+	usedPin := make(map[string]bool)
+	padPinName := func(base string, seq int) string {
+		nm := base
+		if seq > 0 {
+			nm = fmt.Sprintf("%s.%d", base, seq)
+		}
+		for usedPin[nm] || reservedName[nm] {
+			seq++
+			nm = fmt.Sprintf("%s.%d", base, seq)
+		}
+		usedPin[nm] = true
+		return nm
+	}
+	padSeq := make([]int, len(d.Nodes))
+	doc.Nets = make([]DNet, len(d.Nets))
+	for i := range d.Nets {
+		doc.Nets[i] = DNet{Name: netName[i], Weight: d.Nets[i].Weight}
+		for _, p := range d.Nets[i].Pins {
+			n := &d.Nodes[p.Node]
+			if n.Kind != netlist.Pad {
+				doc.Nets[i].Conns = append(doc.Nets[i].Conns, Conn{Comp: n.Name, Pin: offsetPin[p.Node][offset{p.Dx, p.Dy}]})
+				continue
+			}
+			base := n.Name
+			if base == "" || reservedName[base] || base == "PIN" {
+				base = fmt.Sprintf("pad_%d", p.Node)
+			}
+			pname := padPinName(base, padSeq[p.Node])
+			padSeq[p.Node]++
+			c := n.Center()
+			x, err := round(c.X+p.Dx, dbu)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lefdef: pad %q: %w", n.Name, err)
+			}
+			y, err := round(c.Y+p.Dy, dbu)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lefdef: pad %q: %w", n.Name, err)
+			}
+			doc.Pins = append(doc.Pins, DPin{
+				Name: pname, Net: netName[i], Status: StatusFixed, X: x, Y: y, Orient: "N",
+			})
+			doc.Nets[i].Conns = append(doc.Nets[i].Conns, Conn{Comp: "PIN", Pin: pname})
+		}
+	}
+
+	// Row geometry, when the design carries it.
+	if phys := d.Phys; phys != nil && phys.RowHeight > 0 && d.Region.H() >= phys.RowHeight {
+		siteW := phys.SnapX
+		if siteW <= 0 {
+			siteW = phys.RowHeight
+		}
+		site := &Site{Name: "core", Class: "CORE", W: siteW, H: phys.RowHeight}
+		lef.Sites["core"] = site
+		lef.SiteOrder = append(lef.SiteOrder, "core")
+		originY := d.Region.Ly
+		if phys.RowOriginY > d.Region.Ly && phys.RowOriginY < d.Region.Uy {
+			originY = phys.RowOriginY
+		}
+		nRows := int((d.Region.Uy - originY) / phys.RowHeight)
+		nSites := int(d.Region.W() / siteW)
+		if nSites < 1 {
+			nSites = 1
+		}
+		stepX, err := round(siteW, dbu)
+		if err != nil || stepX <= 0 {
+			return nil, nil, fmt.Errorf("lefdef: site width %v does not land on the DBU grid", siteW)
+		}
+		for r := 0; r < nRows; r++ {
+			y, err := round(originY+float64(r)*phys.RowHeight, dbu)
+			if err != nil {
+				return nil, nil, err
+			}
+			x, err := round(d.Region.Lx, dbu)
+			if err != nil {
+				return nil, nil, err
+			}
+			doc.Rows = append(doc.Rows, Row{
+				Name: fmt.Sprintf("ROW_%d", r), Site: "core", X: x, Y: y,
+				Orient: "N", NumX: nSites, NumY: 1, StepX: stepX, StepY: 0,
+			})
+		}
+	}
+	return doc, lef, nil
+}

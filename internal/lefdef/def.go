@@ -1,0 +1,612 @@
+package lefdef
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"macroplace/internal/geom"
+)
+
+// Document is a parsed DEF design. Coordinates are database units
+// (DBU); divide by DBU for microns.
+type Document struct {
+	Version string
+	Design  string
+	// DBU is UNITS DISTANCE MICRONS — database units per micron.
+	DBU int
+	// DieArea is the chip outline in DBU. Only rectangular die areas
+	// (two points) are supported.
+	DieArea DRect
+
+	Rows       []Row
+	Tracks     []Track
+	Components []Component
+	Pins       []DPin
+	Nets       []DNet
+}
+
+// DRect is an integer DBU rectangle.
+type DRect struct {
+	Lx, Ly, Ux, Uy int64
+}
+
+// Rect converts to a float rectangle scaled by 1/dbu.
+func (r DRect) Rect(dbu int) geom.Rect {
+	s := 1 / float64(dbu)
+	return geom.Rect{
+		Lx: float64(r.Lx) * s, Ly: float64(r.Ly) * s,
+		Ux: float64(r.Ux) * s, Uy: float64(r.Uy) * s,
+	}
+}
+
+// Row is a placement row: NumX×NumY sites starting at (X, Y) with the
+// given steps.
+type Row struct {
+	Name   string
+	Site   string
+	X, Y   int64
+	Orient string
+	NumX   int
+	NumY   int
+	StepX  int64
+	StepY  int64
+}
+
+// Track is a routing-track statement ("TRACKS X start DO n STEP s
+// LAYER ...").
+type Track struct {
+	Axis   string // "X" or "Y"
+	Start  int64
+	Num    int
+	Step   int64
+	Layers []string
+}
+
+// Component placement status values.
+const (
+	StatusUnplaced = "UNPLACED"
+	StatusPlaced   = "PLACED"
+	StatusFixed    = "FIXED"
+	StatusCover    = "COVER"
+)
+
+// Component is one COMPONENTS entry.
+type Component struct {
+	Name   string
+	Macro  string
+	Status string // "" means UNPLACED
+	X, Y   int64  // placement point (macro origin), valid unless UNPLACED
+	Orient string
+}
+
+// Placed reports whether the component carries a placement point.
+func (c *Component) Placed() bool {
+	return c.Status == StatusPlaced || c.Status == StatusFixed || c.Status == StatusCover
+}
+
+// DPin is one PINS entry (a chip-level I/O terminal).
+type DPin struct {
+	Name      string
+	Net       string
+	Direction string
+	Use       string
+	Layer     string
+	// Rect is the pin shape relative to the placement point, valid
+	// when HasRect.
+	Rect    DRect
+	HasRect bool
+	Status  string
+	X, Y    int64
+	Orient  string
+}
+
+// Placed reports whether the pin carries a placement point.
+func (p *DPin) Placed() bool {
+	return p.Status == StatusPlaced || p.Status == StatusFixed || p.Status == StatusCover
+}
+
+// DNet is one NETS entry.
+type DNet struct {
+	Name  string
+	Conns []Conn
+	// Weight is the DEF "+ WEIGHT" value (0 when absent; treated as 1).
+	Weight float64
+}
+
+// Conn is one net terminal: a (component, pin) pair, or a chip-level
+// pin when Comp is the literal "PIN".
+type Conn struct {
+	Comp string
+	Pin  string
+}
+
+// IsIOPin reports whether the connection names a chip-level pin.
+func (c Conn) IsIOPin() bool { return c.Comp == "PIN" }
+
+var validOrient = map[string]bool{
+	"N": true, "S": true, "E": true, "W": true,
+	"FN": true, "FS": true, "FE": true, "FW": true,
+}
+
+// ParseDEFFile reads and parses a DEF file from disk.
+func ParseDEFFile(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lefdef: %w", err)
+	}
+	return ParseDEF(data, path)
+}
+
+// ParseDEF parses DEF source; file names errors.
+func ParseDEF(src []byte, file string) (*Document, error) {
+	t := tokenize(src, file)
+	doc := &Document{}
+	seenEnd := false
+	for !t.eof() && !seenEnd {
+		tok, err := t.next()
+		if err != nil {
+			return nil, err
+		}
+		switch tok {
+		case "VERSION":
+			if doc.Version, err = t.ident("version"); err != nil {
+				return nil, err
+			}
+			if err := t.expect(";"); err != nil {
+				return nil, err
+			}
+		case "DESIGN":
+			if doc.Design, err = t.ident("design"); err != nil {
+				return nil, err
+			}
+			if err := t.expect(";"); err != nil {
+				return nil, err
+			}
+		case "UNITS":
+			if err := t.expect("DISTANCE"); err != nil {
+				return nil, err
+			}
+			if err := t.expect("MICRONS"); err != nil {
+				return nil, err
+			}
+			if doc.DBU, err = t.int(); err != nil {
+				return nil, err
+			}
+			if doc.DBU <= 0 {
+				return nil, t.errf("UNITS DISTANCE MICRONS must be positive, got %d", doc.DBU)
+			}
+			if err := t.expect(";"); err != nil {
+				return nil, err
+			}
+		case "DIEAREA":
+			if err := parseDieArea(t, doc); err != nil {
+				return nil, err
+			}
+		case "ROW":
+			if err := parseRow(t, doc); err != nil {
+				return nil, err
+			}
+		case "TRACKS":
+			if err := parseTracks(t, doc); err != nil {
+				return nil, err
+			}
+		case "COMPONENTS":
+			if err := parseSection(t, "COMPONENTS", func() error { return parseComponent(t, doc) }, func() int { return len(doc.Components) }); err != nil {
+				return nil, err
+			}
+		case "PINS":
+			if err := parseSection(t, "PINS", func() error { return parsePin(t, doc) }, func() int { return len(doc.Pins) }); err != nil {
+				return nil, err
+			}
+		case "NETS":
+			if err := parseSection(t, "NETS", func() error { return parseNet(t, doc) }, func() int { return len(doc.Nets) }); err != nil {
+				return nil, err
+			}
+		case "VIAS", "SPECIALNETS", "BLOCKAGES", "REGIONS", "GROUPS", "FILLS", "NONDEFAULTRULES", "PROPERTYDEFINITIONS", "STYLES", "SLOTS", "PINPROPERTIES", "SCANCHAINS":
+			// Sections the placement model does not carry.
+			if err := t.skipBlock(tok); err != nil {
+				return nil, err
+			}
+		case "END":
+			if err := t.expect("DESIGN"); err != nil {
+				return nil, err
+			}
+			seenEnd = true
+		default:
+			// DIVIDERCHAR, BUSBITCHARS, TECHNOLOGY, GCELLGRID, HISTORY...
+			if err := t.skipStatement(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !seenEnd {
+		return nil, t.errf("missing END DESIGN")
+	}
+	if doc.Design == "" {
+		return nil, t.errf("missing DESIGN statement")
+	}
+	if doc.DBU <= 0 {
+		return nil, t.errf("missing UNITS DISTANCE MICRONS statement")
+	}
+	if doc.DieArea.Lx >= doc.DieArea.Ux || doc.DieArea.Ly >= doc.DieArea.Uy {
+		return nil, t.errf("missing or empty DIEAREA")
+	}
+	return doc, nil
+}
+
+// parseSection parses "KEYWORD n ; <entries> END KEYWORD" and verifies
+// the declared count matches the parsed count — a mismatch means a
+// truncated or corrupt file and must not be accepted silently.
+func parseSection(t *tokens, keyword string, entry func() error, count func() int) error {
+	declared, err := t.int()
+	if err != nil {
+		return err
+	}
+	if declared < 0 {
+		return t.errf("%s count %d is negative", keyword, declared)
+	}
+	if err := t.expect(";"); err != nil {
+		return err
+	}
+	for {
+		switch t.peek() {
+		case "END":
+			t.pos++
+			if err := t.expect(keyword); err != nil {
+				return err
+			}
+			if got := count(); got != declared {
+				return t.errf("%s declares %d entries but contains %d", keyword, declared, got)
+			}
+			return nil
+		case "-":
+			t.pos++
+			if err := entry(); err != nil {
+				return err
+			}
+		default:
+			tok, _ := t.next()
+			return t.errf("unexpected token %q in %s section", tok, keyword)
+		}
+	}
+}
+
+// parsePoint parses "( x y )".
+func parsePoint(t *tokens) (x, y int64, err error) {
+	if err = t.expect("("); err != nil {
+		return
+	}
+	if x, err = t.int64(); err != nil {
+		return
+	}
+	if y, err = t.int64(); err != nil {
+		return
+	}
+	err = t.expect(")")
+	return
+}
+
+func parseDieArea(t *tokens, doc *Document) error {
+	lx, ly, err := parsePoint(t)
+	if err != nil {
+		return err
+	}
+	ux, uy, err := parsePoint(t)
+	if err != nil {
+		return err
+	}
+	if t.peek() == "(" {
+		return t.errf("rectilinear DIEAREA (more than two points) is not supported")
+	}
+	if err := t.expect(";"); err != nil {
+		return err
+	}
+	if ux <= lx || uy <= ly {
+		return t.errf("DIEAREA ( %d %d ) ( %d %d ) is empty", lx, ly, ux, uy)
+	}
+	doc.DieArea = DRect{Lx: lx, Ly: ly, Ux: ux, Uy: uy}
+	return nil
+}
+
+func parseRow(t *tokens, doc *Document) error {
+	var r Row
+	var err error
+	if r.Name, err = t.ident("row"); err != nil {
+		return err
+	}
+	if r.Site, err = t.ident("row site"); err != nil {
+		return err
+	}
+	if r.X, err = t.int64(); err != nil {
+		return err
+	}
+	if r.Y, err = t.int64(); err != nil {
+		return err
+	}
+	if r.Orient, err = t.next(); err != nil {
+		return err
+	}
+	if !validOrient[r.Orient] {
+		return t.errf("row %q has invalid orientation %q", r.Name, r.Orient)
+	}
+	r.NumX, r.NumY = 1, 1
+	if t.peek() == "DO" {
+		t.pos++
+		if r.NumX, err = t.int(); err != nil {
+			return err
+		}
+		if err := t.expect("BY"); err != nil {
+			return err
+		}
+		if r.NumY, err = t.int(); err != nil {
+			return err
+		}
+		if t.peek() == "STEP" {
+			t.pos++
+			if r.StepX, err = t.int64(); err != nil {
+				return err
+			}
+			if r.StepY, err = t.int64(); err != nil {
+				return err
+			}
+		}
+	}
+	if r.NumX < 1 || r.NumY < 1 {
+		return t.errf("row %q has non-positive site counts %dx%d", r.Name, r.NumX, r.NumY)
+	}
+	doc.Rows = append(doc.Rows, r)
+	return t.skipStatement() // tolerate + PROPERTY ... before ';'
+}
+
+func parseTracks(t *tokens, doc *Document) error {
+	var tr Track
+	var err error
+	if tr.Axis, err = t.next(); err != nil {
+		return err
+	}
+	if tr.Axis != "X" && tr.Axis != "Y" {
+		return t.errf("TRACKS axis must be X or Y, got %q", tr.Axis)
+	}
+	if tr.Start, err = t.int64(); err != nil {
+		return err
+	}
+	if err := t.expect("DO"); err != nil {
+		return err
+	}
+	if tr.Num, err = t.int(); err != nil {
+		return err
+	}
+	if tr.Num < 1 {
+		return t.errf("TRACKS count %d is non-positive", tr.Num)
+	}
+	if err := t.expect("STEP"); err != nil {
+		return err
+	}
+	if tr.Step, err = t.int64(); err != nil {
+		return err
+	}
+	if tr.Step <= 0 {
+		return t.errf("TRACKS step %d is non-positive", tr.Step)
+	}
+	if t.peek() == "LAYER" {
+		t.pos++
+		for t.peek() != ";" && t.peek() != "" {
+			layer, err := t.ident("track layer")
+			if err != nil {
+				return err
+			}
+			tr.Layers = append(tr.Layers, layer)
+		}
+	}
+	if err := t.expect(";"); err != nil {
+		return err
+	}
+	doc.Tracks = append(doc.Tracks, tr)
+	return nil
+}
+
+// parsePlacement parses "PLACED|FIXED|COVER ( x y ) orient" with the
+// status token already consumed, or "UNPLACED".
+func parsePlacement(t *tokens, status string) (x, y int64, orient string, err error) {
+	if status == StatusUnplaced {
+		return 0, 0, "", nil
+	}
+	if x, y, err = parsePoint(t); err != nil {
+		return
+	}
+	if orient, err = t.next(); err != nil {
+		return
+	}
+	if !validOrient[orient] {
+		err = t.errf("invalid orientation %q", orient)
+	}
+	return
+}
+
+func parseComponent(t *tokens, doc *Document) error {
+	var c Component
+	var err error
+	if c.Name, err = t.ident("component"); err != nil {
+		return err
+	}
+	if c.Name == "PIN" {
+		// "PIN" is how NETS entries address chip-level pins; a component
+		// by that name could never be referenced unambiguously.
+		return t.errf("component may not be named %q", c.Name)
+	}
+	if c.Macro, err = t.ident("component macro"); err != nil {
+		return err
+	}
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case ";":
+			doc.Components = append(doc.Components, c)
+			return nil
+		case "+":
+			kw, err := t.next()
+			if err != nil {
+				return err
+			}
+			switch kw {
+			case StatusPlaced, StatusFixed, StatusCover, StatusUnplaced:
+				c.Status = kw
+				if c.X, c.Y, c.Orient, err = parsePlacement(t, kw); err != nil {
+					return err
+				}
+			default:
+				// SOURCE, WEIGHT, REGION, PROPERTY, HALO, ...
+				if err := skipOption(t); err != nil {
+					return err
+				}
+			}
+		default:
+			return t.errf("unexpected token %q in component %q", tok, c.Name)
+		}
+	}
+}
+
+// skipOption consumes tokens until the next '+' option or the
+// terminating ';' (neither is consumed).
+func skipOption(t *tokens) error {
+	for {
+		switch t.peek() {
+		case "+", ";":
+			return nil
+		case "":
+			return t.errf("unexpected end of file in options")
+		default:
+			t.pos++
+		}
+	}
+}
+
+func parsePin(t *tokens, doc *Document) error {
+	var p DPin
+	var err error
+	if p.Name, err = t.ident("pin"); err != nil {
+		return err
+	}
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case ";":
+			if p.Net == "" {
+				return t.errf("pin %q has no + NET", p.Name)
+			}
+			doc.Pins = append(doc.Pins, p)
+			return nil
+		case "+":
+			kw, err := t.next()
+			if err != nil {
+				return err
+			}
+			switch kw {
+			case "NET":
+				if p.Net, err = t.ident("pin net"); err != nil {
+					return err
+				}
+			case "DIRECTION":
+				if p.Direction, err = t.ident("pin direction"); err != nil {
+					return err
+				}
+			case "USE":
+				if p.Use, err = t.ident("pin use"); err != nil {
+					return err
+				}
+			case "LAYER":
+				if p.Layer, err = t.ident("pin layer"); err != nil {
+					return err
+				}
+				var r DRect
+				if r.Lx, r.Ly, err = parsePoint(t); err != nil {
+					return err
+				}
+				if r.Ux, r.Uy, err = parsePoint(t); err != nil {
+					return err
+				}
+				p.Rect, p.HasRect = r, true
+			case StatusPlaced, StatusFixed, StatusCover, StatusUnplaced:
+				p.Status = kw
+				if p.X, p.Y, p.Orient, err = parsePlacement(t, kw); err != nil {
+					return err
+				}
+			default:
+				if err := skipOption(t); err != nil {
+					return err
+				}
+			}
+		default:
+			return t.errf("unexpected token %q in pin %q", tok, p.Name)
+		}
+	}
+}
+
+func parseNet(t *tokens, doc *Document) error {
+	var n DNet
+	var err error
+	if n.Name, err = t.ident("net"); err != nil {
+		return err
+	}
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case ";":
+			doc.Nets = append(doc.Nets, n)
+			return nil
+		case "(":
+			var c Conn
+			if c.Comp, err = t.ident("net component"); err != nil {
+				return err
+			}
+			if c.Pin, err = t.ident("net pin"); err != nil {
+				return err
+			}
+			if err := t.expect(")"); err != nil {
+				return err
+			}
+			n.Conns = append(n.Conns, c)
+		case "+":
+			kw, err := t.next()
+			if err != nil {
+				return err
+			}
+			if kw == "WEIGHT" {
+				if n.Weight, err = t.float(); err != nil {
+					return err
+				}
+				if !finite(n.Weight) || n.Weight < 0 {
+					return t.errf("net %q has invalid weight %v", n.Name, n.Weight)
+				}
+			} else if err := skipOption(t); err != nil {
+				return err
+			}
+		default:
+			return t.errf("unexpected token %q in net %q", tok, n.Name)
+		}
+	}
+}
+
+// round converts a micron coordinate to DBU with round-half-away
+// semantics, rejecting values that overflow or are non-finite.
+func round(v float64, dbu int) (int64, error) {
+	s := v * float64(dbu)
+	if math.IsNaN(s) || math.IsInf(s, 0) || s > math.MaxInt64/2 || s < math.MinInt64/2 {
+		return 0, fmt.Errorf("lefdef: coordinate %v overflows DBU %d", v, dbu)
+	}
+	return int64(math.Round(s)), nil
+}
+
+// fint formats a DBU coordinate.
+func fint(v int64) string { return strconv.FormatInt(v, 10) }

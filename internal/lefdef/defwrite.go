@@ -1,0 +1,115 @@
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"macroplace/internal/atomicio"
+)
+
+// WriteDEF renders the document as DEF text in a canonical form the
+// parser round-trips exactly: ParseDEF(WriteDEF(doc)) reproduces doc
+// field for field.
+func WriteDEF(w io.Writer, doc *Document) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, format, args...)
+		}
+	}
+
+	if doc.Version != "" {
+		pr("VERSION %s ;\n", doc.Version)
+	}
+	pr("DIVIDERCHAR \"/\" ;\n")
+	pr("BUSBITCHARS \"[]\" ;\n")
+	pr("DESIGN %s ;\n", doc.Design)
+	pr("UNITS DISTANCE MICRONS %d ;\n", doc.DBU)
+	pr("DIEAREA ( %s %s ) ( %s %s ) ;\n",
+		fint(doc.DieArea.Lx), fint(doc.DieArea.Ly), fint(doc.DieArea.Ux), fint(doc.DieArea.Uy))
+
+	for i := range doc.Rows {
+		r := &doc.Rows[i]
+		pr("ROW %s %s %s %s %s DO %d BY %d STEP %s %s ;\n",
+			r.Name, r.Site, fint(r.X), fint(r.Y), r.Orient,
+			r.NumX, r.NumY, fint(r.StepX), fint(r.StepY))
+	}
+	for i := range doc.Tracks {
+		tr := &doc.Tracks[i]
+		pr("TRACKS %s %s DO %d STEP %s", tr.Axis, fint(tr.Start), tr.Num, fint(tr.Step))
+		if len(tr.Layers) > 0 {
+			pr(" LAYER")
+			for _, l := range tr.Layers {
+				pr(" %s", l)
+			}
+		}
+		pr(" ;\n")
+	}
+
+	pr("COMPONENTS %d ;\n", len(doc.Components))
+	for i := range doc.Components {
+		c := &doc.Components[i]
+		pr("- %s %s", c.Name, c.Macro)
+		switch {
+		case c.Placed():
+			pr(" + %s ( %s %s ) %s", c.Status, fint(c.X), fint(c.Y), c.Orient)
+		case c.Status == StatusUnplaced:
+			pr(" + UNPLACED")
+		}
+		pr(" ;\n")
+	}
+	pr("END COMPONENTS\n")
+
+	pr("PINS %d ;\n", len(doc.Pins))
+	for i := range doc.Pins {
+		p := &doc.Pins[i]
+		pr("- %s + NET %s", p.Name, p.Net)
+		if p.Direction != "" {
+			pr(" + DIRECTION %s", p.Direction)
+		}
+		if p.Use != "" {
+			pr(" + USE %s", p.Use)
+		}
+		if p.HasRect {
+			pr("\n  + LAYER %s ( %s %s ) ( %s %s )",
+				p.Layer, fint(p.Rect.Lx), fint(p.Rect.Ly), fint(p.Rect.Ux), fint(p.Rect.Uy))
+		}
+		switch {
+		case p.Placed():
+			pr("\n  + %s ( %s %s ) %s", p.Status, fint(p.X), fint(p.Y), p.Orient)
+		case p.Status == StatusUnplaced:
+			pr("\n  + UNPLACED")
+		}
+		pr(" ;\n")
+	}
+	pr("END PINS\n")
+
+	pr("NETS %d ;\n", len(doc.Nets))
+	for i := range doc.Nets {
+		n := &doc.Nets[i]
+		pr("- %s", n.Name)
+		for _, c := range n.Conns {
+			pr(" ( %s %s )", c.Comp, c.Pin)
+		}
+		if n.Weight != 0 {
+			pr(" + WEIGHT %s", fnum(n.Weight))
+		}
+		pr(" ;\n")
+	}
+	pr("END NETS\n")
+
+	pr("END DESIGN\n")
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteDEFFile atomically writes the document to path.
+func WriteDEFFile(path string, doc *Document) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteDEF(w, doc)
+	})
+}

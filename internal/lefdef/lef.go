@@ -1,0 +1,554 @@
+package lefdef
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"macroplace/internal/atomicio"
+	"macroplace/internal/geom"
+)
+
+// LEF is the technology and macro-library view placement consumes. All
+// geometry is in microns (LEF's native unit).
+type LEF struct {
+	// DBU is UNITS DATABASE MICRONS (0 when the file has no UNITS
+	// section). It is informational: LEF geometry is already in microns.
+	DBU int
+
+	Sites  map[string]*Site
+	Layers map[string]*Layer
+	Macros map[string]*Macro
+
+	// SiteOrder, LayerOrder, MacroOrder preserve file order for
+	// deterministic iteration and writing.
+	SiteOrder  []string
+	LayerOrder []string
+	MacroOrder []string
+}
+
+// Site is a placement site (one row slot).
+type Site struct {
+	Name  string
+	Class string
+	W, H  float64
+}
+
+// Layer is a routing layer; only the placement-relevant fields are
+// kept. PitchY/OffsetY equal PitchX/OffsetX when the file gives a
+// single value.
+type Layer struct {
+	Name      string
+	Type      string
+	Direction string
+	PitchX    float64
+	PitchY    float64
+	OffsetX   float64
+	OffsetY   float64
+}
+
+// Macro is a cell or block master.
+type Macro struct {
+	Name  string
+	Class string // "BLOCK", "CORE", "PAD", ... (first CLASS token)
+	W, H  float64
+	Site  string
+	Pins  []*MacroPin
+
+	pinByName map[string]*MacroPin
+}
+
+// Pin returns the named pin, or nil.
+func (m *Macro) Pin(name string) *MacroPin {
+	if m.pinByName == nil {
+		m.pinByName = make(map[string]*MacroPin, len(m.Pins))
+		for _, p := range m.Pins {
+			m.pinByName[p.Name] = p
+		}
+	}
+	return m.pinByName[name]
+}
+
+// MacroPin is a macro terminal. Dx/Dy give the pin-shape bounding-box
+// center relative to the macro center — exactly the offset convention
+// netlist.Pin uses.
+type MacroPin struct {
+	Name      string
+	Direction string
+	Dx, Dy    float64
+}
+
+// ParseLEFFile reads and parses a LEF file from disk.
+func ParseLEFFile(path string) (*LEF, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lefdef: %w", err)
+	}
+	return ParseLEF(data, path)
+}
+
+// ParseLEF parses LEF source; file names errors.
+func ParseLEF(src []byte, file string) (*LEF, error) {
+	t := tokenize(src, file)
+	lef := &LEF{
+		Sites:  make(map[string]*Site),
+		Layers: make(map[string]*Layer),
+		Macros: make(map[string]*Macro),
+	}
+	for !t.eof() {
+		tok, err := t.next()
+		if err != nil {
+			return nil, err
+		}
+		switch tok {
+		case "UNITS":
+			if err := parseLEFUnits(t, lef); err != nil {
+				return nil, err
+			}
+		case "PROPERTYDEFINITIONS":
+			if err := t.skipBlock("PROPERTYDEFINITIONS"); err != nil {
+				return nil, err
+			}
+		case "SITE":
+			if err := parseSite(t, lef); err != nil {
+				return nil, err
+			}
+		case "LAYER":
+			if err := parseLayer(t, lef); err != nil {
+				return nil, err
+			}
+		case "VIA", "VIARULE", "NONDEFAULTRULE":
+			name, err := t.ident(tok)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.skipBlock(name); err != nil {
+				return nil, err
+			}
+		case "SPACING":
+			if err := t.skipBlock("SPACING"); err != nil {
+				return nil, err
+			}
+		case "MACRO":
+			if err := parseMacro(t, lef); err != nil {
+				return nil, err
+			}
+		case "END":
+			// END LIBRARY, or a stray END: either way we are done.
+			if t.peek() == "LIBRARY" {
+				t.pos++
+			}
+			return lef, nil
+		default:
+			// VERSION, BUSBITCHARS, DIVIDERCHAR, MANUFACTURINGGRID, ...
+			if err := t.skipStatement(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return lef, nil
+}
+
+func parseLEFUnits(t *tokens, lef *LEF) error {
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case "END":
+			return t.expect("UNITS")
+		case "DATABASE":
+			if err := t.expect("MICRONS"); err != nil {
+				return err
+			}
+			dbu, err := t.int()
+			if err != nil {
+				return err
+			}
+			if dbu <= 0 {
+				return t.errf("DATABASE MICRONS must be positive, got %d", dbu)
+			}
+			lef.DBU = dbu
+			if err := t.expect(";"); err != nil {
+				return err
+			}
+		default:
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func parseSite(t *tokens, lef *LEF) error {
+	name, err := t.ident("site")
+	if err != nil {
+		return err
+	}
+	s := &Site{Name: name}
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case "END":
+			if err := t.expect(name); err != nil {
+				return err
+			}
+			if s.W <= 0 || s.H <= 0 || !finite(s.W) || !finite(s.H) {
+				return t.errf("site %q missing a positive SIZE", name)
+			}
+			if _, dup := lef.Sites[name]; dup {
+				return t.errf("duplicate site %q", name)
+			}
+			lef.Sites[name] = s
+			lef.SiteOrder = append(lef.SiteOrder, name)
+			return nil
+		case "CLASS":
+			if s.Class, err = t.next(); err != nil {
+				return err
+			}
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		case "SIZE":
+			if s.W, s.H, err = parseSize(t); err != nil {
+				return err
+			}
+		default:
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// parseSize parses "w BY h ;".
+func parseSize(t *tokens) (w, h float64, err error) {
+	if w, err = t.float(); err != nil {
+		return
+	}
+	if err = t.expect("BY"); err != nil {
+		return
+	}
+	if h, err = t.float(); err != nil {
+		return
+	}
+	err = t.expect(";")
+	return
+}
+
+func parseLayer(t *tokens, lef *LEF) error {
+	name, err := t.ident("layer")
+	if err != nil {
+		return err
+	}
+	l := &Layer{Name: name}
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case "END":
+			if err := t.expect(name); err != nil {
+				return err
+			}
+			if _, dup := lef.Layers[name]; dup {
+				return t.errf("duplicate layer %q", name)
+			}
+			lef.Layers[name] = l
+			lef.LayerOrder = append(lef.LayerOrder, name)
+			return nil
+		case "TYPE":
+			if l.Type, err = t.next(); err != nil {
+				return err
+			}
+			if err := t.expect(";"); err != nil {
+				return err
+			}
+		case "DIRECTION":
+			if l.Direction, err = t.next(); err != nil {
+				return err
+			}
+			if err := t.expect(";"); err != nil {
+				return err
+			}
+		case "PITCH":
+			if l.PitchX, l.PitchY, err = parsePair(t); err != nil {
+				return err
+			}
+		case "OFFSET":
+			if l.OffsetX, l.OffsetY, err = parsePair(t); err != nil {
+				return err
+			}
+		default:
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// parsePair parses "x [y] ;" — LEF allows one value for both axes.
+func parsePair(t *tokens) (x, y float64, err error) {
+	if x, err = t.float(); err != nil {
+		return
+	}
+	y = x
+	if t.peek() != ";" {
+		if y, err = t.float(); err != nil {
+			return
+		}
+	}
+	err = t.expect(";")
+	return
+}
+
+func parseMacro(t *tokens, lef *LEF) error {
+	name, err := t.ident("macro")
+	if err != nil {
+		return err
+	}
+	m := &Macro{Name: name}
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case "END":
+			if err := t.expect(name); err != nil {
+				return err
+			}
+			if m.W <= 0 || m.H <= 0 || !finite(m.W) || !finite(m.H) {
+				return t.errf("macro %q missing a positive SIZE", name)
+			}
+			if _, dup := lef.Macros[name]; dup {
+				return t.errf("duplicate macro %q", name)
+			}
+			lef.Macros[name] = m
+			lef.MacroOrder = append(lef.MacroOrder, name)
+			return nil
+		case "CLASS":
+			if m.Class, err = t.next(); err != nil {
+				return err
+			}
+			// CLASS may carry a subtype token ("PAD AREAIO").
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		case "SIZE":
+			if m.W, m.H, err = parseSize(t); err != nil {
+				return err
+			}
+		case "SITE":
+			if m.Site, err = t.next(); err != nil {
+				return err
+			}
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		case "PIN":
+			if err := parseMacroPin(t, m); err != nil {
+				return err
+			}
+		case "OBS":
+			// OBS holds LAYER/RECT statements and ends with a bare END.
+			for {
+				inner, err := t.next()
+				if err != nil {
+					return err
+				}
+				if inner == "END" {
+					break
+				}
+				if err := t.skipStatement(); err != nil {
+					return err
+				}
+			}
+		default:
+			// ORIGIN, FOREIGN, SYMMETRY, EEQ, PROPERTY, ...
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func parseMacroPin(t *tokens, m *Macro) error {
+	name, err := t.ident("pin")
+	if err != nil {
+		return err
+	}
+	var box geom.BBox
+	p := &MacroPin{Name: name}
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case "END":
+			if err := t.expect(name); err != nil {
+				return err
+			}
+			if box.Count() > 0 {
+				c := box.Rect().Center()
+				// Offsets are stored from the macro center; LEF rects
+				// are relative to the macro origin (lower-left).
+				p.Dx = c.X - m.W/2
+				p.Dy = c.Y - m.H/2
+				if !finite(p.Dx) || !finite(p.Dy) {
+					return t.errf("pin %s.%s has non-finite port geometry", m.Name, name)
+				}
+			}
+			if m.Pin(name) != nil {
+				return t.errf("duplicate pin %s.%s", m.Name, name)
+			}
+			m.Pins = append(m.Pins, p)
+			m.pinByName[name] = p
+			return nil
+		case "DIRECTION":
+			if p.Direction, err = t.next(); err != nil {
+				return err
+			}
+			// DIRECTION may carry TRISTATE.
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		case "PORT":
+			for {
+				inner, err := t.next()
+				if err != nil {
+					return err
+				}
+				if inner == "END" {
+					break
+				}
+				if inner == "RECT" {
+					lx, err := t.float()
+					if err != nil {
+						return err
+					}
+					ly, err := t.float()
+					if err != nil {
+						return err
+					}
+					ux, err := t.float()
+					if err != nil {
+						return err
+					}
+					uy, err := t.float()
+					if err != nil {
+						return err
+					}
+					if err := t.expect(";"); err != nil {
+						return err
+					}
+					box.Add(lx, ly)
+					box.Add(ux, uy)
+					continue
+				}
+				// LAYER, POLYGON, VIA, CLASS, WIDTH, ...
+				if err := t.skipStatement(); err != nil {
+					return err
+				}
+			}
+		default:
+			// USE, SHAPE, ANTENNA*, ...
+			if err := t.skipStatement(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// WriteLEF renders the library as LEF text. Floats are printed with
+// full precision so a parse→write→parse cycle is exact.
+func WriteLEF(w io.Writer, lef *LEF) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n")
+	if lef.DBU > 0 {
+		pr("UNITS\n  DATABASE MICRONS %d ;\nEND UNITS\n", lef.DBU)
+	}
+	for _, name := range lef.SiteOrder {
+		s := lef.Sites[name]
+		pr("SITE %s\n", name)
+		if s.Class != "" {
+			pr("  CLASS %s ;\n", s.Class)
+		}
+		pr("  SIZE %s BY %s ;\nEND %s\n", fnum(s.W), fnum(s.H), name)
+	}
+	for _, name := range lef.LayerOrder {
+		l := lef.Layers[name]
+		pr("LAYER %s\n", name)
+		if l.Type != "" {
+			pr("  TYPE %s ;\n", l.Type)
+		}
+		if l.Direction != "" {
+			pr("  DIRECTION %s ;\n", l.Direction)
+		}
+		if l.PitchX != 0 || l.PitchY != 0 {
+			pr("  PITCH %s %s ;\n", fnum(l.PitchX), fnum(l.PitchY))
+		}
+		if l.OffsetX != 0 || l.OffsetY != 0 {
+			pr("  OFFSET %s %s ;\n", fnum(l.OffsetX), fnum(l.OffsetY))
+		}
+		pr("END %s\n", name)
+	}
+	for _, name := range lef.MacroOrder {
+		m := lef.Macros[name]
+		pr("MACRO %s\n", name)
+		if m.Class != "" {
+			pr("  CLASS %s ;\n", m.Class)
+		}
+		pr("  SIZE %s BY %s ;\n", fnum(m.W), fnum(m.H))
+		if m.Site != "" {
+			pr("  SITE %s ;\n", m.Site)
+		}
+		for _, p := range m.Pins {
+			pr("  PIN %s\n", p.Name)
+			if p.Direction != "" {
+				pr("    DIRECTION %s ;\n", p.Direction)
+			}
+			// A degenerate (zero-area) rect encodes the pin center
+			// exactly: the reader recovers Dx/Dy bit-identically.
+			cx, cy := m.W/2+p.Dx, m.H/2+p.Dy
+			pr("    PORT\n      RECT %s %s %s %s ;\n    END\n", fnum(cx), fnum(cy), fnum(cx), fnum(cy))
+			pr("  END %s\n", p.Name)
+		}
+		pr("END %s\n", name)
+	}
+	pr("END LIBRARY\n")
+	return err
+}
+
+// WriteLEFFile atomically writes the library to path.
+func WriteLEFFile(path string, lef *LEF) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteLEF(w, lef)
+	})
+}
+
+// BlockClass reports whether a LEF macro class names a hard block
+// (placed as a netlist Macro).
+func BlockClass(class string) bool { return class == "BLOCK" || class == "RING" }
+
+// PadClass reports whether a LEF macro class names an I/O pad.
+func PadClass(class string) bool { return class == "PAD" }
+
+// fnum formats a float with the minimum digits that round-trip exactly
+// through ParseFloat.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,450 @@
+package lefdef
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/netlist"
+)
+
+func readTestdata(t *testing.T) (*LEF, *Document) {
+	t.Helper()
+	lef, err := ParseLEFFile(filepath.Join("testdata", "small.lef"))
+	if err != nil {
+		t.Fatalf("ParseLEFFile: %v", err)
+	}
+	doc, err := ParseDEFFile(filepath.Join("testdata", "small.def"))
+	if err != nil {
+		t.Fatalf("ParseDEFFile: %v", err)
+	}
+	return lef, doc
+}
+
+func TestParseLEF(t *testing.T) {
+	lef, _ := readTestdata(t)
+	if lef.DBU != 1000 {
+		t.Errorf("DBU = %d, want 1000", lef.DBU)
+	}
+	site := lef.Sites["core"]
+	if site == nil || site.W != 0.2 || site.H != 2 || site.Class != "CORE" {
+		t.Fatalf("site core = %+v", site)
+	}
+	if got := len(lef.Layers); got != 2 {
+		t.Fatalf("layers = %d, want 2", got)
+	}
+	m1 := lef.Layers["metal1"]
+	if m1.Type != "ROUTING" || m1.Direction != "HORIZONTAL" || m1.PitchX != 0.4 || m1.PitchY != 0.4 || m1.OffsetX != 0.2 {
+		t.Errorf("metal1 = %+v", m1)
+	}
+	ram := lef.Macros["RAM16"]
+	if ram == nil || ram.Class != "BLOCK" || ram.W != 20 || ram.H != 16 {
+		t.Fatalf("RAM16 = %+v", ram)
+	}
+	// Pin A port rect (0.1 7.9)-(0.3 8.1): center (0.2, 8), so the
+	// center-relative offset is (-9.8, 0).
+	a := ram.Pin("A")
+	if a == nil || a.Dx != 0.2-10 || a.Dy != 0 {
+		t.Fatalf("RAM16.A = %+v, want Dx=-9.8 Dy=0", a)
+	}
+	z := ram.Pin("Z")
+	if z == nil || math.Abs(z.Dx-9.8) > 1e-12 || z.Dy != 0 {
+		t.Fatalf("RAM16.Z = %+v, want Dx~9.8", z)
+	}
+	inv := lef.Macros["INVX1"]
+	if inv == nil || inv.Class != "CORE" || inv.Site != "core" || len(inv.Pins) != 2 {
+		t.Fatalf("INVX1 = %+v", inv)
+	}
+}
+
+func TestParseDEF(t *testing.T) {
+	_, doc := readTestdata(t)
+	if doc.Design != "small" || doc.DBU != 1000 {
+		t.Fatalf("header = %q dbu %d", doc.Design, doc.DBU)
+	}
+	if doc.DieArea != (DRect{0, 0, 100000, 100000}) {
+		t.Errorf("die = %+v", doc.DieArea)
+	}
+	if len(doc.Rows) != 4 || doc.Rows[1].Y != 2000 || doc.Rows[1].NumX != 500 || doc.Rows[1].StepX != 200 {
+		t.Errorf("rows = %+v", doc.Rows)
+	}
+	if len(doc.Tracks) != 2 || doc.Tracks[0].Axis != "X" || doc.Tracks[0].Step != 400 || doc.Tracks[0].Layers[0] != "metal2" {
+		t.Errorf("tracks = %+v", doc.Tracks)
+	}
+	if len(doc.Components) != 4 {
+		t.Fatalf("components = %d", len(doc.Components))
+	}
+	if c := doc.Components[1]; c.Name != "ram1" || c.Status != StatusFixed || c.X != 70000 {
+		t.Errorf("ram1 = %+v", c)
+	}
+	if c := doc.Components[3]; c.Status != StatusUnplaced || c.Placed() {
+		t.Errorf("inv1 = %+v", c)
+	}
+	if len(doc.Pins) != 2 || doc.Pins[0].Net != "nin" || !doc.Pins[0].HasRect || doc.Pins[0].Rect.Ux != 100 {
+		t.Errorf("pins = %+v", doc.Pins)
+	}
+	if len(doc.Nets) != 3 || doc.Nets[1].Weight != 2 || len(doc.Nets[2].Conns) != 4 {
+		t.Errorf("nets = %+v", doc.Nets)
+	}
+	if !doc.Nets[0].Conns[0].IsIOPin() || doc.Nets[0].Conns[1] != (Conn{"ram0", "A"}) {
+		t.Errorf("net nin conns = %+v", doc.Nets[0].Conns)
+	}
+}
+
+// TestParseDEFRejects pins down the hardening: malformed input must
+// error, never be silently accepted.
+func TestParseDEFRejects(t *testing.T) {
+	valid := `VERSION 5.8 ;
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 1000 1000 ) ;
+COMPONENTS 0 ;
+END COMPONENTS
+END DESIGN
+`
+	if _, err := ParseDEF([]byte(valid), "ok.def"); err != nil {
+		t.Fatalf("valid DEF rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantSub string
+	}{
+		{"count mismatch", func(s string) string {
+			return strings.Replace(s, "COMPONENTS 0 ;", "COMPONENTS 3 ;", 1)
+		}, "declares 3 entries"},
+		{"missing units", func(s string) string {
+			return strings.Replace(s, "UNITS DISTANCE MICRONS 1000 ;\n", "", 1)
+		}, "UNITS"},
+		{"zero dbu", func(s string) string {
+			return strings.Replace(s, "MICRONS 1000", "MICRONS 0", 1)
+		}, "positive"},
+		{"empty die", func(s string) string {
+			return strings.Replace(s, "( 1000 1000 )", "( 0 0 )", 1)
+		}, "empty"},
+		{"rectilinear die", func(s string) string {
+			return strings.Replace(s, "( 1000 1000 ) ;", "( 1000 1000 ) ( 2000 2000 ) ;", 1)
+		}, "rectilinear"},
+		{"missing end design", func(s string) string {
+			return strings.Replace(s, "END DESIGN\n", "", 1)
+		}, "END DESIGN"},
+		{"bad orientation", func(s string) string {
+			return strings.Replace(s, "COMPONENTS 0 ;\n", "COMPONENTS 1 ;\n- u1 M + PLACED ( 0 0 ) Q ;\n", 1)
+		}, "orientation"},
+		{"component named PIN", func(s string) string {
+			return strings.Replace(s, "COMPONENTS 0 ;\n", "COMPONENTS 1 ;\n- PIN M + PLACED ( 0 0 ) N ;\n", 1)
+		}, "may not be named"},
+		{"pin without net", func(s string) string {
+			return s[:strings.Index(s, "END DESIGN")] + "PINS 1 ;\n- p + DIRECTION INPUT ;\nEND PINS\nEND DESIGN\n"
+		}, "+ NET"},
+		{"negative net weight", func(s string) string {
+			return s[:strings.Index(s, "END DESIGN")] + "NETS 1 ;\n- n ( PIN p ) + WEIGHT -1 ;\nEND NETS\nEND DESIGN\n"
+		}, "weight"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDEF([]byte(tc.mutate(valid)), "bad.def")
+			if err == nil {
+				t.Fatal("malformed DEF accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestToDesign(t *testing.T) {
+	lef, doc := readTestdata(t)
+	d, err := ToDesign(doc, lef)
+	if err != nil {
+		t.Fatalf("ToDesign: %v", err)
+	}
+	if d.Name != "small" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if d.Region.W() != 100 || d.Region.H() != 100 {
+		t.Errorf("region = %v", d.Region)
+	}
+	if len(d.Nodes) != 6 || len(d.Nets) != 3 {
+		t.Fatalf("nodes=%d nets=%d, want 6/3", len(d.Nodes), len(d.Nets))
+	}
+	ram0 := &d.Nodes[d.NodeIndex("ram0")]
+	if ram0.Kind != netlist.Macro || ram0.Fixed || ram0.X != 10 || ram0.W != 20 {
+		t.Errorf("ram0 = %+v", ram0)
+	}
+	if ram1 := &d.Nodes[d.NodeIndex("ram1")]; !ram1.Fixed || ram1.Kind != netlist.Macro {
+		t.Errorf("ram1 = %+v", ram1)
+	}
+	if inv1 := &d.Nodes[d.NodeIndex("inv1")]; inv1.Center() != d.Region.Center() {
+		t.Errorf("unplaced inv1 not at die center: %+v", inv1)
+	}
+	in0 := &d.Nodes[d.NodeIndex("in0")]
+	if in0.Kind != netlist.Pad || !in0.Fixed || in0.X != 0 || in0.Y != 50 || in0.W != 0 {
+		t.Errorf("in0 = %+v", in0)
+	}
+	if d.Phys == nil || d.Phys.RowHeight != 2 || d.Phys.RowOriginY != 0 {
+		t.Errorf("phys = %+v", d.Phys)
+	}
+	if d.Phys.Active() {
+		t.Error("row geometry alone must not activate macro constraints")
+	}
+	// Net nmid: pin 0 is ram0.Z; its offset must match the LEF library
+	// bit for bit.
+	nmid := d.Nets[1]
+	if nmid.Weight != 2 || nmid.Pins[0].Dx != lef.Macros["RAM16"].Pin("Z").Dx {
+		t.Errorf("nmid = %+v", nmid)
+	}
+	if d.HPWL() <= 0 {
+		t.Error("HPWL must be positive")
+	}
+}
+
+func TestToDesignRejects(t *testing.T) {
+	lef, doc := readTestdata(t)
+	unknownMacro := *doc
+	unknownMacro.Components = append([]Component(nil), doc.Components...)
+	unknownMacro.Components[0].Macro = "NOPE"
+	if _, err := ToDesign(&unknownMacro, lef); err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Errorf("unknown macro: err = %v", err)
+	}
+	rot := *doc
+	rot.Components = append([]Component(nil), doc.Components...)
+	rot.Components[0].Orient = "FS"
+	if _, err := ToDesign(&rot, lef); err == nil || !strings.Contains(err.Error(), "orientation") {
+		t.Errorf("rotated component: err = %v", err)
+	}
+	badNet := *doc
+	badNet.Nets = append([]DNet(nil), doc.Nets...)
+	badNet.Nets[0] = DNet{Name: "x", Conns: []Conn{{Comp: "ram0", Pin: "MISSING"}}}
+	if _, err := ToDesign(&badNet, lef); err == nil || !strings.Contains(err.Error(), "MISSING") {
+		t.Errorf("unknown macro pin: err = %v", err)
+	}
+}
+
+func TestSnapLattice(t *testing.T) {
+	lef, doc := readTestdata(t)
+	sx, ox, sy, oy, ok := SnapLattice(doc, lef)
+	if !ok || sx != 0.4 || ox != 0.2 || sy != 0.4 || oy != 0.2 {
+		t.Fatalf("SnapLattice = %v %v %v %v %v, want tracks 0.4/0.2", sx, ox, sy, oy, ok)
+	}
+	noTracks := *doc
+	noTracks.Tracks = nil
+	sx, ox, sy, oy, ok = SnapLattice(&noTracks, lef)
+	if !ok || sx != 0.2 || ox != 0 || sy != 2 || oy != 0 {
+		t.Fatalf("row fallback = %v %v %v %v %v, want site 0.2 / row 2", sx, ox, sy, oy, ok)
+	}
+}
+
+// TestDEFDocumentRoundTrip: parse → write → parse reproduces the
+// document field for field.
+func TestDEFDocumentRoundTrip(t *testing.T) {
+	_, doc := readTestdata(t)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, doc); err != nil {
+		t.Fatalf("WriteDEF: %v", err)
+	}
+	doc2, err := ParseDEF(buf.Bytes(), "rt.def")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(doc, doc2) {
+		t.Fatalf("round-trip diverged:\n%+v\nvs\n%+v", doc, doc2)
+	}
+}
+
+// TestLEFRoundTrip: parse → write → parse preserves everything the
+// model carries, bit for bit.
+func TestLEFRoundTrip(t *testing.T) {
+	lef, _ := readTestdata(t)
+	var buf bytes.Buffer
+	if err := WriteLEF(&buf, lef); err != nil {
+		t.Fatalf("WriteLEF: %v", err)
+	}
+	lef2, err := ParseLEF(buf.Bytes(), "rt.lef")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(lef.Sites, lef2.Sites) {
+		t.Errorf("sites diverged: %+v vs %+v", lef.Sites, lef2.Sites)
+	}
+	for name, m := range lef.Macros {
+		m2 := lef2.Macros[name]
+		if m2 == nil {
+			t.Fatalf("macro %q lost", name)
+		}
+		if m.W != m2.W || m.H != m2.H || m.Class != m2.Class {
+			t.Errorf("macro %q geometry diverged", name)
+		}
+		for _, p := range m.Pins {
+			p2 := m2.Pin(p.Name)
+			if p2 == nil || p.Dx != p2.Dx || p.Dy != p2.Dy {
+				t.Errorf("pin %s.%s offset diverged: %+v vs %+v", name, p.Name, p, p2)
+			}
+		}
+	}
+}
+
+// TestPlacedHPWLBitIdenticalAfterRoundTrip is the acceptance check of
+// this PR: place (here: arbitrary movements), snap to DBU, write DEF,
+// re-read with the same LEF — the HPWL must be bit-identical.
+func TestPlacedHPWLBitIdenticalAfterRoundTrip(t *testing.T) {
+	lef, doc := readTestdata(t)
+	d, err := ToDesign(doc, lef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a placement: scatter the movable nodes to coordinates
+	// that do not land on the DBU grid.
+	for i := range d.Nodes {
+		if d.Nodes[i].Movable() {
+			d.Nodes[i].X = 3.14159 + float64(i)*7.6543
+			d.Nodes[i].Y = 2.71828 + float64(i)*5.4321
+		}
+	}
+	if err := SnapToDBU(d, doc.DBU); err != nil {
+		t.Fatal(err)
+	}
+	want := d.HPWL()
+	if err := UpdateFromDesign(doc, d); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseDEF(buf.Bytes(), "out.def")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ToDesign(doc2, lef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.HPWL(); got != want {
+		t.Fatalf("HPWL diverged after round-trip: %v != %v (diff %g)", got, want, math.Abs(got-want))
+	}
+	// Every node position must round-trip bit-identically too.
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		j := d2.NodeIndex(n.Name)
+		if j < 0 {
+			t.Fatalf("node %q lost", n.Name)
+		}
+		if d2.Nodes[j].X != n.X || d2.Nodes[j].Y != n.Y {
+			t.Errorf("node %q moved: (%v, %v) -> (%v, %v)", n.Name, n.X, n.Y, d2.Nodes[j].X, d2.Nodes[j].Y)
+		}
+	}
+}
+
+// TestSynthesizeRoundTrip exports a Bookshelf-style design (no DEF
+// origin) and re-reads it. With DBU-exact coordinates and offsets the
+// HPWL survives bit-identically.
+func TestSynthesizeRoundTrip(t *testing.T) {
+	d := &netlist.Design{Name: "synth"}
+	d.Region = geom.NewRect(0, 0, 64, 64)
+	d.AddNode(netlist.Node{Name: "m0", Kind: netlist.Macro, W: 8, H: 8, X: 4, Y: 4})
+	d.AddNode(netlist.Node{Name: "m1", Kind: netlist.Macro, W: 8, H: 8, X: 40, Y: 40, Fixed: true})
+	d.AddNode(netlist.Node{Name: "c0", Kind: netlist.Cell, W: 1, H: 2, X: 20.5, Y: 10.25})
+	d.AddNode(netlist.Node{Name: "p0", Kind: netlist.Pad, Fixed: true, X: 0, Y: 32})
+	d.AddNet(netlist.Net{Name: "n0", Pins: []netlist.Pin{
+		{Node: 0, Dx: 0.5, Dy: -0.5}, {Node: 2}, {Node: 3},
+	}})
+	d.AddNet(netlist.Net{Name: "n1", Weight: 3, Pins: []netlist.Pin{
+		{Node: 1, Dx: -2, Dy: 2}, {Node: 2, Dx: 0.25, Dy: 0}, {Node: 3},
+	}})
+	d.Phys = &netlist.Constraints{RowHeight: 2, SnapX: 0.5}
+
+	want := d.HPWL()
+	doc, lef, err := Synthesize(d, 1000)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	// m0 and m1 share a footprint but have different pin signatures, so
+	// they need distinct LEF macros.
+	if len(lef.MacroOrder) != 3 {
+		t.Errorf("macro classes = %v, want 3", lef.MacroOrder)
+	}
+	if len(doc.Rows) == 0 {
+		t.Error("row geometry lost")
+	}
+
+	var defBuf, lefBuf bytes.Buffer
+	if err := WriteDEF(&defBuf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLEF(&lefBuf, lef); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseDEF(defBuf.Bytes(), "synth.def")
+	if err != nil {
+		t.Fatalf("re-parse DEF: %v\n%s", err, defBuf.String())
+	}
+	lef2, err := ParseLEF(lefBuf.Bytes(), "synth.lef")
+	if err != nil {
+		t.Fatalf("re-parse LEF: %v\n%s", err, lefBuf.String())
+	}
+	d2, err := ToDesign(doc2, lef2)
+	if err != nil {
+		t.Fatalf("ToDesign: %v", err)
+	}
+	if got := d2.HPWL(); got != want {
+		t.Fatalf("HPWL diverged: %v != %v", got, want)
+	}
+	if d2.Phys == nil || d2.Phys.RowHeight != 2 {
+		t.Errorf("row height lost: %+v", d2.Phys)
+	}
+	if i := d2.NodeIndex("m1"); i < 0 || !d2.Nodes[i].Fixed {
+		t.Error("fixed status lost")
+	}
+}
+
+func TestSnapToDBU(t *testing.T) {
+	d := &netlist.Design{Name: "s", Region: geom.NewRect(0, 0, 10, 10)}
+	d.AddNode(netlist.Node{Name: "a", W: 1, H: 1, X: 1.23456789, Y: 2.00049999})
+	if err := SnapToDBU(d, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Nodes[0].X != 1.235 || d.Nodes[0].Y != 2 {
+		t.Fatalf("snapped to (%v, %v)", d.Nodes[0].X, d.Nodes[0].Y)
+	}
+	d.Nodes[0].X = math.Inf(1)
+	if err := SnapToDBU(d, 1000); err == nil {
+		t.Fatal("non-finite coordinate accepted")
+	}
+}
+
+func FuzzDEFRoundTrip(f *testing.F) {
+	small, err := ParseDEFFile(filepath.Join("testdata", "small.def"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, small); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("DESIGN d ;\nUNITS DISTANCE MICRONS 2 ;\nDIEAREA ( 0 0 ) ( 5 5 ) ;\nEND DESIGN\n"))
+	f.Add([]byte("NETS 1 ;\n- n ( PIN a ) + WEIGHT 1.5 ;\nEND NETS\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := ParseDEF(data, "fuzz.def")
+		if err != nil {
+			return // rejected input is fine; crashes and divergence are not
+		}
+		var out bytes.Buffer
+		if err := WriteDEF(&out, doc); err != nil {
+			t.Fatalf("accepted document failed to write: %v", err)
+		}
+		doc2, err := ParseDEF(out.Bytes(), "fuzz2.def")
+		if err != nil {
+			t.Fatalf("canonical output rejected: %v\n%s", err, out.String())
+		}
+		if !reflect.DeepEqual(doc, doc2) {
+			t.Fatalf("round-trip diverged:\n%+v\nvs\n%+v\ntext:\n%s", doc, doc2, out.String())
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Package lefdef reads and writes the subset of LEF (library exchange
+// format) and DEF (design exchange format) that macro placement needs:
+// sites, routing-layer pitches and macro geometry with pin ports on
+// the LEF side; die area, rows, tracks, components, I/O pins and nets
+// on the DEF side. Conversions to and from the netlist model live in
+// convert.go; they carry the physical constraints (row height, snap
+// lattice) into netlist.Constraints so the placer's legality machinery
+// can honour real-flow geometry.
+//
+// The readers are strict where silence would corrupt placements:
+// declared section counts must match, placement points must be finite,
+// orientations must be legal DEF orients, and identifiers may not
+// collide with structural tokens. Anything the model does not capture
+// (vias, special nets, detailed routing) is skipped statement-wise.
+package lefdef
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// tokens is a shared LEF/DEF token stream. Both formats are
+// whitespace-separated keyword statements terminated by ';', with '#'
+// line comments and double-quoted strings; DEF additionally uses '('
+// and ')' as structural tokens, split here even when glued to values.
+type tokens struct {
+	file string
+	toks []string
+	line []int
+	pos  int
+}
+
+func tokenize(src []byte, file string) *tokens {
+	t := &tokens{file: file}
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			t.toks = append(t.toks, string(src[i+1:j]))
+			t.line = append(t.line, line)
+			if j < len(src) && src[j] == '"' {
+				j++
+			}
+			i = j
+		case c == '(' || c == ')' || c == ';':
+			t.toks = append(t.toks, string(c))
+			t.line = append(t.line, line)
+			i++
+		default:
+			j := i
+			for j < len(src) {
+				d := src[j]
+				if d == ' ' || d == '\t' || d == '\r' || d == '\n' ||
+					d == '#' || d == '(' || d == ')' || d == ';' || d == '"' {
+					break
+				}
+				j++
+			}
+			t.toks = append(t.toks, string(src[i:j]))
+			t.line = append(t.line, line)
+			i = j
+		}
+	}
+	return t
+}
+
+// errf formats an error tagged with the source file and the line of
+// the most recently consumed token.
+func (t *tokens) errf(format string, args ...any) error {
+	ln := 0
+	if t.pos > 0 && t.pos-1 < len(t.line) {
+		ln = t.line[t.pos-1]
+	} else if len(t.line) > 0 {
+		ln = t.line[len(t.line)-1]
+	}
+	return fmt.Errorf("%s:%d: %s", t.file, ln, fmt.Sprintf(format, args...))
+}
+
+func (t *tokens) eof() bool { return t.pos >= len(t.toks) }
+
+// peek returns the next token without consuming it, or "" at EOF.
+func (t *tokens) peek() string {
+	if t.eof() {
+		return ""
+	}
+	return t.toks[t.pos]
+}
+
+func (t *tokens) next() (string, error) {
+	if t.eof() {
+		return "", t.errf("unexpected end of file")
+	}
+	tok := t.toks[t.pos]
+	t.pos++
+	return tok, nil
+}
+
+func (t *tokens) expect(want string) error {
+	tok, err := t.next()
+	if err != nil {
+		return err
+	}
+	if tok != want {
+		return t.errf("expected %q, got %q", want, tok)
+	}
+	return nil
+}
+
+func (t *tokens) float() (float64, error) {
+	tok, err := t.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, t.errf("expected number, got %q", tok)
+	}
+	return v, nil
+}
+
+func (t *tokens) int64() (int64, error) {
+	tok, err := t.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return 0, t.errf("expected integer, got %q", tok)
+	}
+	return v, nil
+}
+
+func (t *tokens) int() (int, error) {
+	v, err := t.int64()
+	return int(v), err
+}
+
+// skipStatement consumes tokens through the next ';'.
+func (t *tokens) skipStatement() error {
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		if tok == ";" {
+			return nil
+		}
+	}
+}
+
+// skipBlock consumes a "KEYWORD name ... END name" block whose opening
+// keyword and name have already been read.
+func (t *tokens) skipBlock(name string) error {
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		if tok == "END" && t.peek() == name {
+			t.pos++
+			return nil
+		}
+	}
+}
+
+// structural tokens that may not double as identifiers; accepting them
+// as names would make the writers emit files the readers mis-parse.
+var reservedName = map[string]bool{
+	"": true, "-": true, "+": true, ";": true, "(": true, ")": true,
+	"END": true, "DO": true, "BY": true, "STEP": true, "NEW": true,
+}
+
+// ident consumes a token and rejects structural tokens as identifiers.
+func (t *tokens) ident(what string) (string, error) {
+	tok, err := t.next()
+	if err != nil {
+		return "", err
+	}
+	if reservedName[tok] {
+		return "", t.errf("invalid %s name %q", what, tok)
+	}
+	return tok, nil
+}

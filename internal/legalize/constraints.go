@@ -1,0 +1,264 @@
+package legalize
+
+import (
+	"math"
+	"sort"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/netlist"
+)
+
+// EnforceConstraints makes every movable macro of d clean under
+// d.Phys — halo/channel spacing, fence containment, and row/track
+// snapping — mutating d. It is the shared final pass of every placer
+// backend (legalize.Macros for the mcts/core flow, baseline.Finish for
+// the six comparison placers), so the whole portfolio honors one
+// constraint semantics. It reports whether a violation-free state was
+// reached; with no active constraints it is a no-op returning true.
+//
+// Strategy: a pairwise shove on pad-inflated rectangles (cheap,
+// preserves the placement), then lattice snapping, then — only for
+// macros still in violation — a deterministic greedy re-seat onto the
+// nearest legal lattice position, committed in non-increasing area
+// order.
+func EnforceConstraints(d *netlist.Design) bool {
+	c := d.Phys
+	if !c.Active() {
+		return true
+	}
+	fence := c.FenceRect(d.Region)
+	if is, ok := fence.Intersect(d.Region); ok {
+		fence = is
+	} else {
+		fence = d.Region
+	}
+
+	movable := d.MovableMacroIndices()
+	if len(movable) == 0 {
+		return d.ConstraintViolations().Clean()
+	}
+
+	shoveInflated(d, movable, fence, 200)
+	snapMovable(d, movable, fence)
+	if d.ConstraintViolations().Clean() {
+		return true
+	}
+	repairConstrained(d, fence)
+	return d.ConstraintViolations().Clean()
+}
+
+// shoveInflated is the constraint analogue of shove: movable macros
+// are inflated by their pads, separated along the minimum-penetration
+// axis, and clamped so the inflated rect stays inside the fence.
+// Fixed macros push (inflated by their own pads) but never move.
+func shoveInflated(d *netlist.Design, movable []int, fence geom.Rect, maxIters int) {
+	c := d.Phys
+	var all []int
+	all = append(all, movable...)
+	nMov := len(all)
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind == netlist.Macro && !d.Nodes[i].Movable() {
+			all = append(all, i)
+		}
+	}
+	infl := make([]geom.Rect, len(all))
+	pads := make([][2]float64, len(all))
+	for k, i := range all {
+		n := &d.Nodes[i]
+		px, py := c.Pad(n.Name)
+		pads[k] = [2]float64{px, py}
+		infl[k] = n.Rect().Inflate(px, py)
+		if k < nMov {
+			infl[k] = infl[k].ClampInto(fence)
+		}
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		found := false
+		for a := 0; a < len(all); a++ {
+			for b := a + 1; b < len(all); b++ {
+				if a >= nMov && b >= nMov {
+					continue
+				}
+				is, ok := infl[a].Intersect(infl[b])
+				if !ok || is.Empty() {
+					continue
+				}
+				found = true
+				moveA, moveB := a < nMov, b < nMov
+				dx, dy := is.W(), is.H()
+				push := func(k int, px, py float64) {
+					infl[k] = infl[k].Translate(px, py).ClampInto(fence)
+				}
+				if dx <= dy {
+					dir := 1.0
+					if infl[a].Center().X > infl[b].Center().X {
+						dir = -1
+					}
+					switch {
+					case moveA && moveB:
+						push(a, -dir*dx/2, 0)
+						push(b, dir*dx/2, 0)
+					case moveA:
+						push(a, -dir*dx, 0)
+					default:
+						push(b, dir*dx, 0)
+					}
+				} else {
+					dir := 1.0
+					if infl[a].Center().Y > infl[b].Center().Y {
+						dir = -1
+					}
+					switch {
+					case moveA && moveB:
+						push(a, 0, -dir*dy/2)
+						push(b, 0, dir*dy/2)
+					case moveA:
+						push(a, 0, -dir*dy)
+					default:
+						push(b, 0, dir*dy)
+					}
+				}
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	for k := 0; k < nMov; k++ {
+		n := &d.Nodes[all[k]]
+		n.X = infl[k].Lx + pads[k][0]
+		n.Y = infl[k].Ly + pads[k][1]
+	}
+}
+
+// snapMovable puts every movable macro's origin on the snap lattice,
+// choosing the nearest lattice point whose inflated rect stays inside
+// the fence.
+func snapMovable(d *netlist.Design, movable []int, fence geom.Rect) {
+	c := d.Phys
+	if c.SnapX <= 0 && c.SnapY <= 0 {
+		return
+	}
+	for _, m := range movable {
+		n := &d.Nodes[m]
+		px, py := c.Pad(n.Name)
+		if x, ok := snapInto(n.X, fence.Lx+px, fence.Ux-px-n.W, c.SnapX, c.SnapOriginX); ok {
+			n.X = x
+		}
+		if y, ok := snapInto(n.Y, fence.Ly+py, fence.Uy-py-n.H, c.SnapY, c.SnapOriginY); ok {
+			n.Y = y
+		}
+	}
+}
+
+// snapInto returns the lattice point nearest v inside [lo, hi], or
+// (clamped v, true) when pitch is zero, or (v, false) when the
+// interval holds no lattice point at all.
+func snapInto(v, lo, hi, pitch, origin float64) (float64, bool) {
+	if hi < lo {
+		return v, false
+	}
+	v = math.Min(math.Max(v, lo), hi)
+	if pitch <= 0 {
+		return v, true
+	}
+	s := netlist.SnapCoord(v, pitch, origin)
+	if s < lo {
+		s += pitch * math.Ceil((lo-s)/pitch)
+	}
+	if s > hi {
+		s -= pitch * math.Ceil((s-hi)/pitch)
+	}
+	if s < lo || s > hi {
+		return v, false
+	}
+	return s, true
+}
+
+// repairConstrained is the deterministic last-resort pass: macros are
+// committed in non-increasing area order; a macro violating spacing or
+// fence against the committed set moves to the nearest legal lattice
+// position found on progressively finer candidate grids. Macros that
+// fit nowhere stay put (the enclosing EnforceConstraints re-audit
+// reports them).
+func repairConstrained(d *netlist.Design, fence geom.Rect) {
+	c := d.Phys
+	eps := 1e-9 * (d.Region.W() + d.Region.H())
+
+	var committed []geom.Rect
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Kind == netlist.Macro && !n.Movable() {
+			px, py := c.Pad(n.Name)
+			committed = append(committed, n.Rect().Inflate(px, py))
+		}
+	}
+	legal := func(r geom.Rect) bool {
+		if r.Lx < fence.Lx-eps || r.Ly < fence.Ly-eps || r.Ux > fence.Ux+eps || r.Uy > fence.Uy+eps {
+			return false
+		}
+		for _, cm := range committed {
+			if is, ok := r.Intersect(cm); ok && math.Min(is.W(), is.H()) > eps {
+				return false
+			}
+		}
+		return true
+	}
+
+	order := d.MovableMacroIndices()
+	sort.Slice(order, func(i, j int) bool {
+		ai, aj := d.Nodes[order[i]].Area(), d.Nodes[order[j]].Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return order[i] < order[j]
+	})
+	for _, m := range order {
+		n := &d.Nodes[m]
+		px, py := c.Pad(n.Name)
+		cur := n.Rect().Inflate(px, py)
+		if legal(cur) &&
+			netlist.OnLattice(n.X, c.SnapX, c.SnapOriginX) &&
+			netlist.OnLattice(n.Y, c.SnapY, c.SnapOriginY) {
+			committed = append(committed, cur)
+			continue
+		}
+		loX, hiX := fence.Lx+px, fence.Ux-px-n.W
+		loY, hiY := fence.Ly+py, fence.Uy-py-n.H
+		placed := false
+		for _, k := range []int{16, 32, 64, 128} {
+			bestD := math.Inf(1)
+			var bestX, bestY float64
+			for iy := 0; iy <= k; iy++ {
+				cy := loY + float64(iy)*(hiY-loY)/float64(k)
+				y, ok := snapInto(cy, loY, hiY, c.SnapY, c.SnapOriginY)
+				if !ok {
+					continue
+				}
+				for ix := 0; ix <= k; ix++ {
+					cx := loX + float64(ix)*(hiX-loX)/float64(k)
+					x, ok := snapInto(cx, loX, hiX, c.SnapX, c.SnapOriginX)
+					if !ok {
+						continue
+					}
+					cand := geom.Rect{Lx: x - px, Ly: y - py, Ux: x + n.W + px, Uy: y + n.H + py}
+					dx, dy := x-n.X, y-n.Y
+					dist := dx*dx + dy*dy
+					if dist >= bestD || !legal(cand) {
+						continue
+					}
+					bestD, bestX, bestY = dist, x, y
+				}
+			}
+			if !math.IsInf(bestD, 1) {
+				n.X, n.Y = bestX, bestY
+				committed = append(committed, n.Rect().Inflate(px, py))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			committed = append(committed, cur)
+		}
+	}
+}

@@ -149,6 +149,18 @@ func Macros(in Input) (Result, error) {
 			members[gi] = append(members[gi], m)
 		}
 	}
+	// Physical constraints (nil Phys: every pad is zero and this path
+	// is bit-identical to the unconstrained legalizer): the sequence
+	// pair sees pad-inflated items so block packing already reserves
+	// halo/channel spacing.
+	phys := d.Phys
+	constrained := phys.Active()
+	pad := func(m int) (float64, float64) {
+		if !constrained {
+			return 0, 0
+		}
+		return phys.Pad(d.Nodes[m].Name)
+	}
 	for gi, ms := range members {
 		if len(ms) == 0 {
 			continue
@@ -156,9 +168,10 @@ func Macros(in Input) (Result, error) {
 		items := make([]Item, len(ms))
 		for k, m := range ms {
 			n := &d.Nodes[m]
+			px, py := pad(m)
 			items[k] = Item{
-				W: n.W, H: n.H,
-				X: proxy[m].X - n.W/2, Y: proxy[m].Y - n.H/2,
+				W: n.W + 2*px, H: n.H + 2*py,
+				X: proxy[m].X - n.W/2 - px, Y: proxy[m].Y - n.H/2 - py,
 				TX: proxy[m].X, TY: proxy[m].Y,
 				Weight: float64(len(nodeNets[m])) + 1,
 			}
@@ -166,14 +179,21 @@ func Macros(in Input) (Result, error) {
 		RemoveOverlaps(items, blockRects[gi], in.MaxLPItems)
 		for k, m := range ms {
 			n := &d.Nodes[m]
-			r := geom.NewRect(items[k].X, items[k].Y, n.W, n.H).ClampInto(d.Region)
+			px, py := pad(m)
+			r := geom.NewRect(items[k].X+px, items[k].Y+py, n.W, n.H).ClampInto(d.Region)
 			n.X, n.Y = r.Lx, r.Ly
 		}
 	}
 
-	// Global shove pass for residual cross-block overlap.
+	// Global shove pass for residual cross-block overlap; constrained
+	// designs run the shared constraint-enforcement pass instead (an
+	// inflated shove plus snapping and a greedy lattice repair).
 	res := Result{Moved: len(movable)}
-	shove(d, movable, 200)
+	if constrained {
+		EnforceConstraints(d)
+	} else {
+		shove(d, movable, 200)
+	}
 	res.Overlap = TotalMacroOverlap(d)
 	obsRuns.Inc()
 	obsResidualOverlap.Set(res.Overlap)

@@ -57,7 +57,52 @@ func ReadAux(path string) (*netlist.Design, error) {
 	if nodesPath == "" || netsPath == "" {
 		return nil, fmt.Errorf("bookshelf: aux %q lists no .nodes/.nets files", path)
 	}
-	return ReadFiles(strings.TrimSuffix(filepath.Base(path), ".aux"), nodesPath, netsPath, plPath, sclPath)
+	d, err := ReadFiles(strings.TrimSuffix(filepath.Base(path), ".aux"), nodesPath, netsPath, plPath, sclPath)
+	if err != nil {
+		return nil, err
+	}
+	if wtsPath := find(".wts"); wtsPath != "" {
+		wf, err := os.Open(wtsPath)
+		if err != nil {
+			return nil, fmt.Errorf("bookshelf: %w", err)
+		}
+		defer wf.Close()
+		if err := readWts(d, wf); err != nil {
+			return nil, fmt.Errorf("bookshelf: %s: %w", wtsPath, err)
+		}
+	}
+	return d, nil
+}
+
+// readWts applies net weights from a .wts file ("netname weight" per
+// line). Weights apply to every net carrying the name.
+func readWts(d *netlist.Design, r io.Reader) error {
+	byName := make(map[string][]int, len(d.Nets))
+	for i := range d.Nets {
+		byName[d.Nets[i].Name] = append(byName[d.Nets[i].Name], i)
+	}
+	sc := newScanner(r)
+	for {
+		ln, ok := sc.next()
+		if !ok {
+			return nil
+		}
+		fields := strings.Fields(ln)
+		if len(fields) < 2 {
+			return fmt.Errorf("line %d: malformed weight %q", sc.line, ln)
+		}
+		w, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || !finiteNonNegative(w) {
+			return fmt.Errorf("line %d: bad weight %q", sc.line, fields[1])
+		}
+		nets, ok := byName[fields[0]]
+		if !ok {
+			return fmt.Errorf("line %d: unknown net %q", sc.line, fields[0])
+		}
+		for _, ni := range nets {
+			d.Nets[ni].Weight = w
+		}
+	}
 }
 
 // ReadFiles loads a design from explicit file paths. plPath and
@@ -514,7 +559,7 @@ func Write(d *netlist.Design, dir, base string) error {
 			rows = 1
 		}
 		fmt.Fprintln(w, "UCLA scl 1.0")
-		fmt.Fprintf(w, "NumRows : %d\n", rows)
+		fmt.Fprintf(w, "NumRows : %d\n", rows+1)
 		for r := 0; r < rows; r++ {
 			fmt.Fprintln(w, "CoreRow Horizontal")
 			fmt.Fprintf(w, " Coordinate : %g\n", d.Region.Ly+float64(r)*rowH)
@@ -522,13 +567,46 @@ func Write(d *netlist.Design, dir, base string) error {
 			fmt.Fprintf(w, " SubrowOrigin : %g NumSites : %g\n", d.Region.Lx, d.Region.W())
 			fmt.Fprintln(w, "End")
 		}
+		// Sentinel zero-height row pinning the exact upper-right region
+		// corner. Without it the reconstructed region is the row bounding
+		// box — Uy truncates to a whole number of rows and Ux picks up
+		// the rounding of Lx + W, so a written region did not re-read
+		// identically.
+		fmt.Fprintln(w, "CoreRow Horizontal")
+		fmt.Fprintf(w, " Coordinate : %g\n", d.Region.Uy)
+		fmt.Fprintln(w, " Height : 0")
+		fmt.Fprintf(w, " SubrowOrigin : %g NumSites : 0\n", d.Region.Ux)
+		fmt.Fprintln(w, "End")
 		return nil
 	}); err != nil {
 		return err
 	}
 
+	weighted := false
+	for i := range d.Nets {
+		if d.Nets[i].Weight != 0 {
+			weighted = true
+			break
+		}
+	}
+	if weighted {
+		if err := write(".wts", func(w *bufio.Writer) error {
+			fmt.Fprintln(w, "UCLA wts 1.0")
+			for i := range d.Nets {
+				fmt.Fprintf(w, "%s %g\n", d.Nets[i].Name, d.Nets[i].Weight)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
 	return write(".aux", func(w *bufio.Writer) error {
-		fmt.Fprintf(w, "RowBasedPlacement : %s.nodes %s.nets %s.pl %s.scl\n", base, base, base, base)
+		fmt.Fprintf(w, "RowBasedPlacement : %s.nodes %s.nets %s.pl %s.scl", base, base, base, base)
+		if weighted {
+			fmt.Fprintf(w, " %s.wts", base)
+		}
+		fmt.Fprintln(w)
 		return nil
 	})
 }

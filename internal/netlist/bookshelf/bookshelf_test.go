@@ -255,3 +255,80 @@ func TestEmptySclErrors(t *testing.T) {
 		t.Error("scl without rows should error")
 	}
 }
+
+// TestRegionRoundTripsExactly pins the divergence fixed in this PR:
+// the .scl writer used to emit only whole rows, so a region whose
+// height is not a multiple of the row height came back truncated. The
+// sentinel row now pins both corners bit-identically.
+func TestRegionRoundTripsExactly(t *testing.T) {
+	dir := t.TempDir()
+	d := sample()
+	// Height 96 → rows of 12 fit exactly; stretch to a non-multiple
+	// and offset the origin to exercise the sentinel.
+	d.Region = geom.NewRect(0.3, 0.7, 119.9, 95.5)
+	if err := Write(d, dir, "r"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := ReadAux(filepath.Join(dir, "r.aux"))
+	if err != nil {
+		t.Fatalf("ReadAux: %v", err)
+	}
+	if got.Region != d.Region {
+		t.Fatalf("region = %v, want %v (bit-identical)", got.Region, d.Region)
+	}
+}
+
+// TestWeightsRoundTrip: net weights survive via the .wts file, and the
+// weighted HPWL is reproduced bit-identically.
+func TestWeightsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := sample()
+	d.Nets[0].Weight = 2.5
+	d.Nets[1].Weight = 0.75
+	if err := Write(d, dir, "w"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "w.wts")); err != nil {
+		t.Fatalf("no .wts emitted: %v", err)
+	}
+	got, err := ReadAux(filepath.Join(dir, "w.aux"))
+	if err != nil {
+		t.Fatalf("ReadAux: %v", err)
+	}
+	if got.Nets[0].Weight != 2.5 || got.Nets[1].Weight != 0.75 {
+		t.Fatalf("weights = %v %v, want 2.5 0.75", got.Nets[0].Weight, got.Nets[1].Weight)
+	}
+	if got.WeightedHPWL() != d.WeightedHPWL() {
+		t.Fatalf("weighted HPWL diverged: %v != %v", got.WeightedHPWL(), d.WeightedHPWL())
+	}
+	// Unweighted designs must not grow a .wts.
+	if err := Write(sample(), dir, "u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "u.wts")); !os.IsNotExist(err) {
+		t.Errorf("unweighted design emitted .wts (err=%v)", err)
+	}
+}
+
+// TestBadWtsRejected: malformed or dangling weights error out instead
+// of being dropped.
+func TestBadWtsRejected(t *testing.T) {
+	dir := t.TempDir()
+	d := sample()
+	d.Nets[0].Weight = 2
+	if err := Write(d, dir, "b"); err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range map[string]string{
+		"unknown net": "UCLA wts 1.0\nnope 3\n",
+		"bad weight":  "UCLA wts 1.0\nn0 NaN\n",
+		"truncated":   "UCLA wts 1.0\nn0\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, "b.wts"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadAux(filepath.Join(dir, "b.aux")); err == nil {
+			t.Errorf("%s: accepted silently", name)
+		}
+	}
+}

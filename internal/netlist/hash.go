@@ -62,6 +62,14 @@ func (d *Design) ContentHash() uint64 {
 		}
 	}
 
+	// Physical constraints change the legal placement space, so warm
+	// state must not be shared across constraint recipes. The nil case
+	// mixes nothing, keeping pre-constraint hashes stable.
+	if d.Phys.Active() {
+		word(1)
+		d.Phys.hashInto(word, str)
+	}
+
 	word(uint64(len(d.Nets)))
 	for i := range d.Nets {
 		net := &d.Nets[i]

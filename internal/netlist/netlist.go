@@ -114,6 +114,12 @@ type Design struct {
 	Nodes  []Node
 	Nets   []Net
 
+	// Phys carries the physical-legality constraints of a real-flow
+	// design (halos, channels, fence, row/track snapping — see
+	// Constraints). Nil — the Bookshelf and synthetic paths — disables
+	// every constraint-aware code path bit-identically.
+	Phys *Constraints
+
 	// nodeByName is built lazily by NodeIndex.
 	nodeByName map[string]int
 }
@@ -284,7 +290,7 @@ func (d *Design) SetPositions(pos []geom.Point) {
 
 // Clone returns a deep copy of the design.
 func (d *Design) Clone() *Design {
-	out := &Design{Name: d.Name, Region: d.Region}
+	out := &Design{Name: d.Name, Region: d.Region, Phys: d.Phys.Clone()}
 	out.Nodes = append([]Node(nil), d.Nodes...)
 	out.Nets = make([]Net, len(d.Nets))
 	for i := range d.Nets {
@@ -324,7 +330,7 @@ func (d *Design) Validate() error {
 			}
 		}
 	}
-	return nil
+	return d.Phys.Validate(d.Region)
 }
 
 // NodeNets returns, for every node, the list of net indices incident

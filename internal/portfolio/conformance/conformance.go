@@ -17,7 +17,10 @@
 //  6. cancellation returns a complete legal anytime incumbent within a
 //     bounded grace period, flagged Interrupted;
 //  7. injected evaluator faults (internal/faults) never escape the
-//     PlaceContext boundary as panics.
+//     PlaceContext boundary as panics;
+//  8. with physical constraints active (halos, channel, fence, snap —
+//     see ConstrainedDesign) the placement is constraint-clean:
+//     zero halo/fence violations and row/track-snapped macro origins.
 package conformance
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"macroplace/internal/faults"
 	"macroplace/internal/gen"
+	"macroplace/internal/geom"
 	"macroplace/internal/netlist"
 	"macroplace/internal/portfolio"
 )
@@ -118,6 +122,22 @@ func Run(t *testing.T, backend string, cfg Config) {
 		})
 	}
 
+	t.Run("constraints", func(t *testing.T) {
+		for _, base := range cfg.Designs {
+			d := ConstrainedDesign(t, base)
+			t.Run(d.Name, func(t *testing.T) {
+				res := place(t, p, context.Background(), d, cfg.Opts, cfg.CancelGrace)
+				// Constrained runs may legitimately trade convergence
+				// for legality on the smoke budget; the constraint
+				// verdict below is the invariant under test.
+				CheckResult(t, backend, d, res, true)
+				if rep := res.Placed.ConstraintViolations(); !rep.Clean() {
+					t.Errorf("%s: constraint violations on %s: %s", backend, d.Name, rep)
+				}
+			})
+		}
+	})
+
 	if caps.Anytime {
 		t.Run("cancel", func(t *testing.T) {
 			d := cfg.Designs[0]
@@ -156,6 +176,42 @@ func Run(t *testing.T, backend string, cfg Config) {
 			}
 		})
 	}
+}
+
+// ConstrainedDesign clones base and imposes a representative physical
+// constraint set scaled to the region: small default halos with one
+// per-macro override, a channel rule wider than the halo sum, a fence
+// inset 5% from the region edges, and a snap lattice anchored at the
+// fence corner. Every backend must place it constraint-clean —
+// invariant 8. Exported so ad-hoc harnesses (the smoke flow's test
+// mode) can reuse the exact geometry.
+func ConstrainedDesign(t testing.TB, base *netlist.Design) *netlist.Design {
+	t.Helper()
+	d := base.Clone()
+	w, h := d.Region.W(), d.Region.H()
+	phys := &netlist.Constraints{
+		HaloX:    0.002 * w,
+		HaloY:    0.002 * h,
+		ChannelX: 0.005 * w,
+		ChannelY: 0.005 * h,
+		Fence: &geom.Rect{
+			Lx: d.Region.Lx + 0.05*w, Ly: d.Region.Ly + 0.05*h,
+			Ux: d.Region.Ux - 0.05*w, Uy: d.Region.Uy - 0.05*h,
+		},
+		SnapX: w / 4096, SnapY: h / 4096,
+		SnapOriginX: d.Region.Lx + 0.05*w,
+		SnapOriginY: d.Region.Ly + 0.05*h,
+	}
+	if mov := d.MovableMacroIndices(); len(mov) > 0 {
+		phys.Halos = map[string]netlist.Halo{
+			d.Nodes[mov[0]].Name: {X: 2 * phys.HaloX, Y: 2 * phys.HaloY},
+		}
+	}
+	if err := phys.Validate(d.Region); err != nil {
+		t.Fatalf("conformance: constrained design %s: %v", d.Name, err)
+	}
+	d.Phys = phys
+	return d
 }
 
 // place runs PlaceContext under a watchdog and fails the test on

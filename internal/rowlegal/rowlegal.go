@@ -51,7 +51,13 @@ type segment struct {
 // Legalize snaps every movable cell of d onto rows. Macros and fixed
 // nodes are obstacles. It mutates d.
 func Legalize(d *netlist.Design, cfg Config) (Result, error) {
+	phys := d.Phys
 	rowH := cfg.RowHeight
+	if rowH <= 0 && phys != nil && phys.RowHeight > 0 {
+		// DEF designs carry the real row geometry; honour it so the
+		// emitted placement sits on the design's own rows.
+		rowH = phys.RowHeight
+	}
 	if rowH <= 0 {
 		rowH = dominantCellHeight(d)
 	}
@@ -61,24 +67,35 @@ func Legalize(d *netlist.Design, cfg Config) (Result, error) {
 	if cfg.MaxRowSearch <= 0 {
 		cfg.MaxRowSearch = 24
 	}
-	nRows := int(d.Region.H() / rowH)
+	originY := d.Region.Ly
+	if phys != nil && phys.RowHeight > 0 && phys.RowOriginY > d.Region.Ly && phys.RowOriginY < d.Region.Uy {
+		originY = phys.RowOriginY
+	}
+	nRows := int((d.Region.Uy - originY) / rowH)
 	if nRows < 1 {
 		return Result{}, fmt.Errorf("rowlegal: region height %v below one row %v", d.Region.H(), rowH)
 	}
 
 	// Obstacles: macros (movable and fixed) and any fixed non-pad.
+	// Under active constraints macros are inflated by their pads so
+	// cells keep out of halos and channels too.
 	var obstacles []geom.Rect
 	for i := range d.Nodes {
 		n := &d.Nodes[i]
 		if n.Kind == netlist.Macro || (n.Fixed && n.Kind != netlist.Pad) {
-			obstacles = append(obstacles, n.Rect())
+			r := n.Rect()
+			if n.Kind == netlist.Macro && phys.Active() {
+				px, py := phys.Pad(n.Name)
+				r = r.Inflate(px, py)
+			}
+			obstacles = append(obstacles, r)
 		}
 	}
 
 	// Build row segments.
 	rows := make([][]segment, nRows)
 	for r := 0; r < nRows; r++ {
-		y := d.Region.Ly + float64(r)*rowH
+		y := originY + float64(r)*rowH
 		row := geom.Rect{Lx: d.Region.Lx, Ly: y, Ux: d.Region.Ux, Uy: y + rowH}
 		free := []geom.Rect{row}
 		for _, ob := range obstacles {
@@ -127,7 +144,7 @@ func Legalize(d *netlist.Design, cfg Config) (Result, error) {
 	var res Result
 	for _, ci := range movable {
 		n := &d.Nodes[ci]
-		desiredRow := int((n.Y - d.Region.Ly) / rowH)
+		desiredRow := int((n.Y - originY) / rowH)
 		bestCost := math.Inf(1)
 		var bestSeg *segment
 		var bestX float64
@@ -136,7 +153,7 @@ func Legalize(d *netlist.Design, cfg Config) (Result, error) {
 				if r < 0 || r >= nRows || (dr == 0 && r != desiredRow) {
 					continue
 				}
-				rowCost := math.Abs(float64(r)*rowH + d.Region.Ly - n.Y)
+				rowCost := math.Abs(float64(r)*rowH + originY - n.Y)
 				if rowCost >= bestCost {
 					continue // rows farther than the best cost can't win
 				}

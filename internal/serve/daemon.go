@@ -16,7 +16,9 @@ import (
 	"macroplace/internal/atomicio"
 	"macroplace/internal/core"
 	"macroplace/internal/eco"
+	"macroplace/internal/lefdef"
 	"macroplace/internal/mcts"
+	"macroplace/internal/netlist"
 )
 
 // ErrCancelled is the cancellation cause installed by a client DELETE;
@@ -425,7 +427,7 @@ func RunSpecShared(ctx context.Context, j *Job, spec Spec, infer *agent.InferSer
 	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job dir: %w", err)
 	}
-	design, err := spec.LoadDesign(j.Dir)
+	design, doc, _, err := spec.LoadDesignDoc(j.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -480,6 +482,7 @@ func RunSpecShared(ctx context.Context, j *Job, spec Spec, infer *agent.InferSer
 	if err := eco.WritePlacement(filepath.Join(j.Dir, "placement.json"), p.Work); err == nil {
 		j.AppendEvent("stage", "placement persisted")
 	}
+	writePlacedDEF(j, doc, p.Work)
 	return &Result{
 		Design:       design.Name,
 		HPWL:         res.Final.HPWL,
@@ -492,8 +495,35 @@ func RunSpecShared(ctx context.Context, j *Job, spec Spec, infer *agent.InferSer
 	}, nil
 }
 
+// writePlacedDEF emits the placed design back as DEF — placed.def in
+// the job directory, served on GET /v1/jobs/{id}/def — when the job's
+// design came in as an inline LEF/DEF pair (doc is nil otherwise).
+// Best-effort, like placement.json: a write failure must not fail a
+// finished placement. The placed design is snapped onto the DEF's DBU
+// lattice on a clone first, so the emitted coordinates re-parse to
+// the same positions bit-identically and the caller's design (and the
+// already-reported metrics) stay untouched.
+func writePlacedDEF(j *Job, doc *lefdef.Document, placed *netlist.Design) {
+	if doc == nil || placed == nil {
+		return
+	}
+	work := placed.Clone()
+	if err := lefdef.SnapToDBU(work, doc.DBU); err != nil {
+		return
+	}
+	if err := lefdef.UpdateFromDesign(doc, work); err != nil {
+		return
+	}
+	if err := lefdef.WriteDEFFile(filepath.Join(j.Dir, "placed.def"), doc); err == nil {
+		j.AppendEvent("stage", "placed.def persisted")
+	}
+}
+
 func describeSpec(sp Spec) string {
 	desc := fmt.Sprintf("bookshelf upload, %d file(s)", len(sp.Bookshelf))
+	if sp.DEF != "" {
+		desc = fmt.Sprintf("lef/def upload, %d+%d bytes", len(sp.LEF), len(sp.DEF))
+	}
 	if sp.Bench != "" {
 		desc = fmt.Sprintf("bench=%s", sp.Bench)
 	}

@@ -25,7 +25,7 @@ func runEcoSpec(ctx context.Context, j *Job, spec Spec) (*Result, error) {
 	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job dir: %w", err)
 	}
-	design, err := spec.LoadDesign(j.Dir)
+	design, doc, _, err := spec.LoadDesignDoc(j.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +71,7 @@ func runEcoSpec(ctx context.Context, j *Job, spec Spec) (*Result, error) {
 	if err := eco.WritePlacementWire(filepath.Join(j.Dir, "placement.json"), design.Name, res.Macros); err == nil {
 		j.AppendEvent("stage", "placement persisted")
 	}
+	writePlacedDEF(j, doc, res.Placed)
 	return &Result{
 		Design:         design.Name,
 		HPWL:           res.HPWL,

@@ -27,6 +27,7 @@ const maxSpecBytes = 64 << 20
 //	DELETE /v1/jobs/{id}             cancel → 202; idempotent 200 once terminal
 //	GET    /v1/jobs/{id}/events      stream the job's event log (SSE)
 //	GET    /v1/jobs/{id}/checkpoint  the job's latest search.ckpt bytes
+//	GET    /v1/jobs/{id}/def         the placed design as DEF (LEF/DEF jobs)
 //
 // plus the whole telemetry mux (/metrics, /healthz, /debug/pprof/) on
 // the same listener, so one scrape target covers queue metrics and
@@ -40,6 +41,7 @@ func (d *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", d.handleCheckpoint)
+	mux.HandleFunc("GET /v1/jobs/{id}/def", d.handleDEF)
 	mux.Handle("/", obs.Handler(obs.Default))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		obsHTTPRequests.Inc()
@@ -140,6 +142,27 @@ func (d *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	// Explicit length keeps the response self-delimiting even when the
 	// connection dies right after the bytes are flushed — a migrating
 	// coordinator may be fetching from a worker in its last moments.
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleDEF serves the job's placed design as DEF text — written by
+// the runner once the flow finishes on a job whose design came in as
+// an inline LEF/DEF pair. 404 until then (and always, for bench or
+// Bookshelf jobs, which have no DEF to update).
+func (d *Server) handleDEF(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(j.Dir, "placed.def"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no placed DEF (job unfinished, or not a LEF/DEF job)")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)

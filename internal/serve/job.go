@@ -14,6 +14,8 @@ import (
 	"macroplace/internal/core"
 	"macroplace/internal/eco"
 	"macroplace/internal/gen"
+	"macroplace/internal/geom"
+	"macroplace/internal/lefdef"
 	"macroplace/internal/mcts"
 	"macroplace/internal/netlist"
 	"macroplace/internal/netlist/bookshelf"
@@ -37,6 +39,27 @@ type Spec struct {
 	// Exactly one entry must end in .aux; the daemon stages the files
 	// in the job's working directory and parses them from there.
 	Bookshelf map[string]string `json:"bookshelf,omitempty"`
+	// LEF and DEF upload a real design inline as LEF (sites, layers,
+	// macro geometry) plus DEF (die area, rows, components, pins,
+	// nets) text. Both must be set together; mutually exclusive with
+	// Bench and Bookshelf. The job stages both files in its working
+	// directory, and the placed design is emitted back as DEF
+	// (placed.def, served on GET /v1/jobs/{id}/def).
+	LEF string `json:"lef,omitempty"`
+	DEF string `json:"def,omitempty"`
+
+	// Phys carries the physical-legality constraints (per-macro halos,
+	// minimum channels, fence region, snap lattice) applied to the
+	// materialised design. Works for every job class and design source;
+	// on a LEF/DEF design the knobs overlay the DEF-derived row
+	// geometry. Validated hard at admission (non-finite, negative, and
+	// inverted values are refused; the fence is checked against the
+	// DEF die area when one is inline).
+	Phys *netlist.Constraints `json:"phys,omitempty"`
+	// Snap derives the macro snap lattice from the DEF's TRACKS
+	// statements (site/row fallback) for the axes Phys leaves unset.
+	// Requires an inline DEF design.
+	Snap bool `json:"snap,omitempty"`
 
 	Seed      int64 `json:"seed,omitempty"`
 	Zeta      int   `json:"zeta,omitempty"`
@@ -167,11 +190,21 @@ func (sp Spec) normalize() Spec {
 // are refused here rather than discovered as hangs or panics later
 // (FuzzSpecJSON pins this down).
 func (sp Spec) Validate() error {
-	switch {
-	case sp.Bench != "" && len(sp.Bookshelf) > 0:
-		return fmt.Errorf("serve: spec has both bench and bookshelf")
-	case sp.Bench == "" && len(sp.Bookshelf) == 0:
-		return fmt.Errorf("serve: spec needs bench or bookshelf")
+	sources := 0
+	if sp.Bench != "" {
+		sources++
+	}
+	if len(sp.Bookshelf) > 0 {
+		sources++
+	}
+	if sp.LEF != "" || sp.DEF != "" {
+		if sp.LEF == "" || sp.DEF == "" {
+			return fmt.Errorf("serve: lef and def must be uploaded together")
+		}
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("serve: spec needs exactly one of bench, bookshelf, or lef+def (got %d)", sources)
 	}
 	if sp.Bench != "" && !strings.HasPrefix(sp.Bench, "ibm") && !strings.HasPrefix(sp.Bench, "cir") {
 		return fmt.Errorf("serve: unknown benchmark %q (want ibm01..ibm18 or cir1..cir6)", sp.Bench)
@@ -211,6 +244,27 @@ func (sp Spec) Validate() error {
 	} {
 		if f.val < 0 || f.val > f.max {
 			return fmt.Errorf("serve: %s %d out of range [0, %d]", f.name, f.val, f.max)
+		}
+	}
+
+	if sp.Snap && sp.DEF == "" {
+		return fmt.Errorf("serve: snap needs an inline DEF design to derive the lattice from")
+	}
+	if sp.Phys != nil {
+		// Design-independent checks first (non-finite, negative,
+		// inverted); with an inline DEF the die area is knowable at
+		// admission, so an out-of-die fence is refused here too instead
+		// of failing the job at run time.
+		region := geom.Rect{}
+		if sp.Phys.Fence != nil && sp.DEF != "" {
+			doc, err := lefdef.ParseDEF([]byte(sp.DEF), "spec.def")
+			if err != nil {
+				return fmt.Errorf("serve: inline def: %w", err)
+			}
+			region = doc.DieArea.Rect(doc.DBU)
+		}
+		if err := sp.Phys.Validate(region); err != nil {
+			return fmt.Errorf("serve: %w", err)
 		}
 	}
 
@@ -335,33 +389,88 @@ func (sp Spec) PortfolioOptions() portfolio.Options {
 }
 
 // LoadDesign materialises the spec's design, staging an uploaded
-// Bookshelf netlist under dir first.
+// Bookshelf netlist under dir first. Constraint knobs (Phys, Snap)
+// are applied and validated against the materialised region.
 func (sp Spec) LoadDesign(dir string) (*netlist.Design, error) {
+	d, _, _, err := sp.LoadDesignDoc(dir)
+	return d, err
+}
+
+// LoadDesignDoc is LoadDesign keeping the DEF document and LEF library
+// of an inline LEF/DEF design (nil for the other sources) — what the
+// runners use to emit the placed design back as DEF.
+func (sp Spec) LoadDesignDoc(dir string) (*netlist.Design, *lefdef.Document, *lefdef.LEF, error) {
 	sp = sp.normalize()
+	var (
+		d   *netlist.Design
+		doc *lefdef.Document
+		lef *lefdef.LEF
+		err error
+	)
 	switch {
+	case sp.LEF != "":
+		d, doc, lef, err = sp.loadLEFDEF(dir)
 	case len(sp.Bookshelf) > 0:
-		stage := filepath.Join(dir, "bookshelf")
-		if err := os.MkdirAll(stage, 0o755); err != nil {
+		d, err = sp.loadBookshelf(dir)
+	case strings.HasPrefix(sp.Bench, "ibm"):
+		d, err = gen.IBM(sp.Bench, sp.Scale, sp.Seed)
+	case strings.HasPrefix(sp.Bench, "cir"):
+		d, err = gen.Cir(sp.Bench, sp.Scale, sp.Seed)
+	default:
+		err = fmt.Errorf("serve: unknown benchmark %q", sp.Bench)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := lefdef.ApplyPhys(d, sp.Phys, doc, lef, sp.Snap); err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	return d, doc, lef, nil
+}
+
+// loadLEFDEF stages the inline LEF/DEF pair under dir and converts it
+// to the placement model.
+func (sp Spec) loadLEFDEF(dir string) (*netlist.Design, *lefdef.Document, *lefdef.LEF, error) {
+	stage := filepath.Join(dir, "lefdef")
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: stage lefdef: %w", err)
+	}
+	for name, content := range map[string]string{"design.lef": sp.LEF, "design.def": sp.DEF} {
+		if err := os.WriteFile(filepath.Join(stage, name), []byte(content), 0o644); err != nil {
+			return nil, nil, nil, fmt.Errorf("serve: stage lefdef: %w", err)
+		}
+	}
+	lef, err := lefdef.ParseLEF([]byte(sp.LEF), "design.lef")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	doc, err := lefdef.ParseDEF([]byte(sp.DEF), "design.def")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	d, err := lefdef.ToDesign(doc, lef)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	return d, doc, lef, nil
+}
+
+func (sp Spec) loadBookshelf(dir string) (*netlist.Design, error) {
+	stage := filepath.Join(dir, "bookshelf")
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: stage bookshelf: %w", err)
+	}
+	var aux string
+	for name, content := range sp.Bookshelf {
+		path := filepath.Join(stage, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			return nil, fmt.Errorf("serve: stage bookshelf: %w", err)
 		}
-		var aux string
-		for name, content := range sp.Bookshelf {
-			path := filepath.Join(stage, name)
-			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-				return nil, fmt.Errorf("serve: stage bookshelf: %w", err)
-			}
-			if strings.HasSuffix(name, ".aux") {
-				aux = path
-			}
+		if strings.HasSuffix(name, ".aux") {
+			aux = path
 		}
-		return bookshelf.ReadAux(aux)
-	case strings.HasPrefix(sp.Bench, "ibm"):
-		return gen.IBM(sp.Bench, sp.Scale, sp.Seed)
-	case strings.HasPrefix(sp.Bench, "cir"):
-		return gen.Cir(sp.Bench, sp.Scale, sp.Seed)
-	default:
-		return nil, fmt.Errorf("serve: unknown benchmark %q", sp.Bench)
 	}
+	return bookshelf.ReadAux(aux)
 }
 
 // State is a job's lifecycle position. Transitions are strictly

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"macroplace/internal/geom"
+	"macroplace/internal/lefdef"
+	"macroplace/internal/netlist"
+)
+
+// lefdefSpec builds a valid LEF/DEF job spec from the lefdef package's
+// test design, at the CI container's tiny budget.
+func lefdefSpec(t *testing.T, seed int64) Spec {
+	t.Helper()
+	lef, err := os.ReadFile(filepath.Join("..", "lefdef", "testdata", "small.lef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := os.ReadFile(filepath.Join("..", "lefdef", "testdata", "small.def"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		LEF: string(lef), DEF: string(def),
+		Zeta: 8, Episodes: 4, Gamma: 2, Workers: 1,
+		Channels: 4, ResBlocks: 1, Seed: seed,
+	}
+}
+
+// TestSpecValidatePhys pins the admission-time hardening of the
+// LEF/DEF input surface and the physical-constraint overlay: bad
+// source combinations, non-finite or negative halo/channel/snap
+// values, degenerate or out-of-die fences, and snap without a lattice
+// source are all refused before a worker ever sees the spec. The die
+// for the fence cases is small.def's (0,0)-(100,100) microns.
+func TestSpecValidatePhys(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(sp *Spec)
+	}{
+		{"lef without def", func(sp *Spec) { sp.DEF = "" }},
+		{"def without lef", func(sp *Spec) { sp.LEF = "" }},
+		{"lef/def combined with bench", func(sp *Spec) { sp.Bench = "ibm01"; sp.Scale = 0.01 }},
+		{"lef/def combined with bookshelf", func(sp *Spec) { sp.Bookshelf = map[string]string{"x.aux": "x"} }},
+		{"nan halo_x", func(sp *Spec) { sp.Phys = &netlist.Constraints{HaloX: math.NaN()} }},
+		{"inf halo_y", func(sp *Spec) { sp.Phys = &netlist.Constraints{HaloY: math.Inf(1)} }},
+		{"negative halo_x", func(sp *Spec) { sp.Phys = &netlist.Constraints{HaloX: -1} }},
+		{"nan channel_y", func(sp *Spec) { sp.Phys = &netlist.Constraints{ChannelY: math.NaN()} }},
+		{"negative channel_x", func(sp *Spec) { sp.Phys = &netlist.Constraints{ChannelX: -2} }},
+		{"negative snap_x", func(sp *Spec) { sp.Phys = &netlist.Constraints{SnapX: -0.4} }},
+		{"nan snap_origin_y", func(sp *Spec) { sp.Phys = &netlist.Constraints{SnapOriginY: math.NaN()} }},
+		{"negative row_height", func(sp *Spec) { sp.Phys = &netlist.Constraints{RowHeight: -2} }},
+		{"unnamed per-macro halo", func(sp *Spec) {
+			sp.Phys = &netlist.Constraints{Halos: map[string]netlist.Halo{"": {X: 1, Y: 1}}}
+		}},
+		{"negative per-macro halo", func(sp *Spec) {
+			sp.Phys = &netlist.Constraints{Halos: map[string]netlist.Halo{"ram0": {X: -1}}}
+		}},
+		{"inverted fence", func(sp *Spec) {
+			sp.Phys = &netlist.Constraints{Fence: &geom.Rect{Lx: 50, Ly: 50, Ux: 10, Uy: 90}}
+		}},
+		{"empty fence", func(sp *Spec) {
+			sp.Phys = &netlist.Constraints{Fence: &geom.Rect{Lx: 10, Ly: 10, Ux: 10, Uy: 10}}
+		}},
+		{"nan fence corner", func(sp *Spec) {
+			sp.Phys = &netlist.Constraints{Fence: &geom.Rect{Lx: math.NaN(), Ly: 0, Ux: 50, Uy: 50}}
+		}},
+		{"fence outside the die", func(sp *Spec) {
+			sp.Phys = &netlist.Constraints{Fence: &geom.Rect{Lx: -5, Ly: 0, Ux: 50, Uy: 50}}
+		}},
+		{"fence larger than the die", func(sp *Spec) {
+			sp.Phys = &netlist.Constraints{Fence: &geom.Rect{Lx: 0, Ly: 0, Ux: 200, Uy: 200}}
+		}},
+		{"halo swallows the fence", func(sp *Spec) {
+			sp.Phys = &netlist.Constraints{HaloX: 30, Fence: &geom.Rect{Lx: 20, Ly: 20, Ux: 70, Uy: 70}}
+		}},
+		{"snap without def", func(sp *Spec) {
+			*sp = tinySpec(1)
+			sp.Snap = true
+		}},
+	}
+	for _, tc := range cases {
+		sp := lefdefSpec(t, 1)
+		tc.mut(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad spec", tc.name)
+		}
+	}
+
+	good := []struct {
+		name string
+		sp   Spec
+	}{
+		{"plain lef/def", lefdefSpec(t, 1)},
+		{"lef/def with constraints and snap", func() Spec {
+			sp := lefdefSpec(t, 1)
+			sp.Phys = &netlist.Constraints{
+				HaloX: 1, HaloY: 1, ChannelX: 2, ChannelY: 2,
+				Fence: &geom.Rect{Lx: 2, Ly: 2, Ux: 62, Uy: 98},
+				Halos: map[string]netlist.Halo{"ram0": {X: 2, Y: 2}},
+			}
+			sp.Snap = true
+			return sp
+		}()},
+		{"bench with halos", func() Spec {
+			sp := tinySpec(1)
+			sp.Phys = &netlist.Constraints{HaloX: 1, HaloY: 1}
+			return sp
+		}()},
+		// No DEF means no die area at admission time; the fence is
+		// checked against the real region at load time instead.
+		{"bench with fence", func() Spec {
+			sp := tinySpec(1)
+			sp.Phys = &netlist.Constraints{Fence: &geom.Rect{Lx: 10, Ly: 10, Ux: 90, Uy: 90}}
+			return sp
+		}()},
+	}
+	for _, g := range good {
+		if err := g.sp.Validate(); err != nil {
+			t.Errorf("%s: good spec rejected: %v", g.name, err)
+		}
+	}
+}
+
+// TestLEFDEFJobE2E is the daemon-side acceptance path of the LEF/DEF
+// surface: an inline LEF/DEF job with halo/channel/fence/snap
+// constraints runs to completion, persists placed.def, serves it on
+// GET /v1/jobs/{id}/def, and the served DEF re-parses (through the
+// same converter any downstream tool would use) to a constraint-clean
+// placement with a bit-identical HPWL on every read.
+func TestLEFDEFJobE2E(t *testing.T) {
+	d, err := NewServer(Config{Workers: 1, QueueCap: 4, Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	sp := lefdefSpec(t, 7)
+	sp.Phys = &netlist.Constraints{
+		HaloX: 1, HaloY: 1, ChannelX: 2, ChannelY: 2,
+		Fence: &geom.Rect{Lx: 2, Ly: 2, Ux: 62, Uy: 98},
+	}
+	sp.Snap = true
+	j, err := d.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, d, j.ID); st != StateDone {
+		t.Fatalf("job state %v, error %q", st, j.Status().Error)
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + j.ID + "/def")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET def: status %d", resp.StatusCode)
+	}
+	served, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(filepath.Join(j.Dir, "placed.def"))
+	if err != nil {
+		t.Fatalf("placed.def not persisted: %v", err)
+	}
+	if string(served) != string(disk) {
+		t.Fatal("served DEF differs from the persisted placed.def")
+	}
+
+	lef, err := lefdef.ParseLEF([]byte(sp.LEF), "small.lef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hpwl []uint64
+	for i := 0; i < 2; i++ {
+		doc, err := lefdef.ParseDEF(served, "placed.def")
+		if err != nil {
+			t.Fatalf("re-parse served DEF: %v", err)
+		}
+		placed, err := lefdef.ToDesign(doc, lef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lefdef.ApplyPhys(placed, sp.Phys, doc, lef, sp.Snap); err != nil {
+			t.Fatal(err)
+		}
+		if rep := placed.ConstraintViolations(); !rep.Clean() {
+			t.Errorf("served DEF violates constraints: %s", rep)
+		}
+		hpwl = append(hpwl, math.Float64bits(placed.HPWL()))
+	}
+	if hpwl[0] != hpwl[1] {
+		t.Errorf("re-reads disagree: %016x vs %016x", hpwl[0], hpwl[1])
+	}
+}

@@ -22,7 +22,7 @@ func runRaceSpec(ctx context.Context, j *Job) (*Result, error) {
 	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job dir: %w", err)
 	}
-	design, err := j.Spec.LoadDesign(j.Dir)
+	design, doc, _, err := j.Spec.LoadDesignDoc(j.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -55,6 +55,7 @@ func runRaceSpec(ctx context.Context, j *Job) (*Result, error) {
 		return nil, err
 	}
 	win := rr.WinnerOutcome()
+	writePlacedDEF(j, doc, win.Placed)
 	return &Result{
 		Design:       design.Name,
 		HPWL:         win.HPWL,

@@ -7,11 +7,12 @@
 # evaluation cache before the timer, so the measured figure is steady
 # state), BenchmarkServeThroughput, and BenchmarkPortfolioRace once
 # each, plus BenchmarkFleetThroughput (the coordinator's per-job
-# control-plane cost over stub runners) and BenchmarkECOJob (one warm
-# incremental re-placement job), and fails if allocs/op regresses above
-# a tolerance band around the committed BENCH_pr3.json /
-# BENCH_pr6.json / BENCH_pr7.json / BENCH_pr8.json / BENCH_pr9.json
-# baselines.
+# control-plane cost over stub runners), BenchmarkECOJob (one warm
+# incremental re-placement job), and BenchmarkLEFDEFPlace (the LEF/DEF
+# parse → constrained place → emit → re-parse ingestion cycle), and
+# fails if allocs/op regresses above a tolerance band around the
+# committed BENCH_pr3.json / BENCH_pr6.json / BENCH_pr7.json /
+# BENCH_pr8.json / BENCH_pr9.json / BENCH_pr10.json baselines.
 #
 # Allocation counts are only comparable between runs scheduled the
 # same way, so a row is gated ONLY against a baseline recorded at the
@@ -48,7 +49,7 @@ cd "$(dirname "$0")/.."
 # setup allocations. Its row still prints for the record. Later files
 # override earlier ones on duplicate (name, gomaxprocs) keys, so
 # BENCH_pr8.json supersedes BENCH_pr3.json for the MCTS rows.
-BASELINE_FILES="BENCH_pr3.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json"
+BASELINE_FILES="BENCH_pr3.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json BENCH_pr10.json"
 SPEEDUP_FILE="BENCH_pr8.json"
 TOLERANCE_PCT=50
 SLACK_ALLOCS=64
@@ -75,7 +76,7 @@ if [ -z "$baselines" ]; then
     exit 1
 fi
 
-out=$(go test -run '^$' -bench 'BenchmarkMCTSWorkers/workers=(1|8)$|BenchmarkServeThroughput$|BenchmarkPortfolioRace$|BenchmarkFleetThroughput$|BenchmarkECOJob$' -benchmem -benchtime=1x . ./internal/serve ./internal/portfolio ./internal/fleet ./internal/eco)
+out=$(go test -run '^$' -bench 'BenchmarkMCTSWorkers/workers=(1|8)$|BenchmarkServeThroughput$|BenchmarkPortfolioRace$|BenchmarkFleetThroughput$|BenchmarkECOJob$|BenchmarkLEFDEFPlace$' -benchmem -benchtime=1x . ./internal/serve ./internal/portfolio ./internal/fleet ./internal/eco ./internal/lefdef)
 echo "$out"
 
 echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines="$baselines" '
@@ -86,7 +87,7 @@ echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines=
       known[parts[i]] = known[parts[i]] " " parts[i + 1]
     }
   }
-  /^Benchmark(MCTSWorkers\/workers=|ServeThroughput|PortfolioRace|FleetThroughput|ECOJob)/ {
+  /^Benchmark(MCTSWorkers\/workers=|ServeThroughput|PortfolioRace|FleetThroughput|ECOJob|LEFDEFPlace)/ {
     allocs = -1
     for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
     if (allocs < 0) {
@@ -126,8 +127,8 @@ echo "$out" | awk -v tol="$TOLERANCE_PCT" -v slack="$SLACK_ALLOCS" -v baselines=
     }
   }
   END {
-    if (rows != 5) {
-      print "benchgate: expected 5 known rows (2 MCTS + portfolio + fleet + eco), saw " rows + 0 > "/dev/stderr"
+    if (rows != 6) {
+      print "benchgate: expected 6 known rows (2 MCTS + portfolio + fleet + eco + lefdef), saw " rows + 0 > "/dev/stderr"
       exit 1
     }
     exit bad

@@ -63,4 +63,7 @@ scripts/fleet_smoke.sh
 echo "== eco smoke"
 scripts/eco_smoke.sh
 
+echo "== lefdef smoke"
+scripts/lefdef_smoke.sh
+
 echo "OK"
